@@ -1,0 +1,200 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/dist"
+	"repro/internal/gen"
+)
+
+// Fig9 reproduces Figure 9: threshold similarity search across systems,
+// sweeping the threshold ε (in degrees, converted to plane units), reporting
+// median query time and mean candidate count on both workloads.
+func Fig9(cfg Config) ([]*Table, error) {
+	timeTab := &Table{Title: "Fig 9(a) — threshold search: median query time", Columns: []string{"dataset", "system"}}
+	candTab := &Table{Title: "Fig 9(b) — threshold search: mean candidates", Columns: []string{"dataset", "system"}}
+	for _, e := range Epsilons {
+		col := fmt.Sprintf("ε=%g°", e)
+		timeTab.Columns = append(timeTab.Columns, col)
+		candTab.Columns = append(candTab.Columns, col)
+	}
+
+	for _, kind := range []datasetKind{dsTDrive, dsLorry} {
+		trajs := cfg.dataset(kind)
+		queries := gen.Queries(trajs, cfg.Seed+10, cfg.Queries)
+		systems, _, err := cfg.buildSystems(kind, dist.Frechet, []string{"TraSS", "DFT", "DITA", "JUST"}, trajs)
+		if err != nil {
+			return nil, err
+		}
+		for _, name := range []string{"TraSS", "DFT", "DITA", "JUST"} {
+			trow := []string{string(kind), name}
+			crow := []string{string(kind), name}
+			for _, epsDeg := range Epsilons {
+				res, err := runThreshold(systems[name], queries, gen.DegreesToNorm(epsDeg))
+				if err != nil {
+					closeAll(systems)
+					return nil, err
+				}
+				trow = append(trow, res.medianTime.Round(time.Microsecond).String())
+				crow = append(crow, fmt.Sprintf("%.1f", res.candidates))
+			}
+			timeTab.AddRow(trow...)
+			candTab.AddRow(crow...)
+			cfg.logf("fig9 %s/%s done", kind, name)
+		}
+		closeAll(systems)
+	}
+	return []*Table{timeTab, candTab}, nil
+}
+
+// Fig10 reproduces Figure 10: top-k search across systems including REPOSE,
+// sweeping k.
+func Fig10(cfg Config) ([]*Table, error) {
+	timeTab := &Table{Title: "Fig 10(a) — top-k search: median query time", Columns: []string{"dataset", "system"}}
+	candTab := &Table{Title: "Fig 10(b) — top-k search: mean candidates", Columns: []string{"dataset", "system"}}
+	for _, k := range Ks {
+		col := fmt.Sprintf("k=%d", k)
+		timeTab.Columns = append(timeTab.Columns, col)
+		candTab.Columns = append(candTab.Columns, col)
+	}
+
+	names := []string{"TraSS", "DFT", "DITA", "REPOSE", "JUST"}
+	for _, kind := range []datasetKind{dsTDrive, dsLorry} {
+		trajs := cfg.dataset(kind)
+		queries := gen.Queries(trajs, cfg.Seed+11, cfg.Queries)
+		systems, _, err := cfg.buildSystems(kind, dist.Frechet, names, trajs)
+		if err != nil {
+			return nil, err
+		}
+		for _, name := range names {
+			trow := []string{string(kind), name}
+			crow := []string{string(kind), name}
+			for _, k := range Ks {
+				res, err := runTopK(systems[name], queries, k)
+				if err != nil {
+					closeAll(systems)
+					return nil, err
+				}
+				trow = append(trow, res.medianTime.Round(time.Microsecond).String())
+				crow = append(crow, fmt.Sprintf("%.1f", res.candidates))
+			}
+			timeTab.AddRow(trow...)
+			candTab.AddRow(crow...)
+			cfg.logf("fig10 %s/%s done", kind, name)
+		}
+		closeAll(systems)
+	}
+	return []*Table{timeTab, candTab}, nil
+}
+
+// Fig11 reproduces Figure 11: the anatomy of pruning at ε=0.01° — time spent
+// pruning, rows retrieved after pruning, and precision (answers / candidates).
+func Fig11(cfg Config) ([]*Table, error) {
+	tab := &Table{
+		Title:   "Fig 11 — pruning strategies at ε=0.01°",
+		Columns: []string{"dataset", "system", "prune time", "retrieved", "precision"},
+	}
+	eps := gen.DegreesToNorm(0.01)
+	for _, kind := range []datasetKind{dsTDrive, dsLorry} {
+		trajs := cfg.dataset(kind)
+		queries := gen.Queries(trajs, cfg.Seed+12, cfg.Queries)
+		systems, _, err := cfg.buildSystems(kind, dist.Frechet, []string{"TraSS", "DFT", "DITA", "JUST"}, trajs)
+		if err != nil {
+			return nil, err
+		}
+		for _, name := range []string{"TraSS", "DFT", "DITA", "JUST"} {
+			res, err := runThreshold(systems[name], queries, eps)
+			if err != nil {
+				closeAll(systems)
+				return nil, err
+			}
+			tab.AddRow(string(kind), name,
+				res.pruneTime.Round(time.Microsecond).String(),
+				fmt.Sprintf("%.1f", res.candidates),
+				fmt.Sprintf("%.3f", res.precision))
+		}
+		closeAll(systems)
+	}
+	return []*Table{tab}, nil
+}
+
+// Fig18 reproduces Figure 18: the 99th-percentile latency of the threshold
+// search at ε=0.01°.
+func Fig18(cfg Config) ([]*Table, error) {
+	tab := &Table{
+		Title:   "Fig 18 — threshold search tail latency (p99) at ε=0.01°",
+		Columns: []string{"dataset", "system", "median", "p99"},
+	}
+	eps := gen.DegreesToNorm(0.01)
+	for _, kind := range []datasetKind{dsTDrive, dsLorry} {
+		trajs := cfg.dataset(kind)
+		queries := gen.Queries(trajs, cfg.Seed+13, cfg.Queries*3)
+		systems, _, err := cfg.buildSystems(kind, dist.Frechet, []string{"TraSS", "DFT", "DITA", "JUST"}, trajs)
+		if err != nil {
+			return nil, err
+		}
+		for _, name := range []string{"TraSS", "DFT", "DITA", "JUST"} {
+			res, err := runThreshold(systems[name], queries, eps)
+			if err != nil {
+				closeAll(systems)
+				return nil, err
+			}
+			tab.AddRow(string(kind), name,
+				res.medianTime.Round(time.Microsecond).String(),
+				res.p99Time.Round(time.Microsecond).String())
+		}
+		closeAll(systems)
+	}
+	return []*Table{tab}, nil
+}
+
+// Fig20 reproduces Figure 20: the Hausdorff and DTW extensions. DITA skips
+// Hausdorff, DFT and REPOSE skip DTW, REPOSE is top-k-only — the support
+// matrix is the paper's.
+func Fig20(cfg Config) ([]*Table, error) {
+	tab := &Table{
+		Title:   "Fig 20 — other measures (threshold ε=0.01°, top-k k=100)",
+		Columns: []string{"measure", "system", "threshold time", "top-k time"},
+	}
+	trajs := cfg.dataset(dsTDrive)
+	queries := gen.Queries(trajs, cfg.Seed+14, cfg.Queries)
+	for _, measure := range []dist.Measure{dist.Hausdorff, dist.DTW} {
+		var names []string
+		switch measure {
+		case dist.Hausdorff:
+			names = []string{"TraSS", "DFT", "REPOSE", "JUST"} // DITA lacks Hausdorff
+		case dist.DTW:
+			names = []string{"TraSS", "DITA", "JUST"} // DFT and REPOSE lack DTW
+		}
+		systems, _, err := cfg.buildSystems(dsTDrive, measure, names, trajs)
+		if err != nil {
+			return nil, err
+		}
+		eps := gen.DegreesToNorm(0.01)
+		if measure == dist.DTW {
+			eps = gen.DegreesToNorm(0.5) // DTW accumulates over points
+		}
+		for _, name := range names {
+			thrCell, topCell := "n/a", "n/a"
+			if name != "REPOSE" {
+				res, err := runThreshold(systems[name], queries, eps)
+				if err != nil {
+					closeAll(systems)
+					return nil, err
+				}
+				thrCell = res.medianTime.Round(time.Microsecond).String()
+			}
+			res, err := runTopK(systems[name], queries, 100)
+			if err != nil {
+				closeAll(systems)
+				return nil, err
+			}
+			topCell = res.medianTime.Round(time.Microsecond).String()
+			tab.AddRow(measure.String(), name, thrCell, topCell)
+			cfg.logf("fig20 %s/%s done", measure, name)
+		}
+		closeAll(systems)
+	}
+	return []*Table{tab}, nil
+}

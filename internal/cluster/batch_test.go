@@ -1,0 +1,142 @@
+package cluster
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/kv"
+)
+
+func TestPutBatchRoutesAcrossRegions(t *testing.T) {
+	c := newTestCluster(t, Config{SplitKeys: [][]byte{[]byte("m")}})
+	entries := make([]Entry, 0, 100)
+	for i := 0; i < 50; i++ {
+		entries = append(entries, Entry{Key: []byte(fmt.Sprintf("a%03d", i)), Value: []byte("v")})
+		entries = append(entries, Entry{Key: []byte(fmt.Sprintf("z%03d", i)), Value: []byte("v")})
+	}
+	if err := c.PutBatch(entries); err != nil {
+		t.Fatal(err)
+	}
+	res, err := c.Scan(ScanRequest{Ranges: []KeyRange{{}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Entries) != 100 {
+		t.Fatalf("rows = %d, want 100", len(res.Entries))
+	}
+	// Both regions participated.
+	regions := c.Regions()
+	if _, err := regions[0].db.Get([]byte("a000")); err != nil {
+		t.Error("first region missing its rows")
+	}
+	if _, err := regions[1].db.Get([]byte("z000")); err != nil {
+		t.Error("second region missing its rows")
+	}
+}
+
+func TestPutBatchTriggersSplit(t *testing.T) {
+	c := newTestCluster(t, Config{SplitThresholdBytes: 4 << 10})
+	entries := make([]Entry, 0, 200)
+	for i := 0; i < 200; i++ {
+		entries = append(entries, Entry{
+			Key:   []byte(fmt.Sprintf("row%05d", i)),
+			Value: make([]byte, 64),
+		})
+	}
+	if err := c.PutBatch(entries); err != nil {
+		t.Fatal(err)
+	}
+	if len(c.Regions()) < 2 {
+		t.Fatalf("expected auto-split after batch, regions = %d", len(c.Regions()))
+	}
+	res, err := c.Scan(ScanRequest{Ranges: []KeyRange{{}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Entries) != 200 {
+		t.Fatalf("rows after split = %d", len(res.Entries))
+	}
+}
+
+func TestPutBatchClosed(t *testing.T) {
+	c := newTestCluster(t, Config{})
+	c.Close()
+	err := c.PutBatch([]Entry{{Key: []byte("k"), Value: []byte("v")}})
+	if err != kv.ErrClosed {
+		t.Fatalf("PutBatch after close: %v", err)
+	}
+}
+
+// RPC batching: many ranges landing in one region cost one RPC.
+func TestScanBatchesRangesPerRegion(t *testing.T) {
+	c := newTestCluster(t, Config{SplitKeys: [][]byte{[]byte("row00500")}})
+	loadRows(t, c, 1000)
+	var ranges []KeyRange
+	for i := 0; i < 20; i++ {
+		start := fmt.Sprintf("row%05d", i*10)
+		end := fmt.Sprintf("row%05d", i*10+5)
+		ranges = append(ranges, KeyRange{Start: []byte(start), End: []byte(end)})
+	}
+	res, err := c.Scan(ScanRequest{Ranges: ranges})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// All 20 ranges live in the first region: exactly one RPC.
+	if res.RPCs != 1 {
+		t.Fatalf("RPCs = %d, want 1", res.RPCs)
+	}
+	if len(res.Entries) != 100 {
+		t.Fatalf("rows = %d, want 100", len(res.Entries))
+	}
+}
+
+// The handler pool bounds concurrency inside a region: with 1 handler and a
+// sleep-heavy filter, concurrent scans serialize.
+func TestHandlerPoolSerializes(t *testing.T) {
+	c := newTestCluster(t, Config{HandlersPerRegion: 1})
+	loadRows(t, c, 10)
+	var inside, maxInside int
+	var mu sync.Mutex
+	filter := func(key, value []byte) bool {
+		mu.Lock()
+		inside++
+		if inside > maxInside {
+			maxInside = inside
+		}
+		mu.Unlock()
+		time.Sleep(2 * time.Millisecond)
+		mu.Lock()
+		inside--
+		mu.Unlock()
+		return true
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if _, err := c.Scan(ScanRequest{Ranges: []KeyRange{{}}, Filter: filter}); err != nil {
+				t.Errorf("scan: %v", err)
+			}
+		}()
+	}
+	wg.Wait()
+	if maxInside > 1 {
+		t.Fatalf("handler pool of 1 admitted %d concurrent scans", maxInside)
+	}
+}
+
+func TestClusterVerify(t *testing.T) {
+	c := newTestCluster(t, Config{SplitKeys: [][]byte{[]byte("m")}})
+	loadRows(t, c, 100)
+	c.Flush()
+	if err := c.Verify(); err != nil {
+		t.Fatalf("clean cluster must verify: %v", err)
+	}
+	c.Close()
+	if err := c.Verify(); err != kv.ErrClosed {
+		t.Fatalf("verify after close: %v", err)
+	}
+}

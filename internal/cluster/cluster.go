@@ -1,0 +1,404 @@
+// Package cluster simulates the HBase deployment TraSS runs on: a table is
+// range-partitioned into regions, each region is backed by its own embedded
+// kv store, and scans are routed by row-key range and executed per region in
+// parallel. Server-side filters play the role of HBase coprocessors: the
+// paper pushes local filtering down into the region servers so that only
+// matching rows cross the network, and this package accounts for exactly
+// that (rows scanned vs rows shipped, RPC count, bytes shipped).
+//
+// An optional per-RPC latency models the network cost that makes the paper's
+// shard-count experiment (Fig. 19) a trade-off rather than free parallelism.
+package cluster
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/kv"
+)
+
+// Config configures a cluster.
+type Config struct {
+	// Dir is the root directory; each region gets a subdirectory.
+	Dir string
+	// SplitKeys pre-split the table: n keys create n+1 regions. TraSS
+	// pre-splits on the shard byte of its row keys.
+	SplitKeys [][]byte
+	// Parallelism bounds concurrent region scans per request. Default: the
+	// number of regions.
+	Parallelism int
+	// RPCLatency is added to every region scan call to model network round
+	// trips. Default 0 (pure in-process).
+	RPCLatency time.Duration
+	// HandlersPerRegion bounds concurrent scan calls inside one region, the
+	// analogue of an HBase region server's RPC handler pool. 0 = unlimited.
+	HandlersPerRegion int
+	// SplitThresholdBytes auto-splits a region whose store has written more
+	// than this many bytes. Zero disables auto-splitting.
+	SplitThresholdBytes int64
+	// KV options applied to each region's store (Dir is overridden).
+	KV kv.Options
+}
+
+// Entry is one row to write, re-exported from the kv layer.
+type Entry = kv.Entry
+
+// Cluster is a range-partitioned table over embedded kv stores. Methods are
+// safe for concurrent use.
+type Cluster struct {
+	cfg Config
+
+	mu      sync.RWMutex
+	regions []*Region // sorted by start key
+	nextID  int
+	closed  bool
+
+	rpcs atomic.Int64
+}
+
+// Region is one key-range partition. start is inclusive, end exclusive; nil
+// means unbounded on that side.
+type Region struct {
+	id         int
+	start, end []byte
+	db         *kv.DB
+	dir        string
+	approxSize atomic.Int64
+	handlers   chan struct{} // nil = unlimited
+}
+
+// ID returns the region's identifier.
+func (r *Region) ID() int { return r.id }
+
+// Start returns the region's inclusive start key (nil = unbounded).
+func (r *Region) Start() []byte { return r.start }
+
+// End returns the region's exclusive end key (nil = unbounded).
+func (r *Region) End() []byte { return r.end }
+
+// Open creates a cluster in cfg.Dir with the configured pre-splits.
+func Open(cfg Config) (*Cluster, error) {
+	if cfg.Dir == "" {
+		return nil, fmt.Errorf("cluster: Config.Dir is required")
+	}
+	splits := make([][]byte, len(cfg.SplitKeys))
+	copy(splits, cfg.SplitKeys)
+	sort.Slice(splits, func(i, j int) bool { return bytes.Compare(splits[i], splits[j]) < 0 })
+	for i := 1; i < len(splits); i++ {
+		if bytes.Equal(splits[i-1], splits[i]) {
+			return nil, fmt.Errorf("cluster: duplicate split key %q", splits[i])
+		}
+	}
+
+	c := &Cluster{cfg: cfg}
+	bounds := make([][2][]byte, 0, len(splits)+1)
+	var prev []byte
+	for _, s := range splits {
+		bounds = append(bounds, [2][]byte{prev, s})
+		prev = s
+	}
+	bounds = append(bounds, [2][]byte{prev, nil})
+
+	for _, b := range bounds {
+		r, err := c.newRegion(b[0], b[1])
+		if err != nil {
+			c.Close()
+			return nil, err
+		}
+		c.regions = append(c.regions, r)
+	}
+	return c, nil
+}
+
+func (c *Cluster) newRegion(start, end []byte) (*Region, error) {
+	id := c.nextID
+	c.nextID++
+	dir := filepath.Join(c.cfg.Dir, fmt.Sprintf("region-%04d", id))
+	opts := c.cfg.KV
+	opts.Dir = dir
+	db, err := kv.Open(opts)
+	if err != nil {
+		return nil, fmt.Errorf("cluster: open region %d: %w", id, err)
+	}
+	r := &Region{id: id, start: start, end: end, db: db, dir: dir}
+	if c.cfg.HandlersPerRegion > 0 {
+		r.handlers = make(chan struct{}, c.cfg.HandlersPerRegion)
+	}
+	return r, nil
+}
+
+// regionFor returns the region containing key. Regions cover the whole key
+// space, so this always succeeds while the cluster is open.
+func (c *Cluster) regionFor(key []byte) *Region {
+	// First region whose end is > key (nil end sorts last).
+	i := sort.Search(len(c.regions), func(i int) bool {
+		e := c.regions[i].end
+		return e == nil || bytes.Compare(key, e) < 0
+	})
+	return c.regions[i]
+}
+
+// Put routes a row to its region.
+func (c *Cluster) Put(key, value []byte) error {
+	c.mu.RLock()
+	if c.closed {
+		c.mu.RUnlock()
+		return kv.ErrClosed
+	}
+	r := c.regionFor(key)
+	err := r.db.Put(key, value)
+	if err == nil {
+		r.approxSize.Add(int64(len(key) + len(value)))
+	}
+	threshold := c.cfg.SplitThresholdBytes
+	needSplit := threshold > 0 && r.approxSize.Load() > threshold
+	c.mu.RUnlock()
+	if err != nil {
+		return err
+	}
+	if needSplit {
+		// Best effort: a failed split leaves the region oversized but intact.
+		if serr := c.splitRegion(r); serr != nil {
+			return fmt.Errorf("cluster: split region %d: %w", r.id, serr)
+		}
+	}
+	return nil
+}
+
+// PutBatch routes a set of rows to their regions, applying one kv batch per
+// region — the bulk-load path. Auto-splitting is evaluated once at the end.
+func (c *Cluster) PutBatch(entries []kv.Entry) error {
+	c.mu.RLock()
+	if c.closed {
+		c.mu.RUnlock()
+		return kv.ErrClosed
+	}
+	batches := make(map[*Region]*kv.Batch)
+	for _, e := range entries {
+		r := c.regionFor(e.Key)
+		b := batches[r]
+		if b == nil {
+			b = &kv.Batch{}
+			batches[r] = b
+		}
+		b.Put(e.Key, e.Value)
+		r.approxSize.Add(int64(len(e.Key) + len(e.Value)))
+	}
+	var oversized []*Region
+	threshold := c.cfg.SplitThresholdBytes
+	for r, b := range batches {
+		if err := r.db.Apply(b); err != nil {
+			c.mu.RUnlock()
+			return err
+		}
+		if threshold > 0 && r.approxSize.Load() > threshold {
+			oversized = append(oversized, r)
+		}
+	}
+	c.mu.RUnlock()
+	for _, r := range oversized {
+		if err := c.splitRegion(r); err != nil {
+			return fmt.Errorf("cluster: split region %d: %w", r.id, err)
+		}
+	}
+	return nil
+}
+
+// Get routes a point lookup to its region.
+func (c *Cluster) Get(key []byte) ([]byte, error) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	if c.closed {
+		return nil, kv.ErrClosed
+	}
+	return c.regionFor(key).db.Get(key)
+}
+
+// Delete routes a delete to its region.
+func (c *Cluster) Delete(key []byte) error {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	if c.closed {
+		return kv.ErrClosed
+	}
+	return c.regionFor(key).db.Delete(key)
+}
+
+// Flush flushes every region's memtable.
+func (c *Cluster) Flush() error {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	for _, r := range c.regions {
+		if err := r.db.Flush(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Compact fully compacts every region.
+func (c *Cluster) Compact() error {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	for _, r := range c.regions {
+		if err := r.db.Compact(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Regions returns a snapshot of the current regions.
+func (c *Cluster) Regions() []*Region {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	out := make([]*Region, len(c.regions))
+	copy(out, c.regions)
+	return out
+}
+
+// Stats aggregates the kv counters of every region; RPCs is the number of
+// region scan calls issued so far.
+type Stats struct {
+	KV   kv.StatsSnapshot
+	RPCs int64
+}
+
+// Stats returns cluster-wide counters.
+func (c *Cluster) Stats() Stats {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	var agg kv.StatsSnapshot
+	for _, r := range c.regions {
+		agg = agg.Add(r.db.Stats())
+	}
+	return Stats{KV: agg, RPCs: c.rpcs.Load()}
+}
+
+// Verify checks every SSTable block checksum in every region.
+func (c *Cluster) Verify() error {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	if c.closed {
+		return kv.ErrClosed
+	}
+	for _, r := range c.regions {
+		if err := r.db.Verify(); err != nil {
+			return fmt.Errorf("cluster: region %d: %w", r.id, err)
+		}
+	}
+	return nil
+}
+
+// Close shuts down every region.
+func (c *Cluster) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return nil
+	}
+	c.closed = true
+	var first error
+	for _, r := range c.regions {
+		if err := r.db.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// splitRegion splits r at its median key into two fresh regions. Mirrors an
+// HBase region split (without the reference-file optimization: rows are
+// rewritten).
+func (c *Cluster) splitRegion(r *Region) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return kv.ErrClosed
+	}
+	// The region may have been split by a concurrent writer already.
+	idx := -1
+	for i, cur := range c.regions {
+		if cur == r {
+			idx = i
+			break
+		}
+	}
+	if idx < 0 {
+		return nil
+	}
+
+	// Find the median key.
+	var keys [][]byte
+	it := r.db.Scan(nil, nil)
+	for it.Next() {
+		keys = append(keys, append([]byte(nil), it.Key()...))
+	}
+	if err := it.Err(); err != nil {
+		it.Close()
+		return err
+	}
+	it.Close()
+	if len(keys) < 2 {
+		r.approxSize.Store(0) // nothing to split; stop re-triggering
+		return nil
+	}
+	mid := keys[len(keys)/2]
+	if bytes.Equal(mid, keys[0]) {
+		r.approxSize.Store(0)
+		return nil
+	}
+
+	left, err := c.newRegion(r.start, mid)
+	if err != nil {
+		return err
+	}
+	right, err := c.newRegion(mid, r.end)
+	if err != nil {
+		left.db.Close()
+		os.RemoveAll(left.dir)
+		return err
+	}
+	it = r.db.Scan(nil, nil)
+	for it.Next() {
+		dst := left
+		if bytes.Compare(it.Key(), mid) >= 0 {
+			dst = right
+		}
+		if err := dst.db.Put(it.Key(), it.Value()); err != nil {
+			it.Close()
+			left.db.Close()
+			right.db.Close()
+			os.RemoveAll(left.dir)
+			os.RemoveAll(right.dir)
+			return err
+		}
+		dst.approxSize.Add(int64(len(it.Key()) + len(it.Value())))
+	}
+	if err := it.Err(); err != nil {
+		it.Close()
+		left.db.Close()
+		right.db.Close()
+		os.RemoveAll(left.dir)
+		os.RemoveAll(right.dir)
+		return err
+	}
+	it.Close()
+	if err := left.db.Flush(); err != nil {
+		return err
+	}
+	if err := right.db.Flush(); err != nil {
+		return err
+	}
+
+	c.regions = append(c.regions[:idx], append([]*Region{left, right}, c.regions[idx+1:]...)...)
+	r.db.Close()
+	os.RemoveAll(r.dir)
+	return nil
+}

@@ -1,0 +1,380 @@
+package cluster
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"sort"
+	"sync"
+	"testing"
+
+	"repro/internal/kv"
+)
+
+func newTestCluster(t *testing.T, cfg Config) *Cluster {
+	t.Helper()
+	if cfg.Dir == "" {
+		cfg.Dir = t.TempDir()
+	}
+	c, err := Open(cfg)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	t.Cleanup(func() { c.Close() })
+	return c
+}
+
+func TestOpenValidation(t *testing.T) {
+	if _, err := Open(Config{}); err == nil {
+		t.Fatal("missing dir must fail")
+	}
+	if _, err := Open(Config{Dir: t.TempDir(), SplitKeys: [][]byte{[]byte("a"), []byte("a")}}); err == nil {
+		t.Fatal("duplicate split keys must fail")
+	}
+}
+
+func TestRegionLayout(t *testing.T) {
+	c := newTestCluster(t, Config{SplitKeys: [][]byte{[]byte("m"), []byte("g")}})
+	regions := c.Regions()
+	if len(regions) != 3 {
+		t.Fatalf("regions = %d, want 3", len(regions))
+	}
+	// Sorted, contiguous, covering.
+	if regions[0].Start() != nil || string(regions[0].End()) != "g" {
+		t.Errorf("region 0 bounds: %q..%q", regions[0].Start(), regions[0].End())
+	}
+	if string(regions[1].Start()) != "g" || string(regions[1].End()) != "m" {
+		t.Errorf("region 1 bounds: %q..%q", regions[1].Start(), regions[1].End())
+	}
+	if string(regions[2].Start()) != "m" || regions[2].End() != nil {
+		t.Errorf("region 2 bounds: %q..%q", regions[2].Start(), regions[2].End())
+	}
+}
+
+func TestPutGetRouting(t *testing.T) {
+	c := newTestCluster(t, Config{SplitKeys: [][]byte{[]byte("m")}})
+	keys := []string{"apple", "zebra", "m", "lion", "mzzz"}
+	for _, k := range keys {
+		if err := c.Put([]byte(k), []byte("v-"+k)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, k := range keys {
+		got, err := c.Get([]byte(k))
+		if err != nil || string(got) != "v-"+k {
+			t.Fatalf("Get(%q) = %q, %v", k, got, err)
+		}
+	}
+	if _, err := c.Get([]byte("nope")); err != kv.ErrNotFound {
+		t.Fatalf("missing key: %v", err)
+	}
+	// Rows landed in the right regions.
+	regions := c.Regions()
+	if _, err := regions[0].db.Get([]byte("apple")); err != nil {
+		t.Error("apple must live in the first region")
+	}
+	if _, err := regions[1].db.Get([]byte("zebra")); err != nil {
+		t.Error("zebra must live in the second region")
+	}
+}
+
+func TestDelete(t *testing.T) {
+	c := newTestCluster(t, Config{})
+	c.Put([]byte("k"), []byte("v"))
+	if err := c.Delete([]byte("k")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Get([]byte("k")); err != kv.ErrNotFound {
+		t.Fatalf("deleted key: %v", err)
+	}
+}
+
+func loadRows(t *testing.T, c *Cluster, n int) {
+	t.Helper()
+	for i := 0; i < n; i++ {
+		if err := c.Put([]byte(fmt.Sprintf("row%05d", i)), []byte(fmt.Sprintf("val%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestScanSingleRange(t *testing.T) {
+	c := newTestCluster(t, Config{SplitKeys: [][]byte{[]byte("row00300"), []byte("row00600")}})
+	loadRows(t, c, 1000)
+	res, err := c.Scan(ScanRequest{Ranges: []KeyRange{{Start: []byte("row00250"), End: []byte("row00350")}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Entries) != 100 {
+		t.Fatalf("entries = %d, want 100", len(res.Entries))
+	}
+	// Crossing a region boundary needs two RPCs.
+	if res.RPCs != 2 {
+		t.Fatalf("RPCs = %d, want 2", res.RPCs)
+	}
+	// Sorted by key.
+	for i := 1; i < len(res.Entries); i++ {
+		if bytes.Compare(res.Entries[i-1].Key, res.Entries[i].Key) >= 0 {
+			t.Fatal("scan results out of order")
+		}
+	}
+}
+
+func TestScanMultipleRanges(t *testing.T) {
+	c := newTestCluster(t, Config{SplitKeys: [][]byte{[]byte("row00500")}})
+	loadRows(t, c, 1000)
+	res, err := c.Scan(ScanRequest{Ranges: []KeyRange{
+		{Start: []byte("row00100"), End: []byte("row00110")},
+		{Start: []byte("row00700"), End: []byte("row00720")},
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Entries) != 30 {
+		t.Fatalf("entries = %d, want 30", len(res.Entries))
+	}
+}
+
+func TestScanServerSideFilter(t *testing.T) {
+	c := newTestCluster(t, Config{SplitKeys: [][]byte{[]byte("row00500")}})
+	loadRows(t, c, 1000)
+	res, err := c.Scan(ScanRequest{
+		Ranges: []KeyRange{{}},
+		Filter: func(key, value []byte) bool { return key[len(key)-1] == '0' },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Entries) != 100 {
+		t.Fatalf("filtered entries = %d, want 100", len(res.Entries))
+	}
+	if res.RowsScanned != 1000 {
+		t.Fatalf("rows scanned = %d, want 1000", res.RowsScanned)
+	}
+	if res.RowsReturned != 100 {
+		t.Fatalf("rows returned = %d, want 100", res.RowsReturned)
+	}
+	// Push-down means only accepted rows ship.
+	var want int64
+	for _, e := range res.Entries {
+		want += int64(len(e.Key) + len(e.Value))
+	}
+	if res.BytesShipped != want {
+		t.Fatalf("bytes shipped = %d, want %d", res.BytesShipped, want)
+	}
+}
+
+func TestScanLimit(t *testing.T) {
+	c := newTestCluster(t, Config{SplitKeys: [][]byte{[]byte("row00500")}})
+	loadRows(t, c, 1000)
+	res, err := c.Scan(ScanRequest{Ranges: []KeyRange{{}}, Limit: 37})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Entries) != 37 {
+		t.Fatalf("entries = %d, want 37", len(res.Entries))
+	}
+	// Limit runs in key order: first 37 rows.
+	if string(res.Entries[0].Key) != "row00000" || string(res.Entries[36].Key) != "row00036" {
+		t.Fatalf("limit scan returned wrong window: %q..%q", res.Entries[0].Key, res.Entries[36].Key)
+	}
+}
+
+func TestScanEmptyRangeList(t *testing.T) {
+	c := newTestCluster(t, Config{})
+	loadRows(t, c, 10)
+	res, err := c.Scan(ScanRequest{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Entries) != 0 || res.RPCs != 0 {
+		t.Fatalf("empty request scanned something: %+v", res)
+	}
+}
+
+func TestAutoSplit(t *testing.T) {
+	c := newTestCluster(t, Config{SplitThresholdBytes: 8 << 10})
+	val := bytes.Repeat([]byte("x"), 128)
+	for i := 0; i < 200; i++ {
+		if err := c.Put([]byte(fmt.Sprintf("row%05d", i)), val); err != nil {
+			t.Fatal(err)
+		}
+	}
+	regions := c.Regions()
+	if len(regions) < 2 {
+		t.Fatalf("expected auto-split, regions = %d", len(regions))
+	}
+	// Regions stay sorted and contiguous.
+	for i := 1; i < len(regions); i++ {
+		if !bytes.Equal(regions[i-1].End(), regions[i].Start()) {
+			t.Fatalf("regions not contiguous at %d", i)
+		}
+	}
+	// No rows lost.
+	res, err := c.Scan(ScanRequest{Ranges: []KeyRange{{}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Entries) != 200 {
+		t.Fatalf("rows after split = %d, want 200", len(res.Entries))
+	}
+	for i, e := range res.Entries {
+		if string(e.Key) != fmt.Sprintf("row%05d", i) {
+			t.Fatalf("row %d has key %q", i, e.Key)
+		}
+	}
+}
+
+func TestStatsAggregation(t *testing.T) {
+	c := newTestCluster(t, Config{SplitKeys: [][]byte{[]byte("row00500")}})
+	loadRows(t, c, 1000)
+	c.Flush()
+	before := c.Stats()
+	if before.KV.Puts != 1000 {
+		t.Fatalf("puts = %d", before.KV.Puts)
+	}
+	if _, err := c.Scan(ScanRequest{Ranges: []KeyRange{{}}}); err != nil {
+		t.Fatal(err)
+	}
+	after := c.Stats()
+	if after.RPCs-before.RPCs != 2 {
+		t.Fatalf("rpc delta = %d, want 2", after.RPCs-before.RPCs)
+	}
+	if after.KV.EntriesRead-before.KV.EntriesRead != 1000 {
+		t.Fatalf("entries read delta = %d", after.KV.EntriesRead-before.KV.EntriesRead)
+	}
+}
+
+func TestConcurrentPutsAndScans(t *testing.T) {
+	c := newTestCluster(t, Config{
+		SplitKeys: [][]byte{[]byte("w2")},
+		KV:        kv.Options{MemtableBytes: 16 << 10},
+	})
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				key := fmt.Sprintf("w%d-%04d", w, i)
+				if err := c.Put([]byte(key), []byte("v")); err != nil {
+					t.Errorf("put: %v", err)
+					return
+				}
+			}
+		}(w)
+	}
+	for r := 0; r < 3; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 20; i++ {
+				if _, err := c.Scan(ScanRequest{Ranges: []KeyRange{{}}}); err != nil {
+					t.Errorf("scan: %v", err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	res, err := c.Scan(ScanRequest{Ranges: []KeyRange{{}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Entries) != 800 {
+		t.Fatalf("final rows = %d, want 800", len(res.Entries))
+	}
+}
+
+func TestScanMatchesSortedLoad(t *testing.T) {
+	c := newTestCluster(t, Config{SplitKeys: [][]byte{[]byte("k3"), []byte("k6")}})
+	rng := rand.New(rand.NewSource(1))
+	var keys []string
+	for i := 0; i < 500; i++ {
+		k := fmt.Sprintf("k%d-%06d", rng.Intn(10), rng.Intn(1000000))
+		keys = append(keys, k)
+		c.Put([]byte(k), []byte("v"))
+	}
+	sort.Strings(keys)
+	// Dedup (random collisions possible).
+	uniq := keys[:0]
+	for i, k := range keys {
+		if i == 0 || keys[i-1] != k {
+			uniq = append(uniq, k)
+		}
+	}
+	res, err := c.Scan(ScanRequest{Ranges: []KeyRange{{}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Entries) != len(uniq) {
+		t.Fatalf("scan rows = %d, want %d", len(res.Entries), len(uniq))
+	}
+	for i, e := range res.Entries {
+		if string(e.Key) != uniq[i] {
+			t.Fatalf("row %d: %q != %q", i, e.Key, uniq[i])
+		}
+	}
+}
+
+func TestClosedCluster(t *testing.T) {
+	c := newTestCluster(t, Config{})
+	c.Close()
+	if err := c.Put([]byte("k"), []byte("v")); err != kv.ErrClosed {
+		t.Errorf("Put after close: %v", err)
+	}
+	if _, err := c.Scan(ScanRequest{Ranges: []KeyRange{{}}}); err != kv.ErrClosed {
+		t.Errorf("Scan after close: %v", err)
+	}
+	if err := c.Close(); err != nil {
+		t.Errorf("double close: %v", err)
+	}
+}
+
+func TestRangesOverlap(t *testing.T) {
+	b := func(s string) []byte {
+		if s == "" {
+			return nil
+		}
+		return []byte(s)
+	}
+	tests := []struct {
+		s1, e1, s2, e2 string
+		want           bool
+	}{
+		{"a", "c", "b", "d", true},
+		{"a", "b", "b", "c", false}, // half-open: touching doesn't overlap
+		{"", "", "x", "y", true},    // unbounded covers everything
+		{"a", "b", "c", "d", false},
+		{"c", "d", "a", "b", false},
+		{"a", "", "", "b", true},
+	}
+	for i, tc := range tests {
+		if got := rangesOverlap(b(tc.s1), b(tc.e1), b(tc.s2), b(tc.e2)); got != tc.want {
+			t.Errorf("case %d: got %v, want %v", i, got, tc.want)
+		}
+	}
+}
+
+func BenchmarkClusterScan(b *testing.B) {
+	dir := b.TempDir()
+	c, err := Open(Config{Dir: dir, SplitKeys: [][]byte{[]byte("row05000")}})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer c.Close()
+	for i := 0; i < 10000; i++ {
+		c.Put([]byte(fmt.Sprintf("row%05d", i)), bytes.Repeat([]byte("v"), 128))
+	}
+	c.Flush()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := c.Scan(ScanRequest{Ranges: []KeyRange{
+			{Start: []byte("row04900"), End: []byte("row05100")},
+		}})
+		if err != nil || len(res.Entries) != 200 {
+			b.Fatalf("scan: %d entries, %v", len(res.Entries), err)
+		}
+	}
+}

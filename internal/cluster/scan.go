@@ -1,0 +1,216 @@
+package cluster
+
+import (
+	"bytes"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/kv"
+)
+
+// KeyRange is a half-open row-key range [Start, End); nil bounds are open.
+type KeyRange struct {
+	Start, End []byte
+}
+
+// Filter is a server-side row predicate, the coprocessor push-down hook.
+// It runs inside the region scan; rejected rows never leave the region.
+// Implementations must be safe for concurrent use: regions evaluate the
+// filter in parallel.
+type Filter func(key, value []byte) bool
+
+// ScanRequest describes a multi-range filtered scan, the access pattern
+// global pruning produces (Algorithm 3: addAllScanRange + addFilter).
+type ScanRequest struct {
+	Ranges []KeyRange
+	Filter Filter // optional
+	// Limit stops the whole scan after this many accepted rows (0 = no
+	// limit). With a limit the scan runs region-sequential so that "first
+	// rows" are deterministic in key order.
+	Limit int
+}
+
+// ScanResult carries the shipped rows and the per-query I/O accounting that
+// the evaluation section reports.
+type ScanResult struct {
+	Entries      []kv.Entry
+	RowsScanned  int64 // rows visited inside regions (before filtering)
+	RowsReturned int64 // rows shipped to the client
+	BytesShipped int64 // key+value bytes that crossed the "network"
+	RPCs         int64 // region calls issued (all ranges per region batch)
+	Elapsed      time.Duration
+}
+
+// regionTask is all the work one region receives for a request: its clipped
+// ranges, served by a single "RPC" — mirroring an HBase client that opens
+// one scanner (or one coprocessor exec) per region.
+type regionTask struct {
+	region *Region
+	ranges []KeyRange
+}
+
+// Scan executes the request across all overlapping regions. Ranges falling
+// in the same region are batched into one region call. Without a limit,
+// region calls run in parallel (bounded by Config.Parallelism); results come
+// back sorted by key.
+func (c *Cluster) Scan(req ScanRequest) (*ScanResult, error) {
+	start := time.Now()
+	c.mu.RLock()
+	if c.closed {
+		c.mu.RUnlock()
+		return nil, kv.ErrClosed
+	}
+	tasks := make([]regionTask, 0, len(c.regions))
+	byRegion := make(map[*Region]int, len(c.regions))
+	for _, r := range c.regions { // region order = key order
+		for _, rng := range req.Ranges {
+			if !rangesOverlap(rng.Start, rng.End, r.start, r.end) {
+				continue
+			}
+			idx, ok := byRegion[r]
+			if !ok {
+				idx = len(tasks)
+				byRegion[r] = idx
+				tasks = append(tasks, regionTask{region: r})
+			}
+			tasks[idx].ranges = append(tasks[idx].ranges, clipRange(rng, r))
+		}
+	}
+	parallelism := c.cfg.Parallelism
+	if parallelism <= 0 {
+		parallelism = len(c.regions)
+	}
+	rpcLatency := c.cfg.RPCLatency
+	c.mu.RUnlock()
+
+	res := &ScanResult{}
+	if len(tasks) == 0 {
+		res.Elapsed = time.Since(start)
+		return res, nil
+	}
+	// Ranges within a region served in key order.
+	for i := range tasks {
+		sort.Slice(tasks[i].ranges, func(a, b int) bool {
+			return bytes.Compare(tasks[i].ranges[a].Start, tasks[i].ranges[b].Start) < 0
+		})
+	}
+
+	if req.Limit > 0 {
+		// Regions are in key order and partition the key space, so scanning
+		// them sequentially yields the first Limit rows deterministically.
+		for _, t := range tasks {
+			part, err := c.scanRegion(t, req.Filter, req.Limit-len(res.Entries), rpcLatency)
+			if err != nil {
+				return nil, err
+			}
+			res.merge(part)
+			if len(res.Entries) >= req.Limit {
+				break
+			}
+		}
+		res.Elapsed = time.Since(start)
+		return res, nil
+	}
+
+	parts := make([]*ScanResult, len(tasks))
+	errs := make([]error, len(tasks))
+	sem := make(chan struct{}, parallelism)
+	var wg sync.WaitGroup
+	for i, t := range tasks {
+		wg.Add(1)
+		go func(i int, t regionTask) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			parts[i], errs[i] = c.scanRegion(t, req.Filter, 0, rpcLatency)
+		}(i, t)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	for _, p := range parts {
+		res.merge(p)
+	}
+	sort.Slice(res.Entries, func(i, j int) bool {
+		return bytes.Compare(res.Entries[i].Key, res.Entries[j].Key) < 0
+	})
+	res.Elapsed = time.Since(start)
+	return res, nil
+}
+
+func (res *ScanResult) merge(p *ScanResult) {
+	res.Entries = append(res.Entries, p.Entries...)
+	res.RowsScanned += p.RowsScanned
+	res.RowsReturned += p.RowsReturned
+	res.BytesShipped += p.BytesShipped
+	res.RPCs += p.RPCs
+}
+
+// scanRegion is one region "RPC": scan every clipped range, apply the
+// server-side filter, ship accepted rows.
+func (c *Cluster) scanRegion(t regionTask, filter Filter, limit int, rpcLatency time.Duration) (*ScanResult, error) {
+	if rpcLatency > 0 {
+		time.Sleep(rpcLatency)
+	}
+	if t.region.handlers != nil {
+		// A bounded handler pool serves each region: scans queue once the
+		// region is saturated, which is what makes too few shards hurt.
+		t.region.handlers <- struct{}{}
+		defer func() { <-t.region.handlers }()
+	}
+	c.rpcs.Add(1)
+	res := &ScanResult{RPCs: 1}
+	for _, rng := range t.ranges {
+		it := t.region.db.Scan(rng.Start, rng.End)
+		for it.Next() {
+			res.RowsScanned++
+			if filter != nil && !filter(it.Key(), it.Value()) {
+				continue
+			}
+			e := kv.Entry{
+				Key:   append([]byte(nil), it.Key()...),
+				Value: append([]byte(nil), it.Value()...),
+			}
+			res.Entries = append(res.Entries, e)
+			res.RowsReturned++
+			res.BytesShipped += int64(len(e.Key) + len(e.Value))
+			if limit > 0 && len(res.Entries) >= limit {
+				it.Close()
+				return res, nil
+			}
+		}
+		if err := it.Err(); err != nil {
+			it.Close()
+			return nil, err
+		}
+		it.Close()
+	}
+	return res, nil
+}
+
+// rangesOverlap reports whether [s1,e1) and [s2,e2) intersect; nil = open.
+func rangesOverlap(s1, e1, s2, e2 []byte) bool {
+	if e1 != nil && s2 != nil && bytes.Compare(e1, s2) <= 0 {
+		return false
+	}
+	if e2 != nil && s1 != nil && bytes.Compare(e2, s1) <= 0 {
+		return false
+	}
+	return true
+}
+
+// clipRange intersects a request range with a region's bounds.
+func clipRange(rng KeyRange, r *Region) KeyRange {
+	out := rng
+	if r.start != nil && (out.Start == nil || bytes.Compare(out.Start, r.start) < 0) {
+		out.Start = r.start
+	}
+	if r.end != nil && (out.End == nil || bytes.Compare(out.End, r.end) > 0) {
+		out.End = r.end
+	}
+	return out
+}

@@ -1,0 +1,223 @@
+// Package gen produces the synthetic workloads of the evaluation. The paper
+// uses two real datasets — T-Drive (321,387 Beijing taxi trajectories) and
+// Lorry (4.4M JD logistics trajectories spanning China) — plus ×t copies of
+// Lorry for scalability. Neither real dataset ships with this repository, so
+// the generators here reproduce the distributional properties that drive
+// index behaviour (see DESIGN.md §2):
+//
+//   - T-Drive-like: a dense city box, heavy-tailed trip extents from a few
+//     hundred metres to tens of kilometres, and a population of
+//     near-stationary trajectories (taxis waiting at hot spots) that pile up
+//     at the maximum index resolution exactly as Fig. 12(a) shows;
+//   - Lorry-like: country-scale hub-to-hub hauls mixed with local delivery
+//     tours, spreading trajectories over many coarser resolutions.
+//
+// The index plane is the normalized Earth ([0,1)² over 360°×180°), matching
+// the paper's setup; DegreesToNorm converts the paper's parameter values
+// (thresholds in degrees) into plane units.
+package gen
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/geo"
+	"repro/internal/traj"
+)
+
+// DegreesToNorm converts a length expressed in longitude degrees (the
+// paper's unit for ε and the DP tolerance) into normalized plane units.
+func DegreesToNorm(deg float64) float64 { return deg / 360 }
+
+// TDriveOptions tune the taxi-like generator.
+type TDriveOptions struct {
+	Seed int64
+	N    int
+	// CityCenter and CitySpan place the city on the normalized plane.
+	// Defaults approximate Beijing: ~1 degree of longitude across.
+	CityCenter geo.Point
+	CitySpan   float64
+	// StationaryFrac is the fraction of taxis idling at a hot spot (the
+	// Fig. 12(a) spike at maximum resolution). Default 0.15.
+	StationaryFrac float64
+}
+
+func (o *TDriveOptions) withDefaults() TDriveOptions {
+	out := *o
+	if out.N <= 0 {
+		out.N = 1000
+	}
+	if out.CitySpan <= 0 {
+		out.CitySpan = 1.0 / 360 // one degree of longitude
+	}
+	if out.CityCenter == (geo.Point{}) {
+		out.CityCenter = geo.NormalizeLonLat(116.4, 39.9) // Beijing
+	}
+	if out.StationaryFrac <= 0 {
+		out.StationaryFrac = 0.15
+	}
+	return out
+}
+
+// TDrive generates a T-Drive-like taxi dataset.
+func TDrive(opts TDriveOptions) []*traj.Trajectory {
+	opts = opts.withDefaults()
+	rng := rand.New(rand.NewSource(opts.Seed))
+	out := make([]*traj.Trajectory, 0, opts.N)
+	for i := 0; i < opts.N; i++ {
+		id := fmt.Sprintf("td%06d", i)
+		if rng.Float64() < opts.StationaryFrac {
+			out = append(out, stationary(rng, id, opts.CityCenter, opts.CitySpan))
+			continue
+		}
+		out = append(out, cityTrip(rng, id, opts.CityCenter, opts.CitySpan))
+	}
+	return out
+}
+
+// stationary emits a taxi waiting at one spot: tiny jitter around a point,
+// indexed at the maximum resolution.
+func stationary(rng *rand.Rand, id string, center geo.Point, span float64) *traj.Trajectory {
+	base := jitterPoint(rng, center, span/2)
+	n := 5 + rng.Intn(40)
+	pts := make([]geo.Point, n)
+	for i := range pts {
+		pts[i] = jitterPoint(rng, base, span*1e-5)
+	}
+	return traj.New(id, pts)
+}
+
+// cityTrip emits a trip with a heavy-tailed extent: mostly short hops, a few
+// cross-city hauls, which is what spreads T-Drive across resolutions 10-16.
+func cityTrip(rng *rand.Rand, id string, center geo.Point, span float64) *traj.Trajectory {
+	// Log-uniform trip extent between span/256 and span.
+	extent := span * math.Pow(2, -8*rng.Float64())
+	start := jitterPoint(rng, center, span/2)
+	heading := rng.Float64() * 2 * math.Pi
+	n := 20 + rng.Intn(180)
+	step := extent / float64(n)
+	pts := make([]geo.Point, n)
+	x, y := start.X, start.Y
+	for i := range pts {
+		pts[i] = geo.Point{X: geo.Clamp01(x), Y: geo.Clamp01(y)}
+		// Mostly forward motion with turn noise: street-network-ish shape.
+		heading += (rng.Float64() - 0.5) * 0.9
+		x += math.Cos(heading) * step * (0.5 + rng.Float64())
+		y += math.Sin(heading) * step * (0.5 + rng.Float64())
+	}
+	return traj.New(id, pts)
+}
+
+// LorryOptions tune the logistics generator.
+type LorryOptions struct {
+	Seed int64
+	N    int
+	// Hubs is the number of logistics hubs; routes run hub to hub. Default 12.
+	Hubs int
+	// Region places the operation area. Default: a China-scale box.
+	Region geo.Rect
+	// LocalFrac is the fraction of short local delivery tours. Default 0.6.
+	LocalFrac float64
+}
+
+func (o *LorryOptions) withDefaults() LorryOptions {
+	out := *o
+	if out.N <= 0 {
+		out.N = 1000
+	}
+	if out.Hubs <= 0 {
+		out.Hubs = 12
+	}
+	if out.Region.IsEmpty() || out.Region == (geo.Rect{}) {
+		min := geo.NormalizeLonLat(98, 22)
+		max := geo.NormalizeLonLat(122, 42)
+		out.Region = geo.Rect{Min: min, Max: max}
+	}
+	if out.LocalFrac <= 0 {
+		out.LocalFrac = 0.6
+	}
+	return out
+}
+
+// Lorry generates a Lorry-like logistics dataset.
+func Lorry(opts LorryOptions) []*traj.Trajectory {
+	opts = opts.withDefaults()
+	rng := rand.New(rand.NewSource(opts.Seed))
+	hubs := make([]geo.Point, opts.Hubs)
+	for i := range hubs {
+		hubs[i] = geo.Point{
+			X: opts.Region.Min.X + rng.Float64()*opts.Region.Width(),
+			Y: opts.Region.Min.Y + rng.Float64()*opts.Region.Height(),
+		}
+	}
+	out := make([]*traj.Trajectory, 0, opts.N)
+	for i := 0; i < opts.N; i++ {
+		id := fmt.Sprintf("lr%06d", i)
+		if rng.Float64() < opts.LocalFrac {
+			hub := hubs[rng.Intn(len(hubs))]
+			out = append(out, cityTrip(rng, id, hub, opts.Region.Width()/64))
+			continue
+		}
+		a, b := hubs[rng.Intn(len(hubs))], hubs[rng.Intn(len(hubs))]
+		out = append(out, haul(rng, id, a, b))
+	}
+	return out
+}
+
+// haul emits a long-distance route between two hubs with road-like wobble.
+func haul(rng *rand.Rand, id string, a, b geo.Point) *traj.Trajectory {
+	n := 50 + rng.Intn(250)
+	pts := make([]geo.Point, n)
+	wobble := a.Dist(b) * 0.03
+	for i := range pts {
+		f := float64(i) / float64(n-1)
+		pts[i] = geo.Point{
+			X: geo.Clamp01(a.X + f*(b.X-a.X) + (rng.Float64()-0.5)*wobble),
+			Y: geo.Clamp01(a.Y + f*(b.Y-a.Y) + (rng.Float64()-0.5)*wobble),
+		}
+	}
+	return traj.New(id, pts)
+}
+
+func jitterPoint(rng *rand.Rand, c geo.Point, r float64) geo.Point {
+	return geo.Point{
+		X: geo.Clamp01(c.X + (rng.Float64()-0.5)*2*r),
+		Y: geo.Clamp01(c.Y + (rng.Float64()-0.5)*2*r),
+	}
+}
+
+// Scale replicates a dataset t times with fresh ids — the paper's synthetic
+// scalability datasets are exactly ×t copies of Lorry.
+func Scale(base []*traj.Trajectory, t int) []*traj.Trajectory {
+	if t <= 1 {
+		return base
+	}
+	out := make([]*traj.Trajectory, 0, len(base)*t)
+	out = append(out, base...)
+	for copyIdx := 1; copyIdx < t; copyIdx++ {
+		for _, tr := range base {
+			out = append(out, &traj.Trajectory{
+				ID:     fmt.Sprintf("%s-x%d", tr.ID, copyIdx),
+				Points: tr.Points, // shared: copies are identical by design
+			})
+		}
+	}
+	return out
+}
+
+// Queries samples n query trajectories from a dataset, mirroring the paper's
+// "randomly pick 400 query trajectories" setup. The originals are returned
+// (queries in the paper are drawn from the stored data).
+func Queries(trajs []*traj.Trajectory, seed int64, n int) []*traj.Trajectory {
+	rng := rand.New(rand.NewSource(seed))
+	if n > len(trajs) {
+		n = len(trajs)
+	}
+	perm := rng.Perm(len(trajs))
+	out := make([]*traj.Trajectory, n)
+	for i := 0; i < n; i++ {
+		out[i] = trajs[perm[i]]
+	}
+	return out
+}

@@ -1,0 +1,219 @@
+package gen
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/geo"
+	"repro/internal/traj"
+	"repro/internal/xzstar"
+)
+
+func TestTDriveShape(t *testing.T) {
+	trajs := TDrive(TDriveOptions{Seed: 1, N: 500})
+	if len(trajs) != 500 {
+		t.Fatalf("n = %d", len(trajs))
+	}
+	// Deterministic under the same seed.
+	again := TDrive(TDriveOptions{Seed: 1, N: 500})
+	for i := range trajs {
+		if trajs[i].ID != again[i].ID || trajs[i].Len() != again[i].Len() {
+			t.Fatal("generator is not deterministic")
+		}
+	}
+	// Everything stays in the city area (generously bounded).
+	center := geo.NormalizeLonLat(116.4, 39.9)
+	for _, tr := range trajs {
+		for _, p := range tr.Points {
+			if p.Dist(center) > 0.02 {
+				t.Fatalf("point %v of %s strayed from the city", p, tr.ID)
+			}
+		}
+	}
+}
+
+// The distributional property Fig. 12(a) depends on: a tail of trajectories
+// at the maximum resolution (stationary taxis) plus mass spread over medium
+// resolutions.
+func TestTDriveResolutionSpread(t *testing.T) {
+	ix := xzstar.MustNew(16)
+	trajs := TDrive(TDriveOptions{Seed: 2, N: 1000})
+	hist := make([]int, 17)
+	for _, tr := range trajs {
+		hist[ix.Assign(tr.Points).Seq.Len()]++
+	}
+	if hist[16] < 100 {
+		t.Fatalf("expected a spike at max resolution, got %d", hist[16])
+	}
+	mid := 0
+	for r := 10; r <= 15; r++ {
+		mid += hist[r]
+	}
+	if mid < 200 {
+		t.Fatalf("expected mass at medium resolutions, got %d (hist %v)", mid, hist)
+	}
+}
+
+func TestLorryShape(t *testing.T) {
+	trajs := Lorry(LorryOptions{Seed: 3, N: 500})
+	if len(trajs) != 500 {
+		t.Fatalf("n = %d", len(trajs))
+	}
+	// Lorry spans a much larger area than a city.
+	bounds := geo.EmptyRect()
+	for _, tr := range trajs {
+		bounds = bounds.Union(tr.MBR())
+	}
+	if bounds.Width() < 0.02 {
+		t.Fatalf("lorry dataset too compact: %v", bounds)
+	}
+	// And reaches coarser resolutions than T-Drive.
+	ix := xzstar.MustNew(16)
+	coarse := 0
+	for _, tr := range trajs {
+		if ix.Assign(tr.Points).Seq.Len() <= 9 {
+			coarse++
+		}
+	}
+	if coarse < 50 {
+		t.Fatalf("expected coarse-resolution hauls, got %d", coarse)
+	}
+}
+
+func TestScale(t *testing.T) {
+	base := TDrive(TDriveOptions{Seed: 4, N: 100})
+	x3 := Scale(base, 3)
+	if len(x3) != 300 {
+		t.Fatalf("scaled size = %d", len(x3))
+	}
+	ids := map[string]bool{}
+	for _, tr := range x3 {
+		if ids[tr.ID] {
+			t.Fatalf("duplicate id %s", tr.ID)
+		}
+		ids[tr.ID] = true
+	}
+	if got := Scale(base, 1); len(got) != len(base) {
+		t.Fatal("scale 1 must be identity")
+	}
+}
+
+func TestQueries(t *testing.T) {
+	base := TDrive(TDriveOptions{Seed: 5, N: 100})
+	qs := Queries(base, 6, 10)
+	if len(qs) != 10 {
+		t.Fatalf("queries = %d", len(qs))
+	}
+	qs2 := Queries(base, 6, 10)
+	for i := range qs {
+		if qs[i].ID != qs2[i].ID {
+			t.Fatal("query sampling not deterministic")
+		}
+	}
+	if got := Queries(base, 7, 1000); len(got) != 100 {
+		t.Fatalf("oversampling must clamp, got %d", len(got))
+	}
+}
+
+func TestDegreesToNorm(t *testing.T) {
+	if got := DegreesToNorm(360); math.Abs(got-1) > 1e-12 {
+		t.Fatalf("360 degrees = %v", got)
+	}
+	if got := DegreesToNorm(0.01); math.Abs(got-0.01/360) > 1e-15 {
+		t.Fatalf("0.01 degrees = %v", got)
+	}
+}
+
+func TestIORoundTrip(t *testing.T) {
+	trajs := TDrive(TDriveOptions{Seed: 8, N: 50})
+	var buf bytes.Buffer
+	if err := Write(&buf, trajs); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(trajs) {
+		t.Fatalf("read %d, wrote %d", len(got), len(trajs))
+	}
+	for i := range trajs {
+		if got[i].ID != trajs[i].ID || got[i].Len() != trajs[i].Len() {
+			t.Fatalf("trajectory %d mismatch", i)
+		}
+		for j := range trajs[i].Points {
+			if math.Abs(got[i].Points[j].X-trajs[i].Points[j].X) > 1e-8 {
+				t.Fatalf("coordinate drift at %d/%d", i, j)
+			}
+		}
+	}
+}
+
+func TestReadErrors(t *testing.T) {
+	cases := []string{
+		"id 0.5",     // odd coordinate count
+		"id 0.5 abc", // bad y
+		"id xyz 0.5", // bad x
+	}
+	for _, c := range cases {
+		if _, err := Read(strings.NewReader(c)); err == nil {
+			t.Errorf("input %q must fail", c)
+		}
+	}
+	// Comments and blank lines are fine.
+	got, err := Read(strings.NewReader("# comment\n\nid 0.5 0.5 0.6 0.6\n"))
+	if err != nil || len(got) != 1 {
+		t.Fatalf("comment handling: %v %v", got, err)
+	}
+}
+
+func TestWriteRejectsBadIDs(t *testing.T) {
+	tr := traj.New("has space", []geo.Point{{X: 0.1, Y: 0.1}})
+	var buf bytes.Buffer
+	if err := Write(&buf, []*traj.Trajectory{tr}); err == nil {
+		t.Fatal("id with whitespace must be rejected")
+	}
+}
+
+func TestWriteGeoJSON(t *testing.T) {
+	trajs := TDrive(TDriveOptions{Seed: 20, N: 3})
+	var buf bytes.Buffer
+	if err := WriteGeoJSON(&buf, trajs); err != nil {
+		t.Fatal(err)
+	}
+	var fc struct {
+		Type     string `json:"type"`
+		Features []struct {
+			Properties struct {
+				ID     string `json:"id"`
+				Points int    `json:"points"`
+			} `json:"properties"`
+			Geometry struct {
+				Type        string      `json:"type"`
+				Coordinates [][]float64 `json:"coordinates"`
+			} `json:"geometry"`
+		} `json:"features"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &fc); err != nil {
+		t.Fatalf("invalid GeoJSON: %v", err)
+	}
+	if fc.Type != "FeatureCollection" || len(fc.Features) != 3 {
+		t.Fatalf("collection shape: %+v", fc.Type)
+	}
+	for i, f := range fc.Features {
+		if f.Properties.ID != trajs[i].ID {
+			t.Fatalf("feature %d id %q", i, f.Properties.ID)
+		}
+		if f.Geometry.Type != "LineString" || len(f.Geometry.Coordinates) != trajs[i].Len() {
+			t.Fatalf("feature %d geometry: %s with %d coords", i, f.Geometry.Type, len(f.Geometry.Coordinates))
+		}
+		// Coordinates are lon/lat, near Beijing.
+		lon, lat := f.Geometry.Coordinates[0][0], f.Geometry.Coordinates[0][1]
+		if lon < 100 || lon > 130 || lat < 30 || lat > 50 {
+			t.Fatalf("feature %d coordinates %v,%v not in lon/lat", i, lon, lat)
+		}
+	}
+}

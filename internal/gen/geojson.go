@@ -1,0 +1,63 @@
+package gen
+
+import (
+	"encoding/json"
+	"io"
+	"os"
+
+	"repro/internal/geo"
+	"repro/internal/traj"
+)
+
+// GeoJSON export: trajectories as a FeatureCollection of LineStrings in
+// lon/lat coordinates, directly loadable by geojson.io, QGIS or Leaflet for
+// visual inspection of datasets and query results.
+
+type geoJSONFeatureCollection struct {
+	Type     string           `json:"type"`
+	Features []geoJSONFeature `json:"features"`
+}
+
+type geoJSONFeature struct {
+	Type       string          `json:"type"`
+	Properties map[string]any  `json:"properties"`
+	Geometry   geoJSONGeometry `json:"geometry"`
+}
+
+type geoJSONGeometry struct {
+	Type        string      `json:"type"`
+	Coordinates [][]float64 `json:"coordinates"`
+}
+
+// WriteGeoJSON serializes trajectories as a GeoJSON FeatureCollection,
+// denormalizing plane coordinates back to lon/lat.
+func WriteGeoJSON(w io.Writer, trajs []*traj.Trajectory) error {
+	fc := geoJSONFeatureCollection{Type: "FeatureCollection"}
+	for _, t := range trajs {
+		coords := make([][]float64, len(t.Points))
+		for i, p := range t.Points {
+			lon, lat := geo.DenormalizeLonLat(p)
+			coords[i] = []float64{lon, lat}
+		}
+		fc.Features = append(fc.Features, geoJSONFeature{
+			Type:       "Feature",
+			Properties: map[string]any{"id": t.ID, "points": len(t.Points)},
+			Geometry:   geoJSONGeometry{Type: "LineString", Coordinates: coords},
+		})
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(fc)
+}
+
+// WriteGeoJSONFile writes trajectories to a GeoJSON file.
+func WriteGeoJSONFile(path string, trajs []*traj.Trajectory) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := WriteGeoJSON(f, trajs); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

@@ -1,0 +1,102 @@
+package gen
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/geo"
+	"repro/internal/traj"
+)
+
+// Trajectory text format, one trajectory per line:
+//
+//	id x1 y1 x2 y2 ...
+//
+// Coordinates are normalized plane values. The format exists so cmd/trass
+// can move datasets between runs and users can feed their own data in.
+
+// Write streams trajectories to w in the text format.
+func Write(w io.Writer, trajs []*traj.Trajectory) error {
+	bw := bufio.NewWriterSize(w, 1<<20)
+	for _, t := range trajs {
+		if strings.ContainsAny(t.ID, " \n") {
+			return fmt.Errorf("gen: trajectory id %q contains whitespace", t.ID)
+		}
+		if _, err := bw.WriteString(t.ID); err != nil {
+			return err
+		}
+		for _, p := range t.Points {
+			if _, err := fmt.Fprintf(bw, " %.9f %.9f", p.X, p.Y); err != nil {
+				return err
+			}
+		}
+		if err := bw.WriteByte('\n'); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// WriteFile writes trajectories to a file.
+func WriteFile(path string, trajs []*traj.Trajectory) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := Write(f, trajs); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// Read parses trajectories from r.
+func Read(r io.Reader) ([]*traj.Trajectory, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<24)
+	var out []*traj.Trajectory
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 3 || len(fields)%2 == 0 {
+			return nil, fmt.Errorf("gen: line %d: need id plus coordinate pairs", lineNo)
+		}
+		id := fields[0]
+		pts := make([]geo.Point, 0, (len(fields)-1)/2)
+		for i := 1; i < len(fields); i += 2 {
+			x, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				return nil, fmt.Errorf("gen: line %d: bad x %q: %v", lineNo, fields[i], err)
+			}
+			y, err := strconv.ParseFloat(fields[i+1], 64)
+			if err != nil {
+				return nil, fmt.Errorf("gen: line %d: bad y %q: %v", lineNo, fields[i+1], err)
+			}
+			pts = append(pts, geo.Point{X: x, Y: y})
+		}
+		out = append(out, traj.New(id, pts))
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// ReadFile reads trajectories from a file.
+func ReadFile(path string) ([]*traj.Trajectory, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return Read(f)
+}

@@ -1,0 +1,88 @@
+package gen
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/geo"
+	"repro/internal/traj"
+)
+
+// Support for the real T-Drive release (if a user has it): one text file per
+// taxi, each line "taxi_id,YYYY-MM-DD HH:MM:SS,longitude,latitude". The
+// loader normalizes lon/lat onto the index plane and drops out-of-range
+// fixes, which the raw dataset is known to contain.
+
+// ReadTDriveCSV parses one taxi's file into a trajectory. The id parameter
+// names the trajectory (usually the file stem); the per-line taxi_id column
+// is ignored beyond validation.
+func ReadTDriveCSV(r io.Reader, id string) (*traj.Trajectory, error) {
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = 4
+	cr.ReuseRecord = true
+	var pts []geo.Point
+	line := 0
+	for {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		line++
+		if err != nil {
+			return nil, fmt.Errorf("gen: tdrive csv line %d: %w", line, err)
+		}
+		lon, err := strconv.ParseFloat(strings.TrimSpace(rec[2]), 64)
+		if err != nil {
+			return nil, fmt.Errorf("gen: tdrive csv line %d: bad longitude %q", line, rec[2])
+		}
+		lat, err := strconv.ParseFloat(strings.TrimSpace(rec[3]), 64)
+		if err != nil {
+			return nil, fmt.Errorf("gen: tdrive csv line %d: bad latitude %q", line, rec[3])
+		}
+		// The raw release contains GPS glitches far outside Earth bounds.
+		if lon < -180 || lon > 180 || lat < -90 || lat > 90 {
+			continue
+		}
+		pts = append(pts, geo.NormalizeLonLat(lon, lat))
+	}
+	if len(pts) == 0 {
+		return nil, fmt.Errorf("gen: tdrive csv: no usable points for %s", id)
+	}
+	return traj.New(id, pts), nil
+}
+
+// LoadTDriveDir loads every *.txt file of a T-Drive release directory, one
+// trajectory per taxi file, named by the file stem.
+func LoadTDriveDir(dir string) ([]*traj.Trajectory, error) {
+	names, err := filepath.Glob(filepath.Join(dir, "*.txt"))
+	if err != nil {
+		return nil, err
+	}
+	sort.Strings(names)
+	out := make([]*traj.Trajectory, 0, len(names))
+	for _, name := range names {
+		f, err := os.Open(name)
+		if err != nil {
+			return nil, err
+		}
+		id := strings.TrimSuffix(filepath.Base(name), ".txt")
+		tr, err := ReadTDriveCSV(f, id)
+		f.Close()
+		if err != nil {
+			// Some release files are empty; skip them rather than abort a
+			// multi-thousand-file load.
+			continue
+		}
+		out = append(out, tr)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("gen: no T-Drive trajectories found in %s", dir)
+	}
+	return out, nil
+}

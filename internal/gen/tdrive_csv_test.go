@@ -1,0 +1,84 @@
+package gen
+
+import (
+	"math"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const sampleTDrive = `1,2008-02-02 15:36:08,116.51172,39.92123
+1,2008-02-02 15:46:08,116.51135,39.93883
+1,2008-02-02 15:56:08,116.51627,39.91034
+`
+
+func TestReadTDriveCSV(t *testing.T) {
+	tr, err := ReadTDriveCSV(strings.NewReader(sampleTDrive), "taxi-1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.ID != "taxi-1" || tr.Len() != 3 {
+		t.Fatalf("trajectory: %v", tr)
+	}
+	lon, lat := 116.51172, 39.92123
+	p := tr.Points[0]
+	gotLon, gotLat := p.X*360-180, p.Y*180-90
+	if math.Abs(gotLon-lon) > 1e-9 || math.Abs(gotLat-lat) > 1e-9 {
+		t.Fatalf("first point decoded to %v,%v", gotLon, gotLat)
+	}
+}
+
+func TestReadTDriveCSVGlitches(t *testing.T) {
+	// A GPS glitch far outside Earth bounds is dropped, not fatal.
+	in := "1,2008-02-02 15:36:08,999.0,39.9\n" + sampleTDrive
+	tr, err := ReadTDriveCSV(strings.NewReader(in), "t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Len() != 3 {
+		t.Fatalf("glitch not dropped: %d points", tr.Len())
+	}
+}
+
+func TestReadTDriveCSVErrors(t *testing.T) {
+	cases := []string{
+		"",                          // empty file
+		"1,2008-01-01 00:00:00,x,1", // bad longitude
+		"1,2008-01-01 00:00:00,1,y", // bad latitude
+		"1,2,3",                     // wrong field count
+	}
+	for _, c := range cases {
+		if _, err := ReadTDriveCSV(strings.NewReader(c), "t"); err == nil {
+			t.Errorf("input %q must fail", c)
+		}
+	}
+}
+
+func TestLoadTDriveDir(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "1.txt"), []byte(sampleTDrive), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "2.txt"), []byte(sampleTDrive), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	// An empty taxi file is skipped, not fatal (the real release has them).
+	if err := os.WriteFile(filepath.Join(dir, "3.txt"), nil, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadTDriveDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 {
+		t.Fatalf("loaded %d trajectories, want 2", len(got))
+	}
+	if got[0].ID != "1" || got[1].ID != "2" {
+		t.Fatalf("ids: %s %s", got[0].ID, got[1].ID)
+	}
+	// Empty directory errors.
+	if _, err := LoadTDriveDir(t.TempDir()); err == nil {
+		t.Fatal("empty dir must fail")
+	}
+}

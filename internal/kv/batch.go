@@ -1,0 +1,77 @@
+package kv
+
+// Batch collects writes to apply atomically-in-order under one lock
+// acquisition and one WAL buffer flush — the bulk-load path. A Batch is not
+// safe for concurrent use; build it on one goroutine, then Apply it.
+type Batch struct {
+	entries []batchEntry
+	bytes   int
+}
+
+type batchEntry struct {
+	kind       byte
+	key, value []byte
+}
+
+// Put queues a key-value write. Key and value are copied.
+func (b *Batch) Put(key, value []byte) {
+	b.entries = append(b.entries, batchEntry{
+		kind:  kindValue,
+		key:   append([]byte(nil), key...),
+		value: append([]byte(nil), value...),
+	})
+	b.bytes += len(key) + len(value)
+}
+
+// Delete queues a tombstone.
+func (b *Batch) Delete(key []byte) {
+	b.entries = append(b.entries, batchEntry{
+		kind: kindTombstone,
+		key:  append([]byte(nil), key...),
+	})
+	b.bytes += len(key)
+}
+
+// Len returns the number of queued operations.
+func (b *Batch) Len() int { return len(b.entries) }
+
+// Reset empties the batch for reuse.
+func (b *Batch) Reset() {
+	b.entries = b.entries[:0]
+	b.bytes = 0
+}
+
+// Apply writes the whole batch. Later operations on the same key win, as if
+// applied in order.
+func (db *DB) Apply(b *Batch) error {
+	if b.Len() == 0 {
+		return nil
+	}
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if db.closed {
+		return ErrClosed
+	}
+	for _, e := range b.entries {
+		if len(e.key) == 0 {
+			return errEmptyKey
+		}
+		n, err := db.wal.append(e.kind, e.key, e.value)
+		if err != nil {
+			return err
+		}
+		db.stats.BytesWritten.Add(int64(n))
+		db.stats.Puts.Add(1)
+		// Batch entries were copied at queue time; the memtable can own them.
+		db.mem.set(e.key, e.value, e.kind)
+	}
+	if db.opts.SyncWrites {
+		if err := db.wal.sync(); err != nil {
+			return err
+		}
+	}
+	if db.mem.bytes >= db.opts.MemtableBytes {
+		return db.flushLocked()
+	}
+	return nil
+}

@@ -1,0 +1,88 @@
+package kv
+
+import "encoding/binary"
+
+// bloomFilter is a classic Bloom filter using double hashing (Kirsch &
+// Mitzenmacher): k probe positions derived from two 32-bit halves of a
+// 64-bit FNV-1a hash.
+type bloomFilter struct {
+	bits   []byte
+	nBits  uint32
+	hashes uint32
+}
+
+// bloomBitsPerKey gives roughly a 1% false-positive rate with 7 hashes.
+const (
+	bloomBitsPerKey = 10
+	bloomHashes     = 7
+)
+
+func newBloomFilter(expectedKeys int) *bloomFilter {
+	nBits := uint32(expectedKeys * bloomBitsPerKey)
+	if nBits < 64 {
+		nBits = 64
+	}
+	return &bloomFilter{
+		bits:   make([]byte, (nBits+7)/8),
+		nBits:  nBits,
+		hashes: bloomHashes,
+	}
+}
+
+func fnv64(data []byte) uint64 {
+	const (
+		offset = 14695981039346656037
+		prime  = 1099511628211
+	)
+	h := uint64(offset)
+	for _, b := range data {
+		h ^= uint64(b)
+		h *= prime
+	}
+	return h
+}
+
+func (f *bloomFilter) add(key []byte) {
+	h := fnv64(key)
+	h1, h2 := uint32(h), uint32(h>>32)
+	for i := uint32(0); i < f.hashes; i++ {
+		pos := (h1 + i*h2) % f.nBits
+		f.bits[pos/8] |= 1 << (pos % 8)
+	}
+}
+
+func (f *bloomFilter) mayContain(key []byte) bool {
+	h := fnv64(key)
+	h1, h2 := uint32(h), uint32(h>>32)
+	for i := uint32(0); i < f.hashes; i++ {
+		pos := (h1 + i*h2) % f.nBits
+		if f.bits[pos/8]&(1<<(pos%8)) == 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// encode serializes the filter: nBits, hashes, bits.
+func (f *bloomFilter) encode() []byte {
+	out := make([]byte, 8+len(f.bits))
+	binary.LittleEndian.PutUint32(out[0:4], f.nBits)
+	binary.LittleEndian.PutUint32(out[4:8], f.hashes)
+	copy(out[8:], f.bits)
+	return out
+}
+
+func decodeBloomFilter(buf []byte) (*bloomFilter, bool) {
+	if len(buf) < 8 {
+		return nil, false
+	}
+	nBits := binary.LittleEndian.Uint32(buf[0:4])
+	hashes := binary.LittleEndian.Uint32(buf[4:8])
+	bits := buf[8:]
+	if uint32(len(bits)) != (nBits+7)/8 || hashes == 0 || hashes > 32 {
+		return nil, false
+	}
+	cp := make([]byte, len(bits))
+	copy(cp, bits)
+	return &bloomFilter{bits: cp, nBits: nBits, hashes: hashes}, true
+}

@@ -1,0 +1,182 @@
+package kv
+
+import (
+	"bytes"
+	"container/heap"
+)
+
+// kvIter is the internal iterator contract shared by memtable snapshots and
+// SSTable iterators: entries in ascending key order, each with a kind.
+type kvIter interface {
+	Next() bool
+	Key() []byte
+	Value() []byte
+	Kind() byte
+	Err() error
+	Close() error
+}
+
+// memSnapshotIter iterates a point-in-time copy of the memtable's entries in
+// a key range. The copy is taken under the store lock, so later writes cannot
+// disturb an open scan.
+type memSnapshotIter struct {
+	entries []snapEntry
+	i       int
+}
+
+type snapEntry struct {
+	key, value []byte
+	kind       byte
+}
+
+func snapshotMem(mem *skiplist, start, end []byte) *memSnapshotIter {
+	var entries []snapEntry
+	it := mem.iter(start, end)
+	for it.Next() {
+		entries = append(entries, snapEntry{
+			key:   append([]byte(nil), it.Key()...),
+			value: append([]byte(nil), it.Value()...),
+			kind:  it.Kind(),
+		})
+	}
+	return &memSnapshotIter{entries: entries, i: -1}
+}
+
+func (m *memSnapshotIter) Next() bool {
+	m.i++
+	return m.i < len(m.entries)
+}
+func (m *memSnapshotIter) Key() []byte   { return m.entries[m.i].key }
+func (m *memSnapshotIter) Value() []byte { return m.entries[m.i].value }
+func (m *memSnapshotIter) Kind() byte    { return m.entries[m.i].kind }
+func (m *memSnapshotIter) Err() error    { return nil }
+func (m *memSnapshotIter) Close() error  { m.entries = nil; return nil }
+
+// mergeSource is one input of the merge heap. priority breaks key ties:
+// lower = newer data wins.
+type mergeSource struct {
+	it       kvIter
+	priority int
+	valid    bool
+}
+
+type mergeHeap []*mergeSource
+
+func (h mergeHeap) Len() int { return len(h) }
+func (h mergeHeap) Less(i, j int) bool {
+	c := bytes.Compare(h[i].it.Key(), h[j].it.Key())
+	if c != 0 {
+		return c < 0
+	}
+	return h[i].priority < h[j].priority
+}
+func (h mergeHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *mergeHeap) Push(x any)   { *h = append(*h, x.(*mergeSource)) }
+func (h *mergeHeap) Pop() any {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+// mergeIter merges several kvIters into one Iterator, resolving key versions
+// (newest wins) and dropping tombstones. It also releases the SSTable
+// references it holds when closed.
+type mergeIter struct {
+	h        mergeHeap
+	stats    *Stats
+	key      []byte
+	value    []byte
+	kind     byte
+	lastKey  []byte
+	hasLast  bool
+	err      error
+	closed   bool
+	releases []func()
+	// keepTombstones surfaces tombstones instead of dropping them — the
+	// partial-compaction path needs them to keep shadowing older tables.
+	keepTombstones bool
+}
+
+func newMergeIter(sources []kvIter, stats *Stats, releases []func()) *mergeIter {
+	m := &mergeIter{stats: stats, releases: releases}
+	for pri, it := range sources {
+		src := &mergeSource{it: it, priority: pri}
+		if it.Next() {
+			m.h = append(m.h, src)
+		} else if err := it.Err(); err != nil {
+			m.err = err
+		}
+	}
+	heap.Init(&m.h)
+	return m
+}
+
+func (m *mergeIter) Next() bool {
+	if m.err != nil || m.closed {
+		return false
+	}
+	for len(m.h) > 0 {
+		src := m.h[0]
+		key := src.it.Key()
+		value := src.it.Value()
+		kind := src.it.Kind()
+		if m.stats != nil {
+			m.stats.EntriesWalked.Add(1)
+		}
+
+		shadowed := m.hasLast && bytes.Equal(key, m.lastKey)
+		if !shadowed {
+			m.lastKey = append(m.lastKey[:0], key...)
+			m.hasLast = true
+		}
+		// Copy out before advancing: advancing an SSTable iterator can load a
+		// new block and invalidate the slices it handed us.
+		emit := !shadowed && (m.keepTombstones || kind != kindTombstone)
+		if emit {
+			m.key = append(m.key[:0], key...)
+			m.value = append(m.value[:0], value...)
+			m.kind = kind
+		}
+
+		if src.it.Next() {
+			heap.Fix(&m.h, 0)
+		} else {
+			if err := src.it.Err(); err != nil {
+				m.err = err
+				return false
+			}
+			heap.Pop(&m.h)
+		}
+
+		if !emit {
+			continue
+		}
+		if m.stats != nil {
+			m.stats.EntriesRead.Add(1)
+		}
+		return true
+	}
+	return false
+}
+
+func (m *mergeIter) Key() []byte   { return m.key }
+func (m *mergeIter) Value() []byte { return m.value }
+func (m *mergeIter) Err() error    { return m.err }
+
+func (m *mergeIter) Close() error {
+	if m.closed {
+		return nil
+	}
+	m.closed = true
+	for _, src := range m.h {
+		src.it.Close()
+	}
+	m.h = nil
+	for _, rel := range m.releases {
+		rel()
+	}
+	m.releases = nil
+	return nil
+}

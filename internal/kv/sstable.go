@@ -1,0 +1,475 @@
+package kv
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"sort"
+	"sync/atomic"
+)
+
+// SSTable format:
+//
+//	[data block]* [index block] [bloom block] [footer]
+//
+// A data block is a run of entries `kind | klen | key | vlen | value`
+// (varint lengths), cut at targetBlockSize. The index block holds one entry
+// per data block: first key, file offset, length and CRC. The footer is
+// fixed-size so a reader can find everything from the end of the file.
+
+const (
+	targetBlockSize = 4 << 10
+	footerSize      = 48
+	tableMagic      = 0x7452615353746266 // "tRaSStbf"
+)
+
+// sstWriter streams sorted entries into an SSTable file.
+type sstWriter struct {
+	f       *os.File
+	w       *bufio.Writer
+	off     int64
+	block   []byte
+	index   []indexEntry
+	bloom   *bloomFilter
+	count   int64
+	lastKey []byte
+	first   bool
+}
+
+type indexEntry struct {
+	firstKey []byte
+	offset   int64
+	length   int64
+	crc      uint32
+}
+
+func newSSTWriter(path string, expectedKeys int) (*sstWriter, error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, fmt.Errorf("kv: create sstable: %w", err)
+	}
+	return &sstWriter{
+		f:     f,
+		w:     bufio.NewWriterSize(f, 256<<10),
+		bloom: newBloomFilter(expectedKeys),
+		first: true,
+	}, nil
+}
+
+// add appends an entry; keys must arrive in strictly ascending order.
+func (sw *sstWriter) add(kind byte, key, value []byte) error {
+	if !sw.first && bytes.Compare(key, sw.lastKey) <= 0 {
+		return fmt.Errorf("kv: sstable keys out of order: %q after %q", key, sw.lastKey)
+	}
+	sw.first = false
+	sw.lastKey = append(sw.lastKey[:0], key...)
+
+	if len(sw.block) == 0 {
+		sw.index = append(sw.index, indexEntry{
+			firstKey: append([]byte(nil), key...),
+			offset:   sw.off,
+		})
+	}
+	sw.block = append(sw.block, kind)
+	sw.block = binary.AppendUvarint(sw.block, uint64(len(key)))
+	sw.block = append(sw.block, key...)
+	sw.block = binary.AppendUvarint(sw.block, uint64(len(value)))
+	sw.block = append(sw.block, value...)
+	sw.bloom.add(key)
+	sw.count++
+
+	if len(sw.block) >= targetBlockSize {
+		return sw.finishBlock()
+	}
+	return nil
+}
+
+func (sw *sstWriter) finishBlock() error {
+	if len(sw.block) == 0 {
+		return nil
+	}
+	ie := &sw.index[len(sw.index)-1]
+	ie.length = int64(len(sw.block))
+	ie.crc = crc32.ChecksumIEEE(sw.block)
+	if _, err := sw.w.Write(sw.block); err != nil {
+		return err
+	}
+	sw.off += int64(len(sw.block))
+	sw.block = sw.block[:0]
+	return nil
+}
+
+// finish writes the index, bloom filter and footer and closes the file. It
+// returns the total file size.
+func (sw *sstWriter) finish() (int64, error) {
+	if err := sw.finishBlock(); err != nil {
+		sw.f.Close()
+		return 0, err
+	}
+	indexOff := sw.off
+	var idx []byte
+	for _, ie := range sw.index {
+		idx = binary.AppendUvarint(idx, uint64(len(ie.firstKey)))
+		idx = append(idx, ie.firstKey...)
+		idx = binary.AppendUvarint(idx, uint64(ie.offset))
+		idx = binary.AppendUvarint(idx, uint64(ie.length))
+		idx = binary.AppendUvarint(idx, uint64(ie.crc))
+	}
+	if _, err := sw.w.Write(idx); err != nil {
+		sw.f.Close()
+		return 0, err
+	}
+	bloomOff := indexOff + int64(len(idx))
+	bl := sw.bloom.encode()
+	if _, err := sw.w.Write(bl); err != nil {
+		sw.f.Close()
+		return 0, err
+	}
+
+	var footer [footerSize]byte
+	binary.LittleEndian.PutUint64(footer[0:8], uint64(indexOff))
+	binary.LittleEndian.PutUint64(footer[8:16], uint64(len(idx)))
+	binary.LittleEndian.PutUint64(footer[16:24], uint64(bloomOff))
+	binary.LittleEndian.PutUint64(footer[24:32], uint64(len(bl)))
+	binary.LittleEndian.PutUint64(footer[32:40], uint64(sw.count))
+	binary.LittleEndian.PutUint64(footer[40:48], tableMagic)
+	if _, err := sw.w.Write(footer[:]); err != nil {
+		sw.f.Close()
+		return 0, err
+	}
+	if err := sw.w.Flush(); err != nil {
+		sw.f.Close()
+		return 0, err
+	}
+	if err := sw.f.Sync(); err != nil {
+		sw.f.Close()
+		return 0, err
+	}
+	size := bloomOff + int64(len(bl)) + footerSize
+	return size, sw.f.Close()
+}
+
+func (sw *sstWriter) abort() {
+	name := sw.f.Name()
+	sw.f.Close()
+	os.Remove(name)
+}
+
+// sstReader serves point and range reads from one SSTable. The block index
+// and bloom filter stay in memory; data blocks are read on demand. Readers
+// are reference-counted: open scans retain them so a concurrent compaction
+// cannot close or delete the file out from under an iterator.
+type sstReader struct {
+	f        *os.File
+	path     string
+	seq      uint64 // file sequence number: larger = newer data
+	index    []indexEntry
+	bloom    *bloomFilter
+	count    int64
+	stats    *Stats
+	cache    *blockCache // shared per-DB; nil disables caching
+	refs     atomic.Int32
+	obsolete atomic.Bool // remove the file once the last reference drops
+}
+
+func (sr *sstReader) retain() { sr.refs.Add(1) }
+
+// release drops one reference; the last drop closes the file and, for
+// compacted-away tables, removes it from disk.
+func (sr *sstReader) release() {
+	if sr.refs.Add(-1) > 0 {
+		return
+	}
+	sr.f.Close()
+	if sr.obsolete.Load() {
+		os.Remove(sr.path)
+	}
+}
+
+func openSSTable(path string, seq uint64, stats *Stats, cache *blockCache) (*sstReader, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("kv: open sstable: %w", err)
+	}
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	if st.Size() < footerSize {
+		f.Close()
+		return nil, fmt.Errorf("kv: sstable %s too small", path)
+	}
+	var footer [footerSize]byte
+	if _, err := f.ReadAt(footer[:], st.Size()-footerSize); err != nil {
+		f.Close()
+		return nil, err
+	}
+	if binary.LittleEndian.Uint64(footer[40:48]) != tableMagic {
+		f.Close()
+		return nil, fmt.Errorf("kv: sstable %s has bad magic", path)
+	}
+	indexOff := int64(binary.LittleEndian.Uint64(footer[0:8]))
+	indexLen := int64(binary.LittleEndian.Uint64(footer[8:16]))
+	bloomOff := int64(binary.LittleEndian.Uint64(footer[16:24]))
+	bloomLen := int64(binary.LittleEndian.Uint64(footer[24:32]))
+	count := int64(binary.LittleEndian.Uint64(footer[32:40]))
+	if indexOff < 0 || indexLen < 0 || bloomOff < 0 || bloomLen < 0 ||
+		indexOff+indexLen > st.Size() || bloomOff+bloomLen > st.Size() {
+		f.Close()
+		return nil, fmt.Errorf("kv: sstable %s has corrupt footer", path)
+	}
+
+	idxBuf := make([]byte, indexLen)
+	if _, err := f.ReadAt(idxBuf, indexOff); err != nil {
+		f.Close()
+		return nil, err
+	}
+	var index []indexEntry
+	for len(idxBuf) > 0 {
+		klen, sz := binary.Uvarint(idxBuf)
+		if sz <= 0 || uint64(len(idxBuf)-sz) < klen {
+			f.Close()
+			return nil, fmt.Errorf("kv: sstable %s has corrupt index", path)
+		}
+		idxBuf = idxBuf[sz:]
+		key := append([]byte(nil), idxBuf[:klen]...)
+		idxBuf = idxBuf[klen:]
+		var vals [3]uint64
+		for i := range vals {
+			v, sz := binary.Uvarint(idxBuf)
+			if sz <= 0 {
+				f.Close()
+				return nil, fmt.Errorf("kv: sstable %s has corrupt index", path)
+			}
+			idxBuf = idxBuf[sz:]
+			vals[i] = v
+		}
+		index = append(index, indexEntry{
+			firstKey: key,
+			offset:   int64(vals[0]),
+			length:   int64(vals[1]),
+			crc:      uint32(vals[2]),
+		})
+	}
+
+	blBuf := make([]byte, bloomLen)
+	if _, err := f.ReadAt(blBuf, bloomOff); err != nil {
+		f.Close()
+		return nil, err
+	}
+	bloom, ok := decodeBloomFilter(blBuf)
+	if !ok {
+		f.Close()
+		return nil, fmt.Errorf("kv: sstable %s has corrupt bloom filter", path)
+	}
+	return &sstReader{f: f, path: path, seq: seq, index: index, bloom: bloom, count: count, stats: stats, cache: cache}, nil
+}
+
+func (sr *sstReader) close() error { return sr.f.Close() }
+
+// readBlock fetches and verifies data block i, consulting the block cache
+// first. Returned blocks may be shared with other readers: treat as
+// read-only.
+func (sr *sstReader) readBlock(i int) ([]byte, error) {
+	key := blockKey{seq: sr.seq, block: i}
+	if sr.cache != nil {
+		if buf := sr.cache.get(key); buf != nil {
+			sr.stats.CacheHits.Add(1)
+			return buf, nil
+		}
+	}
+	ie := sr.index[i]
+	buf := make([]byte, ie.length)
+	if _, err := sr.f.ReadAt(buf, ie.offset); err != nil {
+		return nil, fmt.Errorf("kv: read block: %w", err)
+	}
+	if crc32.ChecksumIEEE(buf) != ie.crc {
+		return nil, fmt.Errorf("kv: sstable %s block %d checksum mismatch", sr.path, i)
+	}
+	sr.stats.BlocksRead.Add(1)
+	sr.stats.BytesRead.Add(ie.length)
+	if sr.cache != nil {
+		sr.cache.put(key, buf)
+	}
+	return buf, nil
+}
+
+// verifyBlock re-reads block i from disk (bypassing the cache) and checks
+// its checksum.
+func (sr *sstReader) verifyBlock(i int) error {
+	ie := sr.index[i]
+	buf := make([]byte, ie.length)
+	if _, err := sr.f.ReadAt(buf, ie.offset); err != nil {
+		return fmt.Errorf("kv: verify read: %w", err)
+	}
+	if crc32.ChecksumIEEE(buf) != ie.crc {
+		return fmt.Errorf("kv: sstable %s block %d checksum mismatch", sr.path, i)
+	}
+	return nil
+}
+
+// blockFor returns the index of the block that could contain key: the last
+// block whose first key is <= key.
+func (sr *sstReader) blockFor(key []byte) int {
+	i := sort.Search(len(sr.index), func(i int) bool {
+		return bytes.Compare(sr.index[i].firstKey, key) > 0
+	})
+	return i - 1
+}
+
+// get performs a point lookup. Returns (value, kind, found, error).
+func (sr *sstReader) get(key []byte) ([]byte, byte, bool, error) {
+	if !sr.bloom.mayContain(key) {
+		sr.stats.BloomNegative.Add(1)
+		return nil, 0, false, nil
+	}
+	bi := sr.blockFor(key)
+	if bi < 0 {
+		return nil, 0, false, nil
+	}
+	block, err := sr.readBlock(bi)
+	if err != nil {
+		return nil, 0, false, err
+	}
+	for pos := 0; pos < len(block); {
+		kind, k, v, next, err := decodeEntry(block, pos)
+		if err != nil {
+			return nil, 0, false, err
+		}
+		switch bytes.Compare(k, key) {
+		case 0:
+			return v, kind, true, nil
+		case 1:
+			return nil, 0, false, nil
+		}
+		pos = next
+	}
+	return nil, 0, false, nil
+}
+
+// decodeEntry parses one entry at pos, returning the next position.
+func decodeEntry(block []byte, pos int) (kind byte, key, value []byte, next int, err error) {
+	if pos >= len(block) {
+		return 0, nil, nil, 0, fmt.Errorf("kv: entry out of block bounds")
+	}
+	kind = block[pos]
+	pos++
+	klen, sz := binary.Uvarint(block[pos:])
+	if sz <= 0 || pos+sz+int(klen) > len(block) {
+		return 0, nil, nil, 0, fmt.Errorf("kv: corrupt entry key")
+	}
+	pos += sz
+	key = block[pos : pos+int(klen)]
+	pos += int(klen)
+	vlen, sz := binary.Uvarint(block[pos:])
+	if sz <= 0 || pos+sz+int(vlen) > len(block) {
+		return 0, nil, nil, 0, fmt.Errorf("kv: corrupt entry value")
+	}
+	pos += sz
+	value = block[pos : pos+int(vlen)]
+	pos += int(vlen)
+	return kind, key, value, pos, nil
+}
+
+// sstIter iterates one SSTable over [start, end).
+type sstIter struct {
+	sr       *sstReader
+	blockIdx int
+	block    []byte
+	pos      int
+	start    []byte
+	end      []byte
+	kind     byte
+	key      []byte
+	value    []byte
+	err      error
+	started  bool
+}
+
+func (sr *sstReader) iter(start, end []byte) *sstIter {
+	return &sstIter{sr: sr, start: start, end: end}
+}
+
+func (it *sstIter) Next() bool {
+	if it.err != nil {
+		return false
+	}
+	if !it.started {
+		it.started = true
+		bi := 0
+		if it.start != nil {
+			if bi = it.sr.blockFor(it.start); bi < 0 {
+				bi = 0
+			}
+		}
+		it.blockIdx = bi
+		if !it.loadBlock() {
+			return false
+		}
+		// Skip entries before start inside the first block.
+		for {
+			if !it.step() {
+				return false
+			}
+			if it.start == nil || bytes.Compare(it.key, it.start) >= 0 {
+				break
+			}
+		}
+		return it.checkEnd()
+	}
+	if !it.step() {
+		return false
+	}
+	return it.checkEnd()
+}
+
+func (it *sstIter) checkEnd() bool {
+	if it.end != nil && bytes.Compare(it.key, it.end) >= 0 {
+		it.block = nil
+		it.blockIdx = len(it.sr.index)
+		return false
+	}
+	return true
+}
+
+// loadBlock reads block blockIdx; false when past the last block.
+func (it *sstIter) loadBlock() bool {
+	if it.blockIdx >= len(it.sr.index) {
+		return false
+	}
+	block, err := it.sr.readBlock(it.blockIdx)
+	if err != nil {
+		it.err = err
+		return false
+	}
+	it.block = block
+	it.pos = 0
+	return true
+}
+
+// step advances one entry, crossing block boundaries.
+func (it *sstIter) step() bool {
+	for it.pos >= len(it.block) {
+		it.blockIdx++
+		if !it.loadBlock() {
+			return false
+		}
+	}
+	kind, k, v, next, err := decodeEntry(it.block, it.pos)
+	if err != nil {
+		it.err = err
+		return false
+	}
+	it.kind, it.key, it.value, it.pos = kind, k, v, next
+	return true
+}
+
+func (it *sstIter) Key() []byte   { return it.key }
+func (it *sstIter) Value() []byte { return it.value }
+func (it *sstIter) Kind() byte    { return it.kind }
+func (it *sstIter) Err() error    { return it.err }
+func (it *sstIter) Close() error  { it.block = nil; return nil }

@@ -1,0 +1,464 @@
+package kv
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// Options configure a store.
+type Options struct {
+	// Dir is the directory holding the WAL and SSTables. Created if missing.
+	Dir string
+	// MemtableBytes is the flush threshold. Default 4 MiB.
+	MemtableBytes int
+	// CompactAt triggers a full compaction when the SSTable count reaches
+	// this value. Default 6. Zero keeps the default; negative disables
+	// automatic compaction.
+	CompactAt int
+	// SyncWrites fsyncs the WAL on every write. Default off: the evaluation
+	// workloads are bulk loads where group durability is what HBase offers
+	// too.
+	SyncWrites bool
+	// BlockCacheBytes sizes the per-store LRU block cache. Default 8 MiB;
+	// negative disables caching.
+	BlockCacheBytes int64
+}
+
+func (o *Options) withDefaults() Options {
+	out := *o
+	if out.MemtableBytes <= 0 {
+		out.MemtableBytes = 4 << 20
+	}
+	if out.CompactAt == 0 {
+		out.CompactAt = 6
+	}
+	if out.BlockCacheBytes == 0 {
+		out.BlockCacheBytes = 8 << 20
+	}
+	return out
+}
+
+// DB is a single-node LSM store. All methods are safe for concurrent use.
+type DB struct {
+	opts Options
+
+	mu      sync.Mutex
+	mem     *skiplist
+	wal     *wal
+	tables  []*sstReader // newest first
+	nextSeq uint64
+	closed  bool
+
+	cache *blockCache // nil when disabled
+	stats Stats
+}
+
+const walName = "wal.log"
+
+// Open opens (or creates) a store in opts.Dir, replaying any WAL left behind
+// by an unclean shutdown.
+func Open(opts Options) (*DB, error) {
+	opts = opts.withDefaults()
+	if opts.Dir == "" {
+		return nil, fmt.Errorf("kv: Options.Dir is required")
+	}
+	if err := os.MkdirAll(opts.Dir, 0o755); err != nil {
+		return nil, fmt.Errorf("kv: create dir: %w", err)
+	}
+	db := &DB{opts: opts, mem: newSkiplist(1), nextSeq: 1}
+	if opts.BlockCacheBytes > 0 {
+		db.cache = newBlockCache(opts.BlockCacheBytes)
+	}
+
+	// Discover existing SSTables.
+	names, err := filepath.Glob(filepath.Join(opts.Dir, "*.sst"))
+	if err != nil {
+		return nil, err
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		base := strings.TrimSuffix(filepath.Base(name), ".sst")
+		seq, err := strconv.ParseUint(base, 10, 64)
+		if err != nil {
+			continue // not one of ours
+		}
+		sr, err := openSSTable(name, seq, &db.stats, db.cache)
+		if err != nil {
+			for _, t := range db.tables {
+				t.release()
+			}
+			return nil, err
+		}
+		sr.retain()
+		db.tables = append(db.tables, sr)
+		if seq >= db.nextSeq {
+			db.nextSeq = seq + 1
+		}
+	}
+	// Newest first so the merge heap prefers fresher versions.
+	sort.Slice(db.tables, func(i, j int) bool { return db.tables[i].seq > db.tables[j].seq })
+
+	// Replay the WAL into the memtable.
+	walPath := filepath.Join(opts.Dir, walName)
+	if err := replayWAL(walPath, func(kind byte, key, value []byte) {
+		k := append([]byte(nil), key...)
+		v := append([]byte(nil), value...)
+		db.mem.set(k, v, kind)
+	}); err != nil {
+		db.releaseAll()
+		return nil, err
+	}
+	w, err := openWAL(walPath)
+	if err != nil {
+		db.releaseAll()
+		return nil, err
+	}
+	db.wal = w
+	return db, nil
+}
+
+func (db *DB) releaseAll() {
+	for _, t := range db.tables {
+		t.release()
+	}
+	db.tables = nil
+}
+
+// Put stores a key-value pair.
+func (db *DB) Put(key, value []byte) error {
+	return db.write(kindValue, key, value)
+}
+
+// Delete removes a key (by writing a tombstone).
+func (db *DB) Delete(key []byte) error {
+	return db.write(kindTombstone, key, nil)
+}
+
+func (db *DB) write(kind byte, key, value []byte) error {
+	if len(key) == 0 {
+		return errEmptyKey
+	}
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if db.closed {
+		return ErrClosed
+	}
+	n, err := db.wal.append(kind, key, value)
+	if err != nil {
+		return fmt.Errorf("kv: wal append: %w", err)
+	}
+	if db.opts.SyncWrites {
+		if err := db.wal.sync(); err != nil {
+			return fmt.Errorf("kv: wal sync: %w", err)
+		}
+	}
+	db.stats.BytesWritten.Add(int64(n))
+	db.stats.Puts.Add(1)
+	k := append([]byte(nil), key...)
+	v := append([]byte(nil), value...)
+	db.mem.set(k, v, kind)
+	if db.mem.bytes >= db.opts.MemtableBytes {
+		return db.flushLocked()
+	}
+	return nil
+}
+
+// Get returns the value for key, or ErrNotFound.
+func (db *DB) Get(key []byte) ([]byte, error) {
+	db.mu.Lock()
+	if db.closed {
+		db.mu.Unlock()
+		return nil, ErrClosed
+	}
+	db.stats.Gets.Add(1)
+	if n := db.mem.get(key); n != nil {
+		var out []byte
+		notFound := n.kind == kindTombstone
+		if !notFound {
+			out = append([]byte(nil), n.value...)
+		}
+		db.mu.Unlock()
+		if notFound {
+			return nil, ErrNotFound
+		}
+		return out, nil
+	}
+	// Retain the current table set, then search outside the lock.
+	tables := make([]*sstReader, len(db.tables))
+	copy(tables, db.tables)
+	for _, t := range tables {
+		t.retain()
+	}
+	db.mu.Unlock()
+	defer func() {
+		for _, t := range tables {
+			t.release()
+		}
+	}()
+	for _, t := range tables {
+		v, kind, found, err := t.get(key)
+		if err != nil {
+			return nil, err
+		}
+		if found {
+			if kind == kindTombstone {
+				return nil, ErrNotFound
+			}
+			return append([]byte(nil), v...), nil
+		}
+	}
+	return nil, ErrNotFound
+}
+
+// Scan returns an iterator over [start, end); nil bounds are open. The
+// iterator sees a snapshot of the memtable and the table set as of the call.
+func (db *DB) Scan(start, end []byte) Iterator {
+	db.mu.Lock()
+	if db.closed {
+		db.mu.Unlock()
+		return &errIter{err: ErrClosed}
+	}
+	db.stats.Scans.Add(1)
+	sources := []kvIter{snapshotMem(db.mem, start, end)}
+	releases := make([]func(), 0, len(db.tables))
+	for _, t := range db.tables {
+		t.retain()
+		tt := t
+		releases = append(releases, func() { tt.release() })
+		sources = append(sources, t.iter(start, end))
+	}
+	db.mu.Unlock()
+	return newMergeIter(sources, &db.stats, releases)
+}
+
+// Flush persists the memtable to a new SSTable and truncates the WAL.
+func (db *DB) Flush() error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if db.closed {
+		return ErrClosed
+	}
+	return db.flushLocked()
+}
+
+func (db *DB) flushLocked() error {
+	if db.mem.length == 0 {
+		return nil
+	}
+	seq := db.nextSeq
+	path := filepath.Join(db.opts.Dir, fmt.Sprintf("%012d.sst", seq))
+	sw, err := newSSTWriter(path, db.mem.length)
+	if err != nil {
+		return err
+	}
+	it := db.mem.iter(nil, nil)
+	for it.Next() {
+		if err := sw.add(it.Kind(), it.Key(), it.Value()); err != nil {
+			sw.abort()
+			return err
+		}
+	}
+	size, err := sw.finish()
+	if err != nil {
+		return err
+	}
+	sr, err := openSSTable(path, seq, &db.stats, db.cache)
+	if err != nil {
+		return err
+	}
+	sr.retain()
+	db.nextSeq++
+	db.stats.BytesWritten.Add(size)
+	db.stats.Flushes.Add(1)
+	db.tables = append([]*sstReader{sr}, db.tables...)
+	db.mem = newSkiplist(int64(seq))
+
+	// The WAL's contents are durable in the SSTable now.
+	if err := db.wal.close(); err != nil {
+		return err
+	}
+	walPath := filepath.Join(db.opts.Dir, walName)
+	if err := os.Remove(walPath); err != nil && !os.IsNotExist(err) {
+		return err
+	}
+	w, err := openWAL(walPath)
+	if err != nil {
+		return err
+	}
+	db.wal = w
+
+	if db.opts.CompactAt > 0 && len(db.tables) >= db.opts.CompactAt {
+		return db.compactTablesLocked(db.pickTierLocked())
+	}
+	return nil
+}
+
+// pickTierLocked chooses how many of the newest tables to merge: the longest
+// newest-first prefix in which no table dwarfs the data accumulated so far
+// (size-tiered compaction). Merging stops before a much larger, older table
+// so steady-state write amplification stays logarithmic instead of linear.
+func (db *DB) pickTierLocked() int {
+	n := 1
+	acc := db.tables[0].count
+	for n < len(db.tables) && db.tables[n].count <= 4*acc {
+		acc += db.tables[n].count
+		n++
+	}
+	if n < 2 {
+		n = 2 // merging a single table is a no-op; take the next one along
+	}
+	if n > len(db.tables) {
+		n = len(db.tables)
+	}
+	return n
+}
+
+// Compact merges every SSTable into one, dropping shadowed versions and
+// tombstones. The memtable is flushed first.
+func (db *DB) Compact() error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if db.closed {
+		return ErrClosed
+	}
+	if db.mem.length > 0 {
+		if err := db.flushLocked(); err != nil {
+			return err
+		}
+	}
+	return db.compactTablesLocked(len(db.tables))
+}
+
+// compactTablesLocked merges the n newest tables into one. Tombstones are
+// dropped only when every table participates — a partial merge must keep
+// them so they continue to shadow versions in the older tables.
+func (db *DB) compactTablesLocked(n int) error {
+	if n > len(db.tables) {
+		n = len(db.tables)
+	}
+	if n <= 1 {
+		return nil
+	}
+	full := n == len(db.tables)
+	victims := db.tables[:n]
+
+	sources := make([]kvIter, 0, n)
+	var total int64
+	for _, t := range victims {
+		sources = append(sources, t.iter(nil, nil))
+		total += t.count
+	}
+	seq := db.nextSeq
+	path := filepath.Join(db.opts.Dir, fmt.Sprintf("%012d.sst", seq))
+	sw, err := newSSTWriter(path, int(total))
+	if err != nil {
+		return err
+	}
+	merged := newMergeIter(sources, nil, nil)
+	merged.keepTombstones = !full
+	for merged.Next() {
+		if err := sw.add(merged.kind, merged.Key(), merged.Value()); err != nil {
+			sw.abort()
+			merged.Close()
+			return err
+		}
+	}
+	if err := merged.Err(); err != nil {
+		sw.abort()
+		merged.Close()
+		return err
+	}
+	merged.Close()
+	size, err := sw.finish()
+	if err != nil {
+		return err
+	}
+	sr, err := openSSTable(path, seq, &db.stats, db.cache)
+	if err != nil {
+		return err
+	}
+	sr.retain()
+	db.nextSeq++
+	db.stats.BytesWritten.Add(size)
+	db.stats.Compactions.Add(1)
+	remainder := db.tables[n:]
+	db.tables = append([]*sstReader{sr}, remainder...)
+	for _, t := range victims {
+		t.obsolete.Store(true)
+		if db.cache != nil {
+			db.cache.dropTable(t.seq)
+		}
+		t.release()
+	}
+	return nil
+}
+
+// Verify walks every SSTable block and checks its checksum, returning the
+// first corruption found. The memtable and WAL are not covered (the WAL
+// self-verifies on replay). Useful after copying store directories around.
+func (db *DB) Verify() error {
+	db.mu.Lock()
+	if db.closed {
+		db.mu.Unlock()
+		return ErrClosed
+	}
+	tables := make([]*sstReader, len(db.tables))
+	copy(tables, db.tables)
+	for _, t := range tables {
+		t.retain()
+	}
+	db.mu.Unlock()
+	defer func() {
+		for _, t := range tables {
+			t.release()
+		}
+	}()
+	for _, t := range tables {
+		for i := range t.index {
+			if err := t.verifyBlock(i); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// Stats returns a snapshot of the store's I/O counters.
+func (db *DB) Stats() StatsSnapshot {
+	return db.stats.snapshot()
+}
+
+// Tables returns the current SSTable count (for tests and monitoring).
+func (db *DB) Tables() int {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	return len(db.tables)
+}
+
+// Close flushes the WAL buffer and releases every table. Open iterators keep
+// their retained tables alive until they are closed.
+func (db *DB) Close() error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if db.closed {
+		return nil
+	}
+	db.closed = true
+	err := db.wal.close()
+	db.releaseAll()
+	return err
+}
+
+// errIter is an Iterator that immediately fails with a fixed error.
+type errIter struct{ err error }
+
+func (e *errIter) Next() bool    { return false }
+func (e *errIter) Key() []byte   { return nil }
+func (e *errIter) Value() []byte { return nil }
+func (e *errIter) Err() error    { return e.err }
+func (e *errIter) Close() error  { return nil }

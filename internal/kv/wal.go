@@ -1,0 +1,125 @@
+package kv
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+)
+
+// Write-ahead log. Records are framed as
+//
+//	crc32(payload) uint32 | payloadLen uint32 | payload
+//
+// where payload = kind byte | klen uvarint | key | vlen uvarint | value.
+// Replay stops silently at the first torn or corrupt record: everything
+// before it was acknowledged durable, everything after was not.
+
+type wal struct {
+	f    *os.File
+	w    *bufio.Writer
+	size int64
+}
+
+func openWAL(path string) (*wal, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("kv: open wal: %w", err)
+	}
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, fmt.Errorf("kv: stat wal: %w", err)
+	}
+	return &wal{f: f, w: bufio.NewWriterSize(f, 64<<10), size: st.Size()}, nil
+}
+
+func (w *wal) append(kind byte, key, value []byte) (int, error) {
+	payload := make([]byte, 0, 1+2*binary.MaxVarintLen32+len(key)+len(value))
+	payload = append(payload, kind)
+	payload = binary.AppendUvarint(payload, uint64(len(key)))
+	payload = append(payload, key...)
+	payload = binary.AppendUvarint(payload, uint64(len(value)))
+	payload = append(payload, value...)
+
+	var hdr [8]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], crc32.ChecksumIEEE(payload))
+	binary.LittleEndian.PutUint32(hdr[4:8], uint32(len(payload)))
+	if _, err := w.w.Write(hdr[:]); err != nil {
+		return 0, err
+	}
+	if _, err := w.w.Write(payload); err != nil {
+		return 0, err
+	}
+	n := len(hdr) + len(payload)
+	w.size += int64(n)
+	return n, nil
+}
+
+func (w *wal) flush() error { return w.w.Flush() }
+
+func (w *wal) sync() error {
+	if err := w.w.Flush(); err != nil {
+		return err
+	}
+	return w.f.Sync()
+}
+
+func (w *wal) close() error {
+	if err := w.w.Flush(); err != nil {
+		w.f.Close()
+		return err
+	}
+	return w.f.Close()
+}
+
+// replayWAL feeds every intact record to fn in order. A corrupt or truncated
+// tail ends replay without error.
+func replayWAL(path string, fn func(kind byte, key, value []byte)) error {
+	f, err := os.Open(path)
+	if os.IsNotExist(err) {
+		return nil
+	}
+	if err != nil {
+		return fmt.Errorf("kv: open wal for replay: %w", err)
+	}
+	defer f.Close()
+
+	r := bufio.NewReaderSize(f, 64<<10)
+	var hdr [8]byte
+	for {
+		if _, err := io.ReadFull(r, hdr[:]); err != nil {
+			return nil // clean EOF or torn header: stop
+		}
+		wantCRC := binary.LittleEndian.Uint32(hdr[0:4])
+		n := binary.LittleEndian.Uint32(hdr[4:8])
+		if n > 1<<30 {
+			return nil // implausible length: treat as torn tail
+		}
+		payload := make([]byte, n)
+		if _, err := io.ReadFull(r, payload); err != nil {
+			return nil
+		}
+		if crc32.ChecksumIEEE(payload) != wantCRC {
+			return nil
+		}
+		kind := payload[0]
+		rest := payload[1:]
+		klen, sz := binary.Uvarint(rest)
+		if sz <= 0 || uint64(len(rest)-sz) < klen {
+			return nil
+		}
+		rest = rest[sz:]
+		key := rest[:klen]
+		rest = rest[klen:]
+		vlen, sz := binary.Uvarint(rest)
+		if sz <= 0 || uint64(len(rest)-sz) < vlen {
+			return nil
+		}
+		rest = rest[sz:]
+		value := rest[:vlen]
+		fn(kind, key, value)
+	}
+}

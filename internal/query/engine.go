@@ -1,0 +1,110 @@
+// Package query implements TraSS's query processing (Section V): global
+// pruning turns a query into a few key-range scans, local filtering rejects
+// dissimilar trajectories inside the region servers (Lemmas 12-14), and only
+// the survivors pay for a full similarity computation.
+package query
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/dist"
+	"repro/internal/geo"
+	"repro/internal/store"
+	"repro/internal/traj"
+	"repro/internal/xzstar"
+)
+
+// Engine executes similarity searches against a trajectory store.
+type Engine struct {
+	store   *store.Store
+	measure dist.Measure
+	budget  int // global-pruning element budget (0 = default)
+	tuning  Tuning
+}
+
+// Tuning disables individual pruning stages; the ablation experiment uses it
+// to isolate what each stage contributes. The zero value is full TraSS.
+type Tuning struct {
+	// DisableLocalFilter skips the Lemma 12-14 push-down entirely: every
+	// scanned row ships and is refined.
+	DisableLocalFilter bool
+	// EndpointOnlyFilter reduces local filtering to the start/end check of
+	// Lemma 12, the filter JUST-style systems use.
+	EndpointOnlyFilter bool
+	// DisablePosCodes removes the position-code lemmas from global pruning,
+	// leaving element-level pruning only (plain XZ-Ordering behaviour).
+	DisablePosCodes bool
+}
+
+// SetTuning replaces the engine's ablation switches.
+func (e *Engine) SetTuning(t Tuning) { e.tuning = t }
+
+// SetBudget overrides the global-pruning element budget (0 restores the
+// default). Small budgets trade plan precision for planning time; results
+// stay exact because truncation only widens the scan.
+func (e *Engine) SetBudget(n int) { e.budget = n }
+
+// New builds an engine over st using the given similarity measure.
+func New(st *store.Store, measure dist.Measure) *Engine {
+	return &Engine{store: st, measure: measure}
+}
+
+// Measure returns the engine's similarity measure.
+func (e *Engine) Measure() dist.Measure { return e.measure }
+
+// Result is one matched trajectory.
+type Result struct {
+	ID       string
+	Distance float64
+	Points   []geo.Point
+}
+
+// Stats describes what one query did; the Fig. 9-11 experiments report
+// these numbers.
+type Stats struct {
+	PruneTime  time.Duration // global pruning (index-space planning)
+	ScanTime   time.Duration // storage scans incl. push-down filtering
+	RefineTime time.Duration // full similarity computations
+
+	Ranges       int   // key ranges scanned (after merging)
+	RowsScanned  int64 // rows visited inside regions
+	Retrieved    int64 // rows that survived local filtering and were shipped
+	BytesShipped int64
+	RPCs         int64
+	Refined      int // full similarity computations performed
+	Results      int
+}
+
+// Candidates returns the number of candidate trajectories after pruning and
+// local filtering — the quantity Fig. 9(b)/10(b) plot.
+func (s *Stats) Candidates() int64 { return s.Retrieved }
+
+// Precision is final answers over candidates (Fig. 11(c)).
+func (s *Stats) Precision() float64 {
+	if s.Retrieved == 0 {
+		return 1
+	}
+	return float64(s.Results) / float64(s.Retrieved)
+}
+
+// queryGeom bundles the pre-computed geometry of the query trajectory.
+type queryGeom struct {
+	points   []geo.Point
+	features *traj.Features
+	rep      []geo.Point // representative points
+	xq       *xzstar.Query
+}
+
+func (e *Engine) prepare(q *traj.Trajectory) (*queryGeom, error) {
+	if q == nil || len(q.Points) == 0 {
+		return nil, fmt.Errorf("query: empty query trajectory")
+	}
+	f := traj.ComputeFeatures(q, e.store.Config().DPTolerance)
+	return &queryGeom{
+		points:   q.Points,
+		features: f,
+		rep:      f.RepPoints(q),
+		xq:       xzstar.NewQuery(q.Points, f.Boxes),
+	}, nil
+}

@@ -1,0 +1,76 @@
+package query
+
+import (
+	"time"
+
+	"repro/internal/geo"
+	"repro/internal/store"
+)
+
+// Range runs a spatial range query: every stored trajectory with at least
+// one point inside window. The XZ* cover prunes index spaces whose quads all
+// miss the window; a pushed-down filter checks the DP feature boxes and then
+// the exact points before a row ships.
+func (e *Engine) Range(window geo.Rect) ([]Result, *Stats, error) {
+	return e.rangeQuery(window, TimeWindow{})
+}
+
+func (e *Engine) rangeQuery(window geo.Rect, w TimeWindow) ([]Result, *Stats, error) {
+	stats := &Stats{}
+	t0 := time.Now()
+	ranges, _ := e.store.Index().RangeCover(window, e.budget)
+	stats.PruneTime = time.Since(t0)
+	stats.Ranges = len(ranges)
+	if len(ranges) == 0 {
+		return nil, stats, nil
+	}
+
+	filter := func(key, value []byte) bool {
+		rec, err := store.DecodeRow(value)
+		if err != nil {
+			return true // surface corruption at the client decode
+		}
+		// Cheap feature-box prefilter: a point inside the window requires
+		// its covering box to intersect the window.
+		if len(rec.Features.Boxes) > 0 {
+			hit := false
+			for _, b := range rec.Features.Boxes {
+				if b.Intersects(window) {
+					hit = true
+					break
+				}
+			}
+			if !hit {
+				return false
+			}
+		}
+		for _, p := range rec.Points {
+			if window.ContainsPoint(p) {
+				return true
+			}
+		}
+		return false
+	}
+
+	t1 := time.Now()
+	res, err := e.store.ScanRanges(ranges, wrapWithWindow(w, filter), 0)
+	if err != nil {
+		return nil, nil, err
+	}
+	stats.ScanTime = time.Since(t1)
+	stats.RowsScanned = res.RowsScanned
+	stats.Retrieved = res.RowsReturned
+	stats.BytesShipped = res.BytesShipped
+	stats.RPCs = res.RPCs
+
+	out := make([]Result, 0, len(res.Entries))
+	for _, entry := range res.Entries {
+		rec, err := store.DecodeRow(entry.Value)
+		if err != nil {
+			return nil, nil, err
+		}
+		out = append(out, Result{ID: rec.ID, Points: rec.Points})
+	}
+	stats.Results = len(out)
+	return out, stats, nil
+}

@@ -1,0 +1,68 @@
+package query
+
+import (
+	"time"
+
+	"repro/internal/dist"
+	"repro/internal/store"
+	"repro/internal/traj"
+	"repro/internal/xzstar"
+)
+
+// Threshold runs the threshold similarity search of Algorithm 3: global
+// pruning plans the key ranges, local filtering runs pushed down inside the
+// regions, and the survivors are refined with the full similarity measure.
+func (e *Engine) Threshold(q *traj.Trajectory, eps float64) ([]Result, *Stats, error) {
+	return e.threshold(q, eps, TimeWindow{})
+}
+
+func (e *Engine) threshold(q *traj.Trajectory, eps float64, w TimeWindow) ([]Result, *Stats, error) {
+	qg, err := e.prepare(q)
+	if err != nil {
+		return nil, nil, err
+	}
+	stats := &Stats{}
+
+	t0 := time.Now()
+	ranges, _ := e.store.Index().GlobalPruneOpts(qg.xq, eps, e.budget,
+		xzstar.PruneOptions{DisableCodePruning: e.tuning.DisablePosCodes})
+	stats.PruneTime = time.Since(t0)
+	stats.Ranges = len(ranges)
+	if len(ranges) == 0 {
+		return nil, stats, nil
+	}
+
+	t1 := time.Now()
+	res, err := e.store.ScanRanges(ranges, wrapWithWindow(w, e.buildFilter(qg, eps)), 0)
+	if err != nil {
+		return nil, nil, err
+	}
+	stats.ScanTime = time.Since(t1)
+	stats.RowsScanned = res.RowsScanned
+	stats.Retrieved = res.RowsReturned
+	stats.BytesShipped = res.BytesShipped
+	stats.RPCs = res.RPCs
+
+	t2 := time.Now()
+	within := dist.WithinFor(e.measure)
+	full := dist.For(e.measure)
+	var out []Result
+	for _, entry := range res.Entries {
+		rec, err := store.DecodeRow(entry.Value)
+		if err != nil {
+			return nil, nil, err
+		}
+		stats.Refined++
+		if !within(qg.points, rec.Points, eps) {
+			continue
+		}
+		out = append(out, Result{
+			ID:       rec.ID,
+			Distance: full(qg.points, rec.Points),
+			Points:   rec.Points,
+		})
+	}
+	stats.RefineTime = time.Since(t2)
+	stats.Results = len(out)
+	return out, stats, nil
+}

@@ -1,0 +1,238 @@
+package query
+
+import (
+	"container/heap"
+	"math"
+	"time"
+
+	"repro/internal/dist"
+	"repro/internal/store"
+	"repro/internal/traj"
+	"repro/internal/xzstar"
+)
+
+// TopK runs the best-first top-k similarity search of Algorithm 4: elements
+// are expanded nearest-first (minDistEE), their surviving index spaces are
+// queued by minDistIS, and each space is scanned only when no unexpanded
+// element could still produce a nearer space. Every k-th result tightens the
+// working threshold, which prunes the remaining frontier exactly like the
+// threshold search's lemmas.
+func (e *Engine) TopK(q *traj.Trajectory, k int) ([]Result, *Stats, error) {
+	return e.topK(q, k, TimeWindow{})
+}
+
+func (e *Engine) topK(q *traj.Trajectory, k int, w TimeWindow) ([]Result, *Stats, error) {
+	if k <= 0 {
+		return nil, &Stats{}, nil
+	}
+	qg, err := e.prepare(q)
+	if err != nil {
+		return nil, nil, err
+	}
+	ix := e.store.Index()
+	stats := &Stats{}
+
+	results := &resultHeap{} // max-heap: worst of the current best k on top
+	eps := math.Inf(1)
+	epsOf := func() float64 {
+		if results.Len() == k {
+			return (*results)[0].Distance
+		}
+		return math.Inf(1)
+	}
+
+	// The resolution the query's own MBR indexes at; elements near it are
+	// the most promising, so it breaks minDistEE ties.
+	prefRes := ix.SEE(qg.xq.MBR).Len()
+
+	eq := &elemHeap{}
+	iq := &spaceHeap{}
+	t0 := time.Now()
+	for _, s := range xzstar.RootSeqs() {
+		pushElem(eq, e.store, ix, s, qg, prefRes)
+	}
+	stats.PruneTime += time.Since(t0)
+
+	within := dist.WithinFor(e.measure)
+	full := dist.For(e.measure)
+
+	scanSpace := func(sc spaceCand) error {
+		stats.Ranges++
+		t1 := time.Now()
+		res, err := e.store.ScanRanges(
+			[]xzstar.ValueRange{{Lo: sc.value, Hi: sc.value + 1}},
+			wrapWithWindow(w, serverFilter(qg, e.measure, epsOf())), 0)
+		if err != nil {
+			return err
+		}
+		stats.ScanTime += time.Since(t1)
+		stats.RowsScanned += res.RowsScanned
+		stats.Retrieved += res.RowsReturned
+		stats.BytesShipped += res.BytesShipped
+		stats.RPCs += res.RPCs
+
+		t2 := time.Now()
+		for _, entry := range res.Entries {
+			rec, err := store.DecodeRow(entry.Value)
+			if err != nil {
+				return err
+			}
+			stats.Refined++
+			bound := epsOf()
+			if !math.IsInf(bound, 1) && !within(qg.points, rec.Points, bound) {
+				continue
+			}
+			d := full(qg.points, rec.Points)
+			if results.Len() < k {
+				heap.Push(results, Result{ID: rec.ID, Distance: d, Points: rec.Points})
+			} else if d < (*results)[0].Distance {
+				(*results)[0] = Result{ID: rec.ID, Distance: d, Points: rec.Points}
+				heap.Fix(results, 0)
+			}
+		}
+		stats.RefineTime += time.Since(t2)
+		return nil
+	}
+
+	for eq.Len() > 0 || iq.Len() > 0 {
+		eps = epsOf()
+
+		// Drain index spaces that no unexpanded element can beat.
+		for iq.Len() > 0 && (eq.Len() == 0 || (*iq)[0].dist <= (*eq)[0].dist) {
+			sc := heap.Pop(iq).(spaceCand)
+			if sc.dist > epsOf() {
+				// Ordered queue: everything behind is farther. If elements
+				// are also too far, the search is complete.
+				iq = &spaceHeap{}
+				break
+			}
+			if err := scanSpace(sc); err != nil {
+				return nil, nil, err
+			}
+		}
+		if eq.Len() == 0 {
+			if iq.Len() == 0 {
+				break
+			}
+			continue
+		}
+
+		t3 := time.Now()
+		ec := heap.Pop(eq).(elemCand)
+		eps = epsOf()
+		if ec.dist > eps {
+			// Nearest element exceeds the working threshold: nothing left
+			// can improve the answer. Drain any still-eligible spaces.
+			stats.PruneTime += time.Since(t3)
+			for iq.Len() > 0 {
+				sc := heap.Pop(iq).(spaceCand)
+				if sc.dist > epsOf() {
+					break
+				}
+				if err := scanSpace(sc); err != nil {
+					return nil, nil, err
+				}
+			}
+			break
+		}
+
+		// Queue this element's surviving index spaces (Lemmas 10-11 at the
+		// current threshold).
+		for _, sp := range ix.CandidateSpaces(ec.seq, qg.xq, eps) {
+			if !e.store.HasValuesIn(sp.Value, sp.Value+1) {
+				continue
+			}
+			heap.Push(iq, spaceCand{value: sp.Value, dist: sp.Dist})
+		}
+		// Expand children (deeper resolutions), skipping empty subtrees.
+		if ec.seq.Len() < ix.MaxResolution() {
+			for d := byte(0); d < 4; d++ {
+				pushElem(eq, e.store, ix, ec.seq.Child(d), qg, prefRes)
+			}
+		}
+		stats.PruneTime += time.Since(t3)
+	}
+
+	// Extract ascending by distance.
+	out := make([]Result, results.Len())
+	for i := len(out) - 1; i >= 0; i-- {
+		out[i] = heap.Pop(results).(Result)
+	}
+	stats.Results = len(out)
+	return out, stats, nil
+}
+
+// pushElem queues an element candidate unless its subtree is empty.
+func pushElem(eq *elemHeap, st *store.Store, ix *xzstar.Index, s xzstar.Seq, qg *queryGeom, prefRes int) {
+	pr := ix.PrefixRange(s)
+	if !st.HasValuesIn(pr.Lo, pr.Hi) {
+		return
+	}
+	d := xzstar.MinDistEE(qg.xq.MBR, s.Element())
+	tie := s.Len() - prefRes
+	if tie < 0 {
+		tie = -tie
+	}
+	heap.Push(eq, elemCand{seq: s, dist: d, tie: tie})
+}
+
+// elemCand is an enlarged element in the best-first frontier.
+type elemCand struct {
+	seq  xzstar.Seq
+	dist float64 // minDistEE lower bound
+	tie  int     // |resolution - preferred|: likelier elements first
+}
+
+type elemHeap []elemCand
+
+func (h elemHeap) Len() int { return len(h) }
+func (h elemHeap) Less(i, j int) bool {
+	if h[i].dist != h[j].dist {
+		return h[i].dist < h[j].dist
+	}
+	return h[i].tie < h[j].tie
+}
+func (h elemHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *elemHeap) Push(x any)   { *h = append(*h, x.(elemCand)) }
+func (h *elemHeap) Pop() any {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+// spaceCand is an index space awaiting its scan.
+type spaceCand struct {
+	value int64
+	dist  float64 // minDistIS lower bound
+}
+
+type spaceHeap []spaceCand
+
+func (h spaceHeap) Len() int           { return len(h) }
+func (h spaceHeap) Less(i, j int) bool { return h[i].dist < h[j].dist }
+func (h spaceHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h *spaceHeap) Push(x any)        { *h = append(*h, x.(spaceCand)) }
+func (h *spaceHeap) Pop() any {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+// resultHeap is a max-heap of results by distance (worst on top).
+type resultHeap []Result
+
+func (h resultHeap) Len() int           { return len(h) }
+func (h resultHeap) Less(i, j int) bool { return h[i].Distance > h[j].Distance }
+func (h resultHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h *resultHeap) Push(x any)        { *h = append(*h, x.(Result)) }
+func (h *resultHeap) Pop() any {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}

@@ -1,0 +1,355 @@
+package store
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/geo"
+	"repro/internal/traj"
+	"repro/internal/xzstar"
+)
+
+func walk(rng *rand.Rand, id string, n int, scale float64) *traj.Trajectory {
+	pts := make([]geo.Point, n)
+	x, y := rng.Float64(), rng.Float64()
+	for i := range pts {
+		pts[i] = geo.Point{X: geo.Clamp01(x), Y: geo.Clamp01(y)}
+		x += (rng.Float64() - 0.5) * scale
+		y += (rng.Float64() - 0.5) * scale
+	}
+	return traj.New(id, pts)
+}
+
+func newTestStore(t *testing.T, cfg Config) *Store {
+	t.Helper()
+	if cfg.Dir == "" {
+		cfg.Dir = t.TempDir()
+	}
+	s, err := Open(cfg)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	t.Cleanup(func() { s.Close() })
+	return s
+}
+
+func TestOpenValidation(t *testing.T) {
+	if _, err := Open(Config{}); err == nil {
+		t.Fatal("missing dir must fail")
+	}
+	if _, err := Open(Config{Dir: t.TempDir(), MaxResolution: 99}); err == nil {
+		t.Fatal("bad resolution must fail")
+	}
+}
+
+func TestDefaults(t *testing.T) {
+	s := newTestStore(t, Config{})
+	cfg := s.Config()
+	if cfg.Shards != 8 || cfg.MaxResolution != 16 || cfg.DPTolerance != 0.01 {
+		t.Fatalf("defaults wrong: %+v", cfg)
+	}
+	// Pre-split: one region per shard.
+	if got := len(s.Cluster().Regions()); got != 8 {
+		t.Fatalf("regions = %d, want 8", got)
+	}
+}
+
+func TestPutAndScanRoundTrip(t *testing.T) {
+	s := newTestStore(t, Config{Shards: 4})
+	rng := rand.New(rand.NewSource(1))
+	trajs := make([]*traj.Trajectory, 50)
+	for i := range trajs {
+		trajs[i] = walk(rng, fmt.Sprintf("t%03d", i), 10+rng.Intn(40), 0.01)
+		if err := s.Put(trajs[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if s.Count() != 50 {
+		t.Fatalf("count = %d", s.Count())
+	}
+	// Scan everything back through the value domain.
+	res, err := s.ScanRanges([]xzstar.ValueRange{{Lo: 0, Hi: s.Index().TotalIndexSpaces()}}, nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Entries) != 50 {
+		t.Fatalf("scanned %d rows, want 50", len(res.Entries))
+	}
+	seen := map[string]bool{}
+	for _, e := range res.Entries {
+		rec, err := DecodeRow(e.Value)
+		if err != nil {
+			t.Fatalf("decode: %v", err)
+		}
+		seen[rec.ID] = true
+		if len(rec.Features.PointIdx) == 0 {
+			t.Fatalf("record %s has no features", rec.ID)
+		}
+	}
+	for _, tr := range trajs {
+		if !seen[tr.ID] {
+			t.Fatalf("trajectory %s lost", tr.ID)
+		}
+	}
+}
+
+func TestScanRangeSelectsByValue(t *testing.T) {
+	s := newTestStore(t, Config{Shards: 4})
+	rng := rand.New(rand.NewSource(2))
+	// Store trajectories and remember their index values.
+	vals := map[string]int64{}
+	for i := 0; i < 40; i++ {
+		tr := walk(rng, fmt.Sprintf("t%03d", i), 10, 0.005)
+		vals[tr.ID] = s.Index().Assign(tr.Points).Value
+		if err := s.Put(tr); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Pick one trajectory's value and scan just it.
+	for id, v := range vals {
+		res, err := s.ScanRanges([]xzstar.ValueRange{{Lo: v, Hi: v + 1}}, nil, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		found := false
+		for _, e := range res.Entries {
+			rec, _ := DecodeRow(e.Value)
+			if rec.ID == id {
+				found = true
+			}
+			if vals[rec.ID] != v {
+				t.Fatalf("scan of value %d returned trajectory with value %d", v, vals[rec.ID])
+			}
+		}
+		if !found {
+			t.Fatalf("trajectory %s not found at its own value", id)
+		}
+		break
+	}
+}
+
+func TestServerSideFilterPushdown(t *testing.T) {
+	s := newTestStore(t, Config{Shards: 2})
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 30; i++ {
+		if err := s.Put(walk(rng, fmt.Sprintf("t%03d", i), 10, 0.01)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	res, err := s.ScanRanges(
+		[]xzstar.ValueRange{{Lo: 0, Hi: s.Index().TotalIndexSpaces()}},
+		func(key, value []byte) bool {
+			rec, err := DecodeRow(value)
+			return err == nil && rec.ID < "t010"
+		}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Entries) != 10 {
+		t.Fatalf("filtered rows = %d, want 10", len(res.Entries))
+	}
+	if res.RowsScanned != 30 {
+		t.Fatalf("rows scanned = %d, want 30", res.RowsScanned)
+	}
+}
+
+func TestShardingSpreadsData(t *testing.T) {
+	s := newTestStore(t, Config{Shards: 8})
+	rng := rand.New(rand.NewSource(4))
+	for i := 0; i < 400; i++ {
+		if err := s.Put(walk(rng, fmt.Sprintf("traj-%04d", i), 5, 0.01)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s.Flush()
+	// Every region must hold some rows (FNV over 400 ids across 8 shards).
+	for _, r := range s.Cluster().Regions() {
+		stats := s.Cluster().Stats()
+		_ = stats
+		_ = r
+	}
+	counts := make(map[int]int)
+	res, err := s.ScanRanges([]xzstar.ValueRange{{Lo: 0, Hi: s.Index().TotalIndexSpaces()}}, nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range res.Entries {
+		counts[int(e.Key[0])]++
+	}
+	if len(counts) != 8 {
+		t.Fatalf("rows landed in %d shards, want 8", len(counts))
+	}
+	for shard, n := range counts {
+		if n < 10 {
+			t.Fatalf("shard %d has only %d rows (skew)", shard, n)
+		}
+	}
+}
+
+func TestStringEncoding(t *testing.T) {
+	intStore := newTestStore(t, Config{Shards: 2, Encoding: IntegerEncoding})
+	strStore := newTestStore(t, Config{Shards: 2, Encoding: StringEncoding})
+	rng := rand.New(rand.NewSource(5))
+	for i := 0; i < 100; i++ {
+		tr := walk(rng, fmt.Sprintf("t%04d", i), 10, 0.003)
+		if err := intStore.Put(tr); err != nil {
+			t.Fatal(err)
+		}
+		if err := strStore.Put(tr); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// The paper's Fig. 13(c): integer keys are materially smaller.
+	intB, strB := intStore.AvgRowKeyBytes(), strStore.AvgRowKeyBytes()
+	if intB >= strB {
+		t.Fatalf("integer keys (%.1f B) must beat string keys (%.1f B)", intB, strB)
+	}
+	// String-encoded stores cannot plan range scans.
+	if _, err := strStore.ScanRanges([]xzstar.ValueRange{{Lo: 0, Hi: 1}}, nil, 0); err == nil {
+		t.Fatal("string encoding must reject range scans")
+	}
+}
+
+func TestDistributionHistograms(t *testing.T) {
+	s := newTestStore(t, Config{Shards: 2})
+	rng := rand.New(rand.NewSource(6))
+	for i := 0; i < 200; i++ {
+		scale := []float64{0.001, 0.01, 0.1}[rng.Intn(3)]
+		if err := s.Put(walk(rng, fmt.Sprintf("t%04d", i), 10, scale)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	resH, codeH := s.Distribution()
+	var total int64
+	for _, n := range resH {
+		total += n
+	}
+	if total != 200 {
+		t.Fatalf("resolution histogram sums to %d", total)
+	}
+	total = 0
+	for _, n := range codeH {
+		total += n
+	}
+	if total != 200 {
+		t.Fatalf("code histogram sums to %d", total)
+	}
+	if codeH[0] != 0 {
+		t.Fatal("position code 0 must never occur")
+	}
+}
+
+func TestSelectivity(t *testing.T) {
+	s := newTestStore(t, Config{Shards: 2})
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 100; i++ {
+		if err := s.Put(walk(rng, fmt.Sprintf("t%04d", i), 10, 0.01)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sel := s.Selectivity()
+	if sel <= 0 || sel > 1 {
+		t.Fatalf("selectivity = %v", sel)
+	}
+}
+
+func TestHasValuesIn(t *testing.T) {
+	s := newTestStore(t, Config{Shards: 2})
+	tr := traj.New("only", []geo.Point{{X: 0.3, Y: 0.3}, {X: 0.31, Y: 0.31}})
+	if err := s.Put(tr); err != nil {
+		t.Fatal(err)
+	}
+	v := s.Index().Assign(tr.Points).Value
+	if !s.HasValuesIn(v, v+1) {
+		t.Fatal("stored value not found")
+	}
+	if s.HasValuesIn(v+1, v+100) {
+		t.Fatal("phantom values")
+	}
+	if !s.HasValuesIn(0, s.Index().TotalIndexSpaces()) {
+		t.Fatal("full range must contain the value")
+	}
+}
+
+// PutBatch (the region-batched path) and repeated Put produce identical
+// stores: same counts, same metadata, same scan contents.
+func TestPutBatchEquivalentToPut(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	trajs := make([]*traj.Trajectory, 60)
+	for i := range trajs {
+		trajs[i] = walk(rng, fmt.Sprintf("t%03d", i), 5+rng.Intn(20), 0.01)
+	}
+	single := newTestStore(t, Config{Shards: 4})
+	for _, tr := range trajs {
+		if err := single.Put(tr); err != nil {
+			t.Fatal(err)
+		}
+	}
+	batched := newTestStore(t, Config{Shards: 4})
+	if err := batched.PutBatch(trajs); err != nil {
+		t.Fatal(err)
+	}
+	if single.Count() != batched.Count() {
+		t.Fatalf("count %d vs %d", single.Count(), batched.Count())
+	}
+	if single.AvgRowKeyBytes() != batched.AvgRowKeyBytes() {
+		t.Fatal("row-key accounting differs")
+	}
+	r1, c1 := single.Distribution()
+	r2, c2 := batched.Distribution()
+	for i := range r1 {
+		if r1[i] != r2[i] {
+			t.Fatalf("resolution histogram differs at %d", i)
+		}
+	}
+	for i := range c1 {
+		if c1[i] != c2[i] {
+			t.Fatalf("code histogram differs at %d", i)
+		}
+	}
+	full := []xzstar.ValueRange{{Lo: 0, Hi: single.Index().TotalIndexSpaces()}}
+	res1, err := single.ScanRanges(full, nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res2, err := batched.ScanRanges(full, nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res1.Entries) != len(res2.Entries) {
+		t.Fatalf("scan rows %d vs %d", len(res1.Entries), len(res2.Entries))
+	}
+	for i := range res1.Entries {
+		if string(res1.Entries[i].Key) != string(res2.Entries[i].Key) {
+			t.Fatalf("row %d keys differ", i)
+		}
+	}
+}
+
+func TestPutEmptyTrajectory(t *testing.T) {
+	s := newTestStore(t, Config{})
+	if err := s.Put(nil); err == nil {
+		t.Fatal("nil trajectory must fail")
+	}
+}
+
+func TestRowKeyShape(t *testing.T) {
+	s := newTestStore(t, Config{Shards: 4})
+	tr := traj.New("abc", []geo.Point{{X: 0.5, Y: 0.5}, {X: 0.51, Y: 0.51}})
+	e := s.Index().Assign(tr.Points)
+	key := s.RowKey(e, tr.ID)
+	// shard byte + 8 value bytes + separator + tid
+	if len(key) != 1+8+1+3 {
+		t.Fatalf("key length = %d", len(key))
+	}
+	if int(key[0]) >= 4 {
+		t.Fatalf("shard byte %d out of range", key[0])
+	}
+	if key[9] != 0 {
+		t.Fatal("missing separator")
+	}
+	if string(key[10:]) != "abc" {
+		t.Fatalf("tid suffix = %q", key[10:])
+	}
+}

@@ -1,0 +1,94 @@
+package traj
+
+import (
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/geo"
+)
+
+// quickTraj generates arbitrary in-square trajectories for quick.Check.
+type quickTraj struct{ Pts []geo.Point }
+
+func (quickTraj) Generate(r *rand.Rand, _ int) reflect.Value {
+	n := 1 + r.Intn(200)
+	pts := make([]geo.Point, n)
+	x, y := r.Float64(), r.Float64()
+	for i := range pts {
+		pts[i] = geo.Point{X: geo.Clamp01(x), Y: geo.Clamp01(y)}
+		x += (r.Float64() - 0.5) * 0.02
+		y += (r.Float64() - 0.5) * 0.02
+	}
+	return reflect.ValueOf(quickTraj{Pts: pts})
+}
+
+// Points codec round-trips within quantization error for arbitrary inputs.
+func TestQuickPointsCodec(t *testing.T) {
+	f := func(qt quickTraj) bool {
+		got, err := DecodePoints(EncodePoints(qt.Pts))
+		if err != nil || len(got) != len(qt.Pts) {
+			return false
+		}
+		for i := range got {
+			if math.Abs(got[i].X-qt.Pts[i].X) > 1e-8 || math.Abs(got[i].Y-qt.Pts[i].Y) > 1e-8 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Record codec round-trips id, point count and feature shape.
+func TestQuickRecordCodec(t *testing.T) {
+	f := func(qt quickTraj, idBytes []byte) bool {
+		id := string(idBytes)
+		tr := New("x"+id, qt.Pts)
+		rec := &Record{ID: tr.ID, Points: tr.Points, Features: ComputeFeatures(tr, 0.003)}
+		got, err := DecodeRecord(EncodeRecord(rec))
+		if err != nil {
+			return false
+		}
+		return got.ID == rec.ID &&
+			len(got.Points) == len(rec.Points) &&
+			len(got.Features.PointIdx) == len(rec.Features.PointIdx) &&
+			len(got.Features.Boxes) == len(rec.Features.Boxes)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Douglas-Peucker keeps the tolerance invariant for arbitrary trajectories
+// and tolerances.
+func TestQuickDouglasPeucker(t *testing.T) {
+	f := func(qt quickTraj, rawTheta float64) bool {
+		theta := math.Abs(rawTheta)
+		theta = math.Mod(theta, 0.05)
+		if theta == 0 {
+			theta = 0.001
+		}
+		idx := DouglasPeucker(qt.Pts, theta)
+		if len(idx) == 0 || idx[0] != 0 || idx[len(idx)-1] != len(qt.Pts)-1 {
+			return false
+		}
+		simplified := make([]geo.Point, len(idx))
+		for i, j := range idx {
+			simplified[i] = qt.Pts[j]
+		}
+		for _, p := range qt.Pts {
+			if geo.DistPointPolyline(p, simplified) > theta+1e-12 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,365 @@
+package traj
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/geo"
+)
+
+func line(n int) []geo.Point {
+	pts := make([]geo.Point, n)
+	for i := range pts {
+		pts[i] = geo.Point{X: float64(i) / float64(n), Y: 0.5}
+	}
+	return pts
+}
+
+func randomWalk(rng *rand.Rand, n int) []geo.Point {
+	pts := make([]geo.Point, n)
+	x, y := rng.Float64()*0.5+0.25, rng.Float64()*0.5+0.25
+	for i := range pts {
+		pts[i] = geo.Point{X: geo.Clamp01(x), Y: geo.Clamp01(y)}
+		x += (rng.Float64() - 0.5) * 0.01
+		y += (rng.Float64() - 0.5) * 0.01
+	}
+	return pts
+}
+
+func TestNewCopiesPoints(t *testing.T) {
+	pts := line(5)
+	tr := New("t1", pts)
+	pts[0].X = 99
+	if tr.Points[0].X == 99 {
+		t.Fatal("New must copy the point slice")
+	}
+	if tr.Len() != 5 {
+		t.Fatalf("Len = %d", tr.Len())
+	}
+}
+
+func TestNewEmptyPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("New with no points must panic")
+		}
+	}()
+	New("bad", nil)
+}
+
+func TestStartEndMBR(t *testing.T) {
+	tr := New("t", []geo.Point{{X: 0.1, Y: 0.9}, {X: 0.5, Y: 0.2}, {X: 0.3, Y: 0.4}})
+	if tr.Start() != (geo.Point{X: 0.1, Y: 0.9}) || tr.End() != (geo.Point{X: 0.3, Y: 0.4}) {
+		t.Fatal("start/end wrong")
+	}
+	mbr := tr.MBR()
+	want := geo.Rect{Min: geo.Point{X: 0.1, Y: 0.2}, Max: geo.Point{X: 0.5, Y: 0.9}}
+	if mbr != want {
+		t.Fatalf("MBR = %v, want %v", mbr, want)
+	}
+}
+
+func TestDouglasPeuckerStraightLine(t *testing.T) {
+	// A perfectly straight line reduces to its endpoints.
+	idx := DouglasPeucker(line(100), 1e-9)
+	if len(idx) != 2 || idx[0] != 0 || idx[1] != 99 {
+		t.Fatalf("straight line reduced to %v", idx)
+	}
+}
+
+func TestDouglasPeuckerKeepsSpike(t *testing.T) {
+	pts := line(11)
+	pts[5].Y = 0.9 // a spike the simplification must keep
+	idx := DouglasPeucker(pts, 0.01)
+	found := false
+	for _, i := range idx {
+		if i == 5 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("spike point not kept: %v", idx)
+	}
+}
+
+func TestDouglasPeuckerSmallInputs(t *testing.T) {
+	if got := DouglasPeucker(nil, 0.1); got != nil {
+		t.Errorf("nil input: %v", got)
+	}
+	if got := DouglasPeucker(line(1), 0.1); len(got) != 1 || got[0] != 0 {
+		t.Errorf("single point: %v", got)
+	}
+	if got := DouglasPeucker(line(2), 0.1); len(got) != 2 {
+		t.Errorf("two points: %v", got)
+	}
+}
+
+// Property: every original point is within theta of the simplified polyline.
+func TestDouglasPeuckerToleranceInvariant(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for iter := 0; iter < 50; iter++ {
+		pts := randomWalk(rng, 100+rng.Intn(200))
+		theta := 0.001 + rng.Float64()*0.01
+		idx := DouglasPeucker(pts, theta)
+		if idx[0] != 0 || idx[len(idx)-1] != len(pts)-1 {
+			t.Fatal("endpoints must be kept")
+		}
+		simplified := make([]geo.Point, len(idx))
+		for i, j := range idx {
+			simplified[i] = pts[j]
+		}
+		for i, p := range pts {
+			if d := geo.DistPointPolyline(p, simplified); d > theta+1e-12 {
+				t.Fatalf("iter %d: point %d at distance %v > theta %v", iter, i, d, theta)
+			}
+		}
+	}
+}
+
+// Property: feature boxes cover every point of the trajectory and each box's
+// edges touch points of its sub-sequence (the MBR property Lemma 14 needs).
+func TestComputeFeaturesCoverage(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for iter := 0; iter < 30; iter++ {
+		tr := New("t", randomWalk(rng, 50+rng.Intn(150)))
+		f := ComputeFeatures(tr, 0.005)
+		if len(f.Boxes) != len(f.PointIdx)-1 {
+			t.Fatalf("box count %d vs idx count %d", len(f.Boxes), len(f.PointIdx))
+		}
+		// Every point covered by at least one box.
+		for i, p := range tr.Points {
+			covered := false
+			for _, b := range f.Boxes {
+				if b.ContainsPoint(p) {
+					covered = true
+					break
+				}
+			}
+			if !covered {
+				t.Fatalf("iter %d: point %d not covered by any box", iter, i)
+			}
+		}
+		// Box i is exactly the MBR of its sub-sequence.
+		for i := range f.Boxes {
+			sub := tr.Points[f.PointIdx[i] : f.PointIdx[i+1]+1]
+			if got := geo.MBRPoints(sub); got != f.Boxes[i] {
+				t.Fatalf("box %d is not the sub-sequence MBR", i)
+			}
+		}
+	}
+}
+
+func TestFeaturesSinglePoint(t *testing.T) {
+	tr := New("t", []geo.Point{{X: 0.5, Y: 0.5}})
+	f := ComputeFeatures(tr, 0.01)
+	if len(f.PointIdx) != 1 || len(f.Boxes) != 0 {
+		t.Fatalf("single-point features: %+v", f)
+	}
+	// Lemma helpers must not wrongly prune single-point trajectories.
+	if d := DistPointBoxes(geo.Point{X: 0, Y: 0}, f.Boxes); d != 0 {
+		t.Fatalf("no-boxes distance must be 0 (no evidence), got %v", d)
+	}
+}
+
+func TestDistPointBoxes(t *testing.T) {
+	boxes := []geo.Rect{
+		{Min: geo.Point{X: 0, Y: 0}, Max: geo.Point{X: 0.1, Y: 0.1}},
+		{Min: geo.Point{X: 0.5, Y: 0.5}, Max: geo.Point{X: 0.6, Y: 0.6}},
+	}
+	if d := DistPointBoxes(geo.Point{X: 0.05, Y: 0.05}, boxes); d != 0 {
+		t.Errorf("inside first box: %v", d)
+	}
+	if d := DistPointBoxes(geo.Point{X: 0.5, Y: 0.4}, boxes); math.Abs(d-0.1) > 1e-12 {
+		t.Errorf("got %v, want 0.1", d)
+	}
+}
+
+func TestDistSegmentBoxes(t *testing.T) {
+	boxes := []geo.Rect{{Min: geo.Point{X: 0.5, Y: 0.5}, Max: geo.Point{X: 0.6, Y: 0.6}}}
+	s := geo.Segment{A: geo.Point{X: 0, Y: 0.55}, B: geo.Point{X: 0.3, Y: 0.55}}
+	if d := DistSegmentBoxes(s, boxes); math.Abs(d-0.2) > 1e-12 {
+		t.Errorf("got %v, want 0.2", d)
+	}
+	cross := geo.Segment{A: geo.Point{X: 0, Y: 0}, B: geo.Point{X: 1, Y: 1}}
+	if d := DistSegmentBoxes(cross, boxes); d != 0 {
+		t.Errorf("crossing segment: %v", d)
+	}
+	if d := DistSegmentBoxes(s, nil); d != 0 {
+		t.Errorf("no boxes: %v", d)
+	}
+}
+
+func TestPointsCodecRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for iter := 0; iter < 20; iter++ {
+		pts := randomWalk(rng, 1+rng.Intn(500))
+		buf := EncodePoints(pts)
+		got, err := DecodePoints(buf)
+		if err != nil {
+			t.Fatalf("decode: %v", err)
+		}
+		if len(got) != len(pts) {
+			t.Fatalf("len %d != %d", len(got), len(pts))
+		}
+		for i := range pts {
+			if math.Abs(got[i].X-pts[i].X) > 1e-8 || math.Abs(got[i].Y-pts[i].Y) > 1e-8 {
+				t.Fatalf("point %d: %v != %v", i, got[i], pts[i])
+			}
+		}
+	}
+}
+
+func TestPointsCodecCorrupt(t *testing.T) {
+	if _, err := DecodePoints(nil); err == nil {
+		t.Error("empty buffer must fail")
+	}
+	pts := line(10)
+	buf := EncodePoints(pts)
+	if _, err := DecodePoints(buf[:len(buf)/2]); err == nil {
+		t.Error("truncated buffer must fail")
+	}
+}
+
+func TestFeaturesCodecRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	for iter := 0; iter < 20; iter++ {
+		tr := New("t", randomWalk(rng, 20+rng.Intn(300)))
+		f := ComputeFeatures(tr, 0.002)
+		buf := EncodeFeatures(f)
+		got, err := DecodeFeatures(buf)
+		if err != nil {
+			t.Fatalf("decode: %v", err)
+		}
+		if len(got.PointIdx) != len(f.PointIdx) || len(got.Boxes) != len(f.Boxes) {
+			t.Fatalf("shape mismatch")
+		}
+		for i := range f.PointIdx {
+			if got.PointIdx[i] != f.PointIdx[i] {
+				t.Fatalf("idx %d: %d != %d", i, got.PointIdx[i], f.PointIdx[i])
+			}
+		}
+		for i := range f.Boxes {
+			if math.Abs(got.Boxes[i].Min.X-f.Boxes[i].Min.X) > 1e-8 {
+				t.Fatalf("box %d mismatch", i)
+			}
+		}
+	}
+}
+
+func TestRecordCodecRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	tr := New("trajectory-42", randomWalk(rng, 123))
+	rec := &Record{ID: tr.ID, Points: tr.Points, Features: ComputeFeatures(tr, 0.005)}
+	buf := EncodeRecord(rec)
+	got, err := DecodeRecord(buf)
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if got.ID != rec.ID {
+		t.Fatalf("id %q != %q", got.ID, rec.ID)
+	}
+	if len(got.Points) != len(rec.Points) {
+		t.Fatalf("points %d != %d", len(got.Points), len(rec.Points))
+	}
+	if len(got.Features.PointIdx) != len(rec.Features.PointIdx) {
+		t.Fatal("feature shape mismatch")
+	}
+	// Corruption paths.
+	if _, err := DecodeRecord(buf[:3]); err == nil {
+		t.Error("truncated record must fail")
+	}
+	if _, err := DecodeRecord(nil); err == nil {
+		t.Error("empty record must fail")
+	}
+}
+
+func BenchmarkDouglasPeucker(b *testing.B) {
+	rng := rand.New(rand.NewSource(6))
+	pts := randomWalk(rng, 1000)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		DouglasPeucker(pts, 0.005)
+	}
+}
+
+func BenchmarkEncodePoints(b *testing.B) {
+	rng := rand.New(rand.NewSource(7))
+	pts := randomWalk(rng, 1000)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		EncodePoints(pts)
+	}
+}
+
+func TestNewTimed(t *testing.T) {
+	pts := line(5)
+	times := []int64{10, 20, 30, 40, 50}
+	tr := NewTimed("tt", pts, times)
+	if len(tr.Times) != 5 {
+		t.Fatalf("times = %v", tr.Times)
+	}
+	times[0] = 999
+	if tr.Times[0] == 999 {
+		t.Fatal("NewTimed must copy timestamps")
+	}
+	min, max, ok := tr.TimeBounds()
+	if !ok || min != 10 || max != 50 {
+		t.Fatalf("bounds = %d %d %v", min, max, ok)
+	}
+	// Untimed bounds.
+	if _, _, ok := New("u", pts).TimeBounds(); ok {
+		t.Fatal("untimed trajectory must have no bounds")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("mismatched lengths must panic")
+		}
+	}()
+	NewTimed("bad", pts, []int64{1})
+}
+
+func TestRecordCodecWithTimes(t *testing.T) {
+	pts := line(10)
+	times := make([]int64, 10)
+	for i := range times {
+		times[i] = 1_700_000_000 + int64(i*15)
+	}
+	tr := NewTimed("timed", pts, times)
+	rec := &Record{ID: tr.ID, Points: tr.Points, Times: tr.Times, Features: ComputeFeatures(tr, 0.01)}
+	got, err := DecodeRecord(EncodeRecord(rec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Times) != 10 {
+		t.Fatalf("times lost: %v", got.Times)
+	}
+	for i := range times {
+		if got.Times[i] != times[i] {
+			t.Fatalf("time %d: %d != %d", i, got.Times[i], times[i])
+		}
+	}
+	// Untimed records round-trip with nil Times.
+	rec2 := &Record{ID: "u", Points: pts, Features: ComputeFeatures(New("u", pts), 0.01)}
+	got2, err := DecodeRecord(EncodeRecord(rec2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got2.Times != nil {
+		t.Fatalf("untimed record decoded with times %v", got2.Times)
+	}
+	// Pre-timestamp rows (three sections only) still decode. An untimed
+	// record's timestamp section is the length prefix (1 byte for "1") plus
+	// the empty-count payload (1 byte): strip both.
+	old := EncodeRecord(rec2)
+	legacy := old[:len(old)-2]
+	got3, err := DecodeRecord(legacy)
+	if err != nil {
+		t.Fatalf("legacy row: %v", err)
+	}
+	if got3.ID != "u" || got3.Times != nil {
+		t.Fatalf("legacy decode: %+v", got3)
+	}
+}

@@ -1,0 +1,239 @@
+// Package xz2 implements classic XZ-Ordering (Böhm et al.), the space-filling
+// curve that GeoMesa's XZ2 index and the JUST/TrajMesa systems use to store
+// trajectory MBRs in key-value stores. TraSS's XZ* index extends it with
+// position codes; this package is the baseline the paper measures I/O
+// reduction against.
+//
+// Geometry conventions match package xzstar: plane [0,1)², digits 0=SW, 1=SE,
+// 2=NW, 3=NE, enlarged elements doubled toward the upper-right.
+package xz2
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/geo"
+)
+
+// MaxResolutionLimit keeps every index value inside an int64.
+const MaxResolutionLimit = 30
+
+// Index is an XZ-Ordering index with a fixed maximum resolution. Immutable
+// and safe for concurrent use.
+type Index struct {
+	maxRes int
+	// subtree[l] = number of elements in a subtree rooted at resolution l
+	// (the element itself plus all descendants): (4^(r-l+1)-1)/3.
+	subtree []int64
+}
+
+// New returns an XZ-Ordering index with the given maximum resolution.
+func New(maxRes int) (*Index, error) {
+	if maxRes < 1 || maxRes > MaxResolutionLimit {
+		return nil, fmt.Errorf("xz2: max resolution %d out of range [1,%d]", maxRes, MaxResolutionLimit)
+	}
+	sub := make([]int64, maxRes+2)
+	sub[maxRes+1] = 0
+	for l := maxRes; l >= 0; l-- {
+		sub[l] = 1 + 4*sub[l+1]
+	}
+	return &Index{maxRes: maxRes, subtree: sub}, nil
+}
+
+// MustNew is New for static configuration; it panics on a bad resolution.
+func MustNew(maxRes int) *Index {
+	ix, err := New(maxRes)
+	if err != nil {
+		panic(err)
+	}
+	return ix
+}
+
+// MaxResolution returns r.
+func (ix *Index) MaxResolution() int { return ix.maxRes }
+
+// TotalElements returns the size of the value domain: (4^(r+1)-1)/3,
+// counting the root element (the whole plane) as value 0.
+func (ix *Index) TotalElements() int64 { return ix.subtree[0] }
+
+func clamp01(v float64) float64 {
+	if v < 0 {
+		return 0
+	}
+	if v >= 1 {
+		return math.Nextafter(1, 0)
+	}
+	return v
+}
+
+// fits reports whether mbr is covered by the enlarged element anchored at the
+// resolution-l cell of its lower-left corner.
+func fits(mbr geo.Rect, l int) bool {
+	w := math.Pow(0.5, float64(l))
+	fit1 := func(lo, hi float64) bool {
+		return hi <= math.Floor(clamp01(lo)/w)*w+2*w
+	}
+	return fit1(mbr.Min.X, mbr.Max.X) && fit1(mbr.Min.Y, mbr.Max.Y)
+}
+
+// sequenceFor returns the digit path (length l) of the cell containing p.
+func sequenceFor(p geo.Point, l int) []byte {
+	x, y := clamp01(p.X), clamp01(p.Y)
+	digits := make([]byte, l)
+	cx, cy, w := 0.0, 0.0, 1.0
+	for i := 0; i < l; i++ {
+		w /= 2
+		var d byte
+		if x >= cx+w {
+			d |= 1
+			cx += w
+		}
+		if y >= cy+w {
+			d |= 2
+			cy += w
+		}
+		digits[i] = d
+	}
+	return digits
+}
+
+// seeLength returns the resolution of the smallest enlarged element covering
+// mbr (the XZ-Ordering analogue of the paper's Lemmas 1-2), in [0, maxRes]
+// where 0 is the root element.
+func (ix *Index) seeLength(mbr geo.Rect) int {
+	ext := math.Max(mbr.Width(), mbr.Height())
+	var l int
+	if ext <= 0 {
+		l = ix.maxRes
+	} else {
+		l = int(math.Floor(math.Log(ext) / math.Log(0.5)))
+		if l < 0 {
+			l = 0
+		}
+		if l > ix.maxRes {
+			l = ix.maxRes
+		}
+	}
+	for l > 0 && !fits(mbr, l) {
+		l--
+	}
+	for l < ix.maxRes && fits(mbr, l+1) {
+		l++
+	}
+	return l
+}
+
+// value converts a digit path to its depth-first element number; the root
+// path is 0 and each element is numbered before its children.
+func (ix *Index) value(digits []byte) int64 {
+	var v int64
+	for i, d := range digits {
+		v += 1 + int64(d)*ix.subtree[i+1]
+	}
+	return v
+}
+
+// Assign returns the XZ-Ordering value of a trajectory given by its points:
+// the element number of the smallest enlarged element covering its MBR.
+func (ix *Index) Assign(pts []geo.Point) int64 {
+	return ix.AssignMBR(geo.MBRPoints(pts))
+}
+
+// AssignMBR returns the XZ-Ordering value for an MBR.
+func (ix *Index) AssignMBR(mbr geo.Rect) int64 {
+	mbr = geo.Rect{
+		Min: geo.Point{X: clamp01(mbr.Min.X), Y: clamp01(mbr.Min.Y)},
+		Max: geo.Point{X: clamp01(mbr.Max.X), Y: clamp01(mbr.Max.Y)},
+	}
+	l := ix.seeLength(mbr)
+	return ix.value(sequenceFor(mbr.Min, l))
+}
+
+// ValueRange is a half-open range [Lo, Hi) of XZ-Ordering values.
+type ValueRange struct {
+	Lo, Hi int64
+}
+
+// Contains reports whether v falls in the range.
+func (r ValueRange) Contains(v int64) bool { return v >= r.Lo && v < r.Hi }
+
+// cellOf returns the cell rect for a digit path.
+func cellOf(digits []byte) geo.Rect {
+	x, y, w := 0.0, 0.0, 1.0
+	for _, d := range digits {
+		w /= 2
+		if d&1 != 0 {
+			x += w
+		}
+		if d&2 != 0 {
+			y += w
+		}
+	}
+	return geo.Rect{Min: geo.Point{X: x, Y: y}, Max: geo.Point{X: x + w, Y: y + w}}
+}
+
+func elementOf(digits []byte) geo.Rect {
+	c := cellOf(digits)
+	w := c.Width()
+	return geo.Rect{Min: c.Min, Max: geo.Point{X: c.Min.X + 2*w, Y: c.Min.Y + 2*w}}
+}
+
+// DefaultRangeBudget bounds how many elements one query cover may visit
+// before falling back to whole-subtree ranges (GeoMesa's range-compute limit
+// plays the same role). Falling back only widens the scan.
+const DefaultRangeBudget = 8192
+
+// Ranges computes the classic XZ-Ordering query cover for a window: the value
+// ranges of every element whose enlarged region intersects the window. Any
+// trajectory whose MBR intersects the window is guaranteed to be inside the
+// cover. Subtrees fully inside the window collapse to one contiguous range.
+// budget <= 0 selects DefaultRangeBudget.
+func (ix *Index) Ranges(window geo.Rect, budget int) []ValueRange {
+	if budget <= 0 {
+		budget = DefaultRangeBudget
+	}
+	visited := 0
+	var out []ValueRange
+	var walk func(digits []byte)
+	walk = func(digits []byte) {
+		elem := elementOf(digits)
+		if !elem.Intersects(window) {
+			return
+		}
+		visited++
+		v := ix.value(digits)
+		l := len(digits)
+		if window.ContainsRect(elem) || l == ix.maxRes || visited >= budget {
+			// Every descendant's element is inside this element; emit the
+			// whole subtree as one range.
+			out = append(out, ValueRange{Lo: v, Hi: v + ix.subtree[l]})
+			return
+		}
+		out = append(out, ValueRange{Lo: v, Hi: v + 1})
+		for d := byte(0); d < 4; d++ {
+			walk(append(digits, d))
+		}
+	}
+	walk(nil)
+	return mergeRanges(out)
+}
+
+func mergeRanges(rs []ValueRange) []ValueRange {
+	if len(rs) <= 1 {
+		return rs
+	}
+	sort.Slice(rs, func(i, j int) bool { return rs[i].Lo < rs[j].Lo })
+	out := rs[:1]
+	for _, r := range rs[1:] {
+		last := &out[len(out)-1]
+		if r.Lo <= last.Hi {
+			if r.Hi > last.Hi {
+				last.Hi = r.Hi
+			}
+			continue
+		}
+		out = append(out, r)
+	}
+	return out
+}

@@ -1,0 +1,220 @@
+package xz2
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/geo"
+)
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(0); err == nil {
+		t.Error("resolution 0 must be rejected")
+	}
+	if _, err := New(MaxResolutionLimit + 1); err == nil {
+		t.Error("over-limit resolution must be rejected")
+	}
+	ix := MustNew(16)
+	if ix.MaxResolution() != 16 {
+		t.Fatal("wrong resolution")
+	}
+}
+
+func TestTotalElements(t *testing.T) {
+	// (4^(r+1)-1)/3 elements including the root.
+	ix := MustNew(2)
+	if got := ix.TotalElements(); got != 21 { // 1 + 4 + 16
+		t.Fatalf("total = %d, want 21", got)
+	}
+}
+
+// DFS numbering: enumerate elements in depth-first order and compare.
+func TestValueIsDFSOrder(t *testing.T) {
+	ix := MustNew(3)
+	var order [][]byte
+	var walk func(d []byte)
+	walk = func(d []byte) {
+		cp := append([]byte(nil), d...)
+		order = append(order, cp)
+		if len(d) == 3 {
+			return
+		}
+		for q := byte(0); q < 4; q++ {
+			walk(append(d, q))
+		}
+	}
+	walk(nil)
+	if int64(len(order)) != ix.TotalElements() {
+		t.Fatalf("enumerated %d, want %d", len(order), ix.TotalElements())
+	}
+	for want, digits := range order {
+		if got := ix.value(digits); got != int64(want) {
+			t.Fatalf("value(%v) = %d, want %d", digits, got, want)
+		}
+	}
+}
+
+func TestAssignCoversMBR(t *testing.T) {
+	ix := MustNew(16)
+	rng := rand.New(rand.NewSource(1))
+	for iter := 0; iter < 1000; iter++ {
+		x, y := rng.Float64(), rng.Float64()
+		w := math.Pow(2, -rng.Float64()*16)
+		mbr := geo.Rect{
+			Min: geo.Point{X: x, Y: y},
+			Max: geo.Point{X: math.Min(x+w*rng.Float64(), 1), Y: math.Min(y+w*rng.Float64(), 1)},
+		}
+		l := ix.seeLength(mbr)
+		digits := sequenceFor(mbr.Min, l)
+		if !elementOf(digits).ContainsRect(mbr) {
+			t.Fatalf("iter %d: element does not cover MBR %v", iter, mbr)
+		}
+		if l < ix.maxRes && fits(mbr, l+1) {
+			t.Fatalf("iter %d: not the smallest covering element", iter)
+		}
+	}
+}
+
+// Soundness of the query cover: any MBR intersecting the window has its
+// assigned value inside the returned ranges.
+func TestRangesSound(t *testing.T) {
+	ix := MustNew(12)
+	rng := rand.New(rand.NewSource(2))
+	for iter := 0; iter < 40; iter++ {
+		wx, wy := rng.Float64()*0.8, rng.Float64()*0.8
+		window := geo.Rect{
+			Min: geo.Point{X: wx, Y: wy},
+			Max: geo.Point{X: wx + 0.01 + rng.Float64()*0.1, Y: wy + 0.01 + rng.Float64()*0.1},
+		}
+		ranges := ix.Ranges(window, 0)
+		for j := 0; j < 200; j++ {
+			x, y := rng.Float64(), rng.Float64()
+			mbr := geo.Rect{
+				Min: geo.Point{X: x, Y: y},
+				Max: geo.Point{X: math.Min(x+rng.Float64()*0.05, 1), Y: math.Min(y+rng.Float64()*0.05, 1)},
+			}
+			if !mbr.Intersects(window) {
+				continue
+			}
+			v := ix.AssignMBR(mbr)
+			hit := false
+			for _, r := range ranges {
+				if r.Contains(v) {
+					hit = true
+					break
+				}
+			}
+			if !hit {
+				t.Fatalf("iter %d: MBR %v (value %d) intersects window %v but is outside the cover", iter, mbr, v, window)
+			}
+		}
+	}
+}
+
+// The cover is selective: values of far-away MBRs are mostly excluded.
+func TestRangesSelective(t *testing.T) {
+	ix := MustNew(12)
+	rng := rand.New(rand.NewSource(3))
+	window := geo.Rect{Min: geo.Point{X: 0.3, Y: 0.3}, Max: geo.Point{X: 0.32, Y: 0.32}}
+	ranges := ix.Ranges(window, 0)
+	miss, total := 0, 0
+	for j := 0; j < 2000; j++ {
+		x, y := rng.Float64(), rng.Float64()
+		mbr := geo.Rect{
+			Min: geo.Point{X: x, Y: y},
+			Max: geo.Point{X: math.Min(x+0.01, 1), Y: math.Min(y+0.01, 1)},
+		}
+		if mbr.Intersects(window.Buffer(0.1)) {
+			continue
+		}
+		total++
+		v := ix.AssignMBR(mbr)
+		hit := false
+		for _, r := range ranges {
+			if r.Contains(v) {
+				hit = true
+				break
+			}
+		}
+		if !hit {
+			miss++
+		}
+	}
+	if total == 0 {
+		t.Skip("no far MBRs sampled")
+	}
+	if frac := float64(miss) / float64(total); frac < 0.9 {
+		t.Fatalf("cover excludes only %.1f%% of far MBRs", frac*100)
+	}
+}
+
+func TestRangesBudget(t *testing.T) {
+	ix := MustNew(16)
+	window := geo.Rect{Min: geo.Point{X: 0.2, Y: 0.2}, Max: geo.Point{X: 0.7, Y: 0.7}}
+	full := ix.Ranges(window, 1<<20)
+	tiny := ix.Ranges(window, 16)
+	if len(tiny) > len(full) {
+		t.Fatalf("budgeted cover has more ranges (%d) than full (%d)", len(tiny), len(full))
+	}
+	// Budgeted cover must still cover everything the full cover does.
+	for _, r := range full {
+		for _, v := range []int64{r.Lo, r.Hi - 1} {
+			hit := false
+			for _, s := range tiny {
+				if s.Contains(v) {
+					hit = true
+					break
+				}
+			}
+			if !hit {
+				t.Fatalf("value %d covered by full plan but not budgeted plan", v)
+			}
+		}
+	}
+}
+
+func TestRangesCanonical(t *testing.T) {
+	ix := MustNew(12)
+	window := geo.Rect{Min: geo.Point{X: 0.1, Y: 0.4}, Max: geo.Point{X: 0.3, Y: 0.6}}
+	ranges := ix.Ranges(window, 0)
+	if len(ranges) == 0 {
+		t.Fatal("cover must not be empty")
+	}
+	for i, r := range ranges {
+		if r.Lo >= r.Hi {
+			t.Fatalf("empty range %+v", r)
+		}
+		if i > 0 && ranges[i-1].Hi >= r.Lo {
+			t.Fatalf("ranges overlap or touch: %+v then %+v", ranges[i-1], r)
+		}
+	}
+}
+
+func TestAssignPointTrajectory(t *testing.T) {
+	ix := MustNew(16)
+	v := ix.Assign([]geo.Point{{X: 0.5, Y: 0.5}})
+	if v < 0 || v >= ix.TotalElements() {
+		t.Fatalf("value %d out of domain", v)
+	}
+}
+
+func BenchmarkAssign(b *testing.B) {
+	ix := MustNew(16)
+	mbr := geo.Rect{Min: geo.Point{X: 0.31, Y: 0.42}, Max: geo.Point{X: 0.33, Y: 0.44}}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ix.AssignMBR(mbr)
+	}
+}
+
+func BenchmarkRanges(b *testing.B) {
+	ix := MustNew(16)
+	window := geo.Rect{Min: geo.Point{X: 0.3, Y: 0.3}, Max: geo.Point{X: 0.35, Y: 0.35}}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ix.Ranges(window, 0)
+	}
+}

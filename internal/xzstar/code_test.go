@@ -1,0 +1,156 @@
+package xzstar
+
+import "testing"
+
+// codesContaining returns the position codes whose index space includes all
+// quads in m.
+func codesContaining(m QuadMask) []PosCode {
+	var out []PosCode
+	for p := PosCode(1); p <= 10; p++ {
+		if p.Mask()&m == m {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// codesAvoiding returns the position codes whose index space avoids every
+// quad in m — what survives when all quads in m are far from the query.
+func codesAvoiding(m QuadMask) []PosCode {
+	var out []PosCode
+	for p := PosCode(1); p <= 10; p++ {
+		if p.Mask()&m == 0 {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+func TestMaskCodeRoundTrip(t *testing.T) {
+	for p := PosCode(1); p <= 10; p++ {
+		got, ok := CodeForMask(p.Mask())
+		if !ok || got != p {
+			t.Errorf("CodeForMask(Mask(%d)) = %d,%v", p, got, ok)
+		}
+	}
+	// Invalid combinations have no code.
+	for _, m := range []QuadMask{0, QuadB, QuadC, QuadD, QuadB | QuadD, QuadC | QuadD} {
+		if _, ok := CodeForMask(m); ok {
+			t.Errorf("mask %04b must not be an index space", m)
+		}
+	}
+}
+
+func TestPosCodePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Mask of invalid code must panic")
+		}
+	}()
+	PosCode(0).Mask()
+}
+
+func TestNumQuads(t *testing.T) {
+	want := map[PosCode]int{1: 2, 2: 2, 3: 2, 4: 2, 5: 3, 6: 3, 7: 3, 8: 3, 9: 4, 10: 1}
+	for p, n := range want {
+		if got := p.NumQuads(); got != n {
+			t.Errorf("NumQuads(%d) = %d, want %d", p, got, n)
+		}
+	}
+}
+
+// Section IV-B, paragraph "Discussion": pruning a single far quad removes a
+// specific fraction of the ten index spaces. The paper's numbers pin down the
+// code-to-combination assignment; this test locks our table to them.
+func TestPaperSingleQuadPruning(t *testing.T) {
+	cases := []struct {
+		quad      QuadMask
+		reduction float64
+		name      string
+	}{
+		{QuadA, 0.8, "a"},
+		{QuadB, 0.6, "b"},
+		{QuadC, 0.6, "c"},
+		{QuadD, 0.5, "d"},
+	}
+	for _, tc := range cases {
+		pruned := len(codesContaining(tc.quad))
+		if got := float64(pruned) / 10; got != tc.reduction {
+			t.Errorf("pruning quad %s removes %.0f%%, paper says %.0f%%",
+				tc.name, got*100, tc.reduction*100)
+		}
+	}
+	// "if quad-c is far we do not need position codes 2,4,5,6,8,9".
+	want := []PosCode{2, 4, 5, 6, 8, 9}
+	got := codesContaining(QuadC)
+	if len(got) != len(want) {
+		t.Fatalf("codes containing c: %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("codes containing c: %v, want %v", got, want)
+		}
+	}
+}
+
+// Section IV-B: pruning pairs and triples of quads. "if quad-b and quad-c are
+// both away, except for position codes 10 and 3, we can discard other index
+// spaces" and the list for ab, ac, ad, bd, cd, abc, abd, acd, bcd.
+func TestPaperMultiQuadPruning(t *testing.T) {
+	cases := []struct {
+		mask      QuadMask
+		reduction float64
+		name      string
+	}{
+		{QuadA | QuadB, 1.0, "ab"},
+		{QuadA | QuadC, 1.0, "ac"},
+		{QuadA | QuadD, 0.9, "ad"},
+		{QuadB | QuadC, 0.8, "bc"},
+		{QuadB | QuadD, 0.8, "bd"},
+		{QuadC | QuadD, 0.8, "cd"},
+		{QuadA | QuadB | QuadC, 1.0, "abc"},
+		{QuadA | QuadB | QuadD, 1.0, "abd"},
+		{QuadA | QuadC | QuadD, 1.0, "acd"},
+		{QuadB | QuadC | QuadD, 0.9, "bcd"},
+	}
+	for _, tc := range cases {
+		surviving := codesAvoiding(tc.mask)
+		if got := 1 - float64(len(surviving))/10; got != tc.reduction {
+			t.Errorf("pruning %s: reduction %.0f%%, paper says %.0f%% (survivors %v)",
+				tc.name, got*100, tc.reduction*100, surviving)
+		}
+	}
+	// bc leaves exactly {10, 3}.
+	s := codesAvoiding(QuadB | QuadC)
+	if len(s) != 2 || s[0] != 3 || s[1] != 10 {
+		t.Fatalf("b∧c survivors = %v, want [3 10]", s)
+	}
+}
+
+// The paper's average across the 14 pruning scenarios is 83.6%.
+func TestPaperAverageIOReduction(t *testing.T) {
+	masks := []QuadMask{
+		QuadA, QuadB, QuadC, QuadD,
+		QuadA | QuadB, QuadA | QuadC, QuadA | QuadD,
+		QuadB | QuadC, QuadB | QuadD, QuadC | QuadD,
+		QuadA | QuadB | QuadC, QuadA | QuadB | QuadD,
+		QuadA | QuadC | QuadD, QuadB | QuadC | QuadD,
+	}
+	total := 0.0
+	for _, m := range masks {
+		total += 1 - float64(len(codesAvoiding(m)))/10
+	}
+	avg := total / float64(len(masks))
+	if avg < 0.835 || avg > 0.837 {
+		t.Fatalf("average reduction %.4f, paper says 0.836", avg)
+	}
+}
+
+func TestAllCodes(t *testing.T) {
+	if got := AllCodes(false); len(got) != 9 || got[len(got)-1] != 9 {
+		t.Errorf("below max resolution: %v", got)
+	}
+	if got := AllCodes(true); len(got) != 10 || got[len(got)-1] != 10 {
+		t.Errorf("at max resolution: %v", got)
+	}
+}

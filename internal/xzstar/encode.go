@@ -1,0 +1,141 @@
+package xzstar
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Encoding (Section IV-C): a bijection from (quadrant sequence, position
+// code) pairs to the integers [0, 13·4^r − 12), numbered in depth-first
+// order. Depth-first numbering gives the two properties query processing
+// depends on:
+//
+//   - lexicographic (sequence, code) order equals integer order, and
+//   - the index spaces under any sequence prefix form one contiguous range,
+//     so global pruning emits a small set of key-range scans.
+
+// NumIndexSpaces returns N_is(l) of Lemma 4: how many index spaces exist
+// under (and including) one quadrant sequence of length l. Each element below
+// the maximum resolution owns 9 position codes; elements at the maximum
+// resolution own 10.
+func (ix *Index) NumIndexSpaces(l int) int64 {
+	if l < 1 || l > ix.maxRes {
+		panic(fmt.Sprintf("xzstar: resolution %d out of range [1,%d]", l, ix.maxRes))
+	}
+	return 13*pow4(ix.maxRes-l) - 3
+}
+
+// NumQuadrantSequences returns N_qs(i,l) of Lemma 3: the number of quadrant
+// sequences at resolution i prefixed by one sequence of length l.
+func NumQuadrantSequences(i, l int) int64 {
+	if i < l {
+		panic("xzstar: N_qs needs i >= l")
+	}
+	return pow4(i - l)
+}
+
+// TotalIndexSpaces returns the size of the encoding's value domain:
+// 4·N_is(1) = 13·4^r − 12.
+func (ix *Index) TotalIndexSpaces() int64 { return 13*pow4(ix.maxRes) - 12 }
+
+func pow4(n int) int64 {
+	if n < 0 || n > 31 {
+		panic(fmt.Sprintf("xzstar: pow4(%d) out of range", n))
+	}
+	return 1 << (2 * n)
+}
+
+// start returns the first index value in the contiguous range owned by s.
+func (ix *Index) start(s Seq) int64 {
+	var v int64
+	for i := 0; i < s.Len(); i++ {
+		l := i + 1
+		v += int64(s.Digit(i)) * ix.NumIndexSpaces(l)
+		if l > 1 {
+			v += 9 // the own codes of the ancestor at resolution l-1
+		}
+	}
+	return v
+}
+
+// Value returns V(s,p), the integer index value of an index space
+// (Definition 5). It panics on invalid inputs: entries are produced by
+// Assign and query planning, so a bad pair is a programming error.
+func (ix *Index) Value(s Seq, p PosCode) int64 {
+	l := s.Len()
+	if l < 1 || l > ix.maxRes {
+		panic(fmt.Sprintf("xzstar: sequence resolution %d out of range", l))
+	}
+	switch {
+	case p < 1 || p > 10:
+		panic(fmt.Sprintf("xzstar: invalid position code %d", p))
+	case p == 10 && l != ix.maxRes:
+		panic("xzstar: position code 10 only exists at the maximum resolution")
+	}
+	return ix.start(s) + int64(p) - 1
+}
+
+// Decode is the inverse of Value. It returns an error on values outside the
+// encoding's domain (these can arrive from corrupted storage).
+func (ix *Index) Decode(v int64) (Seq, PosCode, error) {
+	if v < 0 || v >= ix.TotalIndexSpaces() {
+		return Seq{}, 0, fmt.Errorf("xzstar: index value %d out of domain [0,%d)", v, ix.TotalIndexSpaces())
+	}
+	digits := make([]byte, 0, ix.maxRes)
+	rem := v
+	for l := 1; ; l++ {
+		block := ix.NumIndexSpaces(l)
+		q := rem / block
+		digits = append(digits, byte(q))
+		rem -= q * block
+		if l == ix.maxRes {
+			return Seq{digits: digits}, PosCode(rem + 1), nil
+		}
+		if rem < 9 {
+			return Seq{digits: digits}, PosCode(rem + 1), nil
+		}
+		rem -= 9
+	}
+}
+
+// ValueRange is a half-open range [Lo, Hi) of index values.
+type ValueRange struct {
+	Lo, Hi int64
+}
+
+// Contains reports whether v falls in the range.
+func (r ValueRange) Contains(v int64) bool { return v >= r.Lo && v < r.Hi }
+
+// PrefixRange returns the contiguous range of index values owned by s and
+// every sequence prefixed by it.
+func (ix *Index) PrefixRange(s Seq) ValueRange {
+	lo := ix.start(s)
+	return ValueRange{Lo: lo, Hi: lo + ix.NumIndexSpaces(s.Len())}
+}
+
+// mergeRanges sorts ranges and coalesces overlapping or adjacent ones.
+// It mutates and returns rs.
+func mergeRanges(rs []ValueRange) []ValueRange {
+	if len(rs) <= 1 {
+		return rs
+	}
+	// Insertion-friendly: ranges arrive mostly sorted from the DFS walk, so a
+	// simple sort is cheap.
+	sortRanges(rs)
+	out := rs[:1]
+	for _, r := range rs[1:] {
+		last := &out[len(out)-1]
+		if r.Lo <= last.Hi {
+			if r.Hi > last.Hi {
+				last.Hi = r.Hi
+			}
+			continue
+		}
+		out = append(out, r)
+	}
+	return out
+}
+
+func sortRanges(rs []ValueRange) {
+	sort.Slice(rs, func(i, j int) bool { return rs[i].Lo < rs[j].Lo })
+}

@@ -1,0 +1,269 @@
+package xzstar
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/geo"
+)
+
+func TestNumIndexSpacesFormula(t *testing.T) {
+	ix := MustNew(4)
+	// Recursive definition: an element below max resolution owns 9 codes plus
+	// four child subtrees; at max resolution it owns 10 codes.
+	var recur func(l int) int64
+	recur = func(l int) int64 {
+		if l == 4 {
+			return 10
+		}
+		return 9 + 4*recur(l+1)
+	}
+	for l := 1; l <= 4; l++ {
+		if got, want := ix.NumIndexSpaces(l), recur(l); got != want {
+			t.Errorf("N_is(%d) = %d, want %d", l, got, want)
+		}
+	}
+	// Closed form at max resolution: 13*4^0-3 = 10.
+	if ix.NumIndexSpaces(4) != 10 {
+		t.Error("N_is(r) must be 10")
+	}
+}
+
+func TestNumQuadrantSequences(t *testing.T) {
+	if NumQuadrantSequences(5, 2) != 64 {
+		t.Error("N_qs(5,2) must be 4^3")
+	}
+	if NumQuadrantSequences(3, 3) != 1 {
+		t.Error("N_qs(i,i) must be 1")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("i < l must panic")
+		}
+	}()
+	NumQuadrantSequences(1, 2)
+}
+
+func TestTotalIndexSpaces(t *testing.T) {
+	ix := MustNew(2)
+	if got := ix.TotalIndexSpaces(); got != 13*16-12 {
+		t.Fatalf("total = %d, want %d", got, 13*16-12)
+	}
+	// Equals the sum of the four root subtrees.
+	if got := ix.TotalIndexSpaces(); got != 4*ix.NumIndexSpaces(1) {
+		t.Fatal("total must equal 4*N_is(1)")
+	}
+}
+
+// enumerate walks the element tree in DFS order yielding (seq, code) pairs in
+// the order the encoding is supposed to number them.
+func enumerate(ix *Index) []Entry {
+	var out []Entry
+	var walk func(s Seq)
+	walk = func(s Seq) {
+		atMax := s.Len() == ix.MaxResolution()
+		for _, c := range AllCodes(atMax) {
+			out = append(out, Entry{Seq: s, Code: c})
+		}
+		if atMax {
+			return
+		}
+		for d := byte(0); d < 4; d++ {
+			walk(s.Child(d))
+		}
+	}
+	for d := byte(0); d < 4; d++ {
+		walk(SeqOf(d))
+	}
+	return out
+}
+
+// The bijection: DFS enumeration order assigns exactly the integers
+// 0,1,2,... and Decode inverts Value everywhere. Exhaustive for r=3
+// (832 index spaces).
+func TestEncodingBijectionExhaustive(t *testing.T) {
+	ix := MustNew(3)
+	all := enumerate(ix)
+	if int64(len(all)) != ix.TotalIndexSpaces() {
+		t.Fatalf("enumerated %d spaces, domain is %d", len(all), ix.TotalIndexSpaces())
+	}
+	for want, e := range all {
+		// Codes within an element are ascending but DFS interleaves children:
+		// recompute the expected value as the enumeration position.
+		got := ix.Value(e.Seq, e.Code)
+		if got != int64(want) {
+			t.Fatalf("V(%v,%d) = %d, want %d (DFS position)", e.Seq, e.Code, got, want)
+		}
+		s, p, err := ix.Decode(got)
+		if err != nil {
+			t.Fatalf("decode(%d): %v", got, err)
+		}
+		if s.String() != e.Seq.String() || p != e.Code {
+			t.Fatalf("decode(%d) = (%v,%d), want (%v,%d)", got, s, p, e.Seq, e.Code)
+		}
+	}
+}
+
+// Lexicographic (sequence, code) order must equal integer order; the DFS
+// enumeration is by construction lexicographic with prefixes first, so
+// ascending positions in it must have ascending values — already covered
+// exhaustively above. Here: order is preserved for random pairs at r=16.
+func TestEncodingOrderPreserved(t *testing.T) {
+	ix := MustNew(16)
+	rng := rand.New(rand.NewSource(3))
+	randEntry := func() Entry {
+		l := 1 + rng.Intn(16)
+		digits := make([]byte, l)
+		for i := range digits {
+			digits[i] = byte(rng.Intn(4))
+		}
+		s := SeqOf(digits...)
+		var codes []PosCode
+		codes = AllCodes(l == 16)
+		c := codes[rng.Intn(len(codes))]
+		return Entry{Seq: s, Code: c, Value: ix.Value(s, c)}
+	}
+	lexLess := func(a, b Entry) bool {
+		// Prefix-first lexicographic comparison on digits, then code.
+		n := a.Seq.Len()
+		if b.Seq.Len() < n {
+			n = b.Seq.Len()
+		}
+		for i := 0; i < n; i++ {
+			if a.Seq.Digit(i) != b.Seq.Digit(i) {
+				return a.Seq.Digit(i) < b.Seq.Digit(i)
+			}
+		}
+		if a.Seq.Len() != b.Seq.Len() {
+			// The shorter is a prefix: its own codes come before the longer
+			// sequence's codes in DFS order.
+			if a.Seq.Len() < b.Seq.Len() {
+				return true
+			}
+			return false
+		}
+		return a.Code < b.Code
+	}
+	for iter := 0; iter < 5000; iter++ {
+		a, b := randEntry(), randEntry()
+		if a.Seq.String() == b.Seq.String() && a.Code == b.Code {
+			continue
+		}
+		if lexLess(a, b) != (a.Value < b.Value) {
+			t.Fatalf("order mismatch: (%v,%d)=%d vs (%v,%d)=%d",
+				a.Seq, a.Code, a.Value, b.Seq, b.Code, b.Value)
+		}
+	}
+}
+
+// Every descendant's value lies inside the ancestor's prefix range; values
+// outside the subtree lie outside the range.
+func TestPrefixRangeContiguity(t *testing.T) {
+	ix := MustNew(16)
+	rng := rand.New(rand.NewSource(4))
+	for iter := 0; iter < 2000; iter++ {
+		l := 1 + rng.Intn(14)
+		digits := make([]byte, l)
+		for i := range digits {
+			digits[i] = byte(rng.Intn(4))
+		}
+		s := SeqOf(digits...)
+		r := ix.PrefixRange(s)
+
+		// A random descendant.
+		desc := s
+		for desc.Len() < 16 && rng.Intn(2) == 0 {
+			desc = desc.Child(byte(rng.Intn(4)))
+		}
+		codes := AllCodes(desc.Len() == 16)
+		v := ix.Value(desc, codes[rng.Intn(len(codes))])
+		if !r.Contains(v) {
+			t.Fatalf("descendant value %d outside prefix range %+v of %v", v, r, s)
+		}
+
+		// A sibling subtree's value is outside.
+		if l >= 2 {
+			sib := make([]byte, l)
+			copy(sib, digits)
+			sib[l-1] = (sib[l-1] + 1) % 4
+			sv := ix.Value(SeqOf(sib...), 1)
+			if r.Contains(sv) {
+				t.Fatalf("sibling value %d inside prefix range %+v of %v", sv, r, s)
+			}
+		}
+	}
+}
+
+func TestDecodeErrors(t *testing.T) {
+	ix := MustNew(8)
+	if _, _, err := ix.Decode(-1); err == nil {
+		t.Error("negative value must fail")
+	}
+	if _, _, err := ix.Decode(ix.TotalIndexSpaces()); err == nil {
+		t.Error("value at domain end must fail")
+	}
+	if _, _, err := ix.Decode(ix.TotalIndexSpaces() - 1); err != nil {
+		t.Errorf("last valid value must decode: %v", err)
+	}
+}
+
+func TestValuePanics(t *testing.T) {
+	ix := MustNew(8)
+	cases := []func(){
+		func() { ix.Value(SeqOf(0), 0) },     // code too small
+		func() { ix.Value(SeqOf(0), 11) },    // code too large
+		func() { ix.Value(SeqOf(0), CodeA) }, // code 10 below max resolution
+		func() { ix.Value(Seq{}, 1) },        // root has no codes
+	}
+	for i, f := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d: expected panic", i)
+				}
+			}()
+			f()
+		}()
+	}
+	// Code 10 at max resolution is valid.
+	s := seqForPoint(geo.Point{X: 0.3, Y: 0.3}, 8)
+	_ = ix.Value(s, CodeA)
+}
+
+func TestMergeRanges(t *testing.T) {
+	tests := []struct {
+		in, want []ValueRange
+	}{
+		{nil, nil},
+		{[]ValueRange{{1, 2}}, []ValueRange{{1, 2}}},
+		{[]ValueRange{{1, 2}, {2, 3}}, []ValueRange{{1, 3}}},         // adjacent
+		{[]ValueRange{{5, 9}, {1, 3}}, []ValueRange{{1, 3}, {5, 9}}}, // disjoint unsorted
+		{[]ValueRange{{1, 10}, {2, 5}}, []ValueRange{{1, 10}}},       // contained
+		{[]ValueRange{{1, 4}, {3, 6}, {6, 7}, {9, 10}}, []ValueRange{{1, 7}, {9, 10}}},
+	}
+	for i, tc := range tests {
+		got := mergeRanges(append([]ValueRange(nil), tc.in...))
+		if len(got) != len(tc.want) {
+			t.Errorf("case %d: got %v, want %v", i, got, tc.want)
+			continue
+		}
+		for j := range got {
+			if got[j] != tc.want[j] {
+				t.Errorf("case %d: got %v, want %v", i, got, tc.want)
+				break
+			}
+		}
+	}
+}
+
+// Rowkey economics (Section IV-C): integer encoding needs 8 bytes where the
+// string form needs resolution+1 bytes; at r=16 that is a 53% saving.
+func TestEncodingStorageClaim(t *testing.T) {
+	r := 16
+	stringBytes := r + 1 // quadrant sequence chars + position code byte
+	intBytes := 8
+	saving := 1 - float64(intBytes)/float64(stringBytes)
+	if saving < 0.52 || saving > 0.54 {
+		t.Fatalf("saving = %.3f, the paper claims about 53%%", saving)
+	}
+}

@@ -1,0 +1,169 @@
+package xzstar
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/geo"
+)
+
+// quickSpace generates random valid (sequence, code) pairs for quick.Check.
+type quickSpace struct {
+	Digits []byte
+	Code   PosCode
+}
+
+func (quickSpace) Generate(r *rand.Rand, _ int) reflect.Value {
+	l := 1 + r.Intn(16)
+	digits := make([]byte, l)
+	for i := range digits {
+		digits[i] = byte(r.Intn(4))
+	}
+	var code PosCode
+	if l == 16 {
+		code = PosCode(1 + r.Intn(10))
+	} else {
+		code = PosCode(1 + r.Intn(9))
+	}
+	return reflect.ValueOf(quickSpace{Digits: digits, Code: code})
+}
+
+// The encoding is a bijection: Decode(Value(s,p)) == (s,p) for arbitrary
+// valid index spaces.
+func TestQuickEncodingRoundTrip(t *testing.T) {
+	ix := MustNew(16)
+	f := func(sp quickSpace) bool {
+		s := SeqOf(sp.Digits...)
+		v := ix.Value(s, sp.Code)
+		if v < 0 || v >= ix.TotalIndexSpaces() {
+			return false
+		}
+		s2, p2, err := ix.Decode(v)
+		if err != nil {
+			return false
+		}
+		return s2.String() == s.String() && p2 == sp.Code
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Every index value lies inside the prefix range of each of its ancestors.
+func TestQuickPrefixContainment(t *testing.T) {
+	ix := MustNew(16)
+	f := func(sp quickSpace) bool {
+		s := SeqOf(sp.Digits...)
+		v := ix.Value(s, sp.Code)
+		for l := 1; l <= s.Len(); l++ {
+			anc := SeqOf(sp.Digits[:l]...)
+			if !ix.PrefixRange(anc).Contains(v) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// quickMBR generates random small MBRs inside the unit square.
+type quickMBR struct{ R geo.Rect }
+
+func (quickMBR) Generate(r *rand.Rand, _ int) reflect.Value {
+	x, y := r.Float64(), r.Float64()
+	w := r.Float64() * r.Float64() // biased small
+	h := r.Float64() * r.Float64()
+	rect := geo.Rect{
+		Min: geo.Point{X: x, Y: y},
+		Max: geo.Point{X: geo.Clamp01(x + w), Y: geo.Clamp01(y + h)},
+	}
+	return reflect.ValueOf(quickMBR{R: rect})
+}
+
+// SEE always produces an element covering the MBR at a valid resolution.
+func TestQuickSEECovers(t *testing.T) {
+	ix := MustNew(16)
+	f := func(m quickMBR) bool {
+		s := ix.SEE(m.R)
+		if s.Len() < 1 || s.Len() > 16 {
+			return false
+		}
+		return s.Element().ContainsRect(clampRect(m.R))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// RangeCover never loses a trajectory whose points enter the window.
+func TestRangeCoverSound(t *testing.T) {
+	ix := MustNew(16)
+	rng := rand.New(rand.NewSource(80))
+	type entry struct {
+		pts   []geo.Point
+		value int64
+	}
+	entries := make([]entry, 300)
+	for i := range entries {
+		pts := walkTrajectory(rng, []float64{0.002, 0.02, 0.1}[rng.Intn(3)])
+		entries[i] = entry{pts: pts, value: ix.Assign(pts).Value}
+	}
+	for iter := 0; iter < 40; iter++ {
+		cx, cy := rng.Float64(), rng.Float64()
+		w := 0.005 + rng.Float64()*0.1
+		window := geo.Rect{
+			Min: geo.Point{X: cx, Y: cy},
+			Max: geo.Point{X: geo.Clamp01(cx + w), Y: geo.Clamp01(cy + w)},
+		}
+		ranges, _ := ix.RangeCover(window, 0)
+		inRanges := func(v int64) bool {
+			for _, r := range ranges {
+				if r.Contains(v) {
+					return true
+				}
+			}
+			return false
+		}
+		for i, e := range entries {
+			inside := false
+			for _, p := range e.pts {
+				if window.ContainsPoint(p) {
+					inside = true
+					break
+				}
+			}
+			if inside && !inRanges(e.value) {
+				t.Fatalf("iter %d: trajectory %d intersects window but is outside the cover", iter, i)
+			}
+		}
+	}
+}
+
+// RangeCover with a tiny budget still covers everything the full cover does.
+func TestRangeCoverBudget(t *testing.T) {
+	ix := MustNew(16)
+	window := geo.Rect{Min: geo.Point{X: 0.3, Y: 0.3}, Max: geo.Point{X: 0.38, Y: 0.38}}
+	full, _ := ix.RangeCover(window, 1<<20)
+	tiny, stats := ix.RangeCover(window, 8)
+	if !stats.Truncated {
+		t.Fatal("budget 8 must truncate")
+	}
+	for _, r := range full {
+		for _, v := range []int64{r.Lo, r.Hi - 1} {
+			ok := false
+			for _, s := range tiny {
+				if s.Contains(v) {
+					ok = true
+					break
+				}
+			}
+			if !ok {
+				t.Fatalf("value %d in full cover missing from budgeted cover", v)
+			}
+		}
+	}
+}

@@ -1,0 +1,81 @@
+package xzstar
+
+import "repro/internal/geo"
+
+// Spatial range query support. The paper's conclusion notes that XZ* also
+// answers spatial range queries; this is that operation: a covering set of
+// index-value ranges for every trajectory that could intersect a window.
+// Position codes prune here too — an index space whose quads all miss the
+// window cannot hold an intersecting trajectory, because every quad in a
+// trajectory's code contains at least one of its points... conversely a
+// trajectory intersecting the window has a point in the window, and that
+// point lies in one of its code's quads, so at least one quad intersects.
+
+// RangeCover returns merged value ranges covering every trajectory with at
+// least one point inside window. budget <= 0 selects DefaultElementBudget;
+// exceeding it falls back to whole-subtree ranges (sound over-selection).
+func (ix *Index) RangeCover(window geo.Rect, budget int) ([]ValueRange, PruneStats) {
+	if budget <= 0 {
+		budget = DefaultElementBudget
+	}
+	window = clampRect(window)
+	var stats PruneStats
+	var ranges []ValueRange
+
+	queue := make([]Seq, 0, 64)
+	queue = append(queue, RootSeqs()...)
+	for len(queue) > 0 {
+		s := queue[0]
+		queue = queue[1:]
+		stats.ElementsVisited++
+
+		elem := s.Element()
+		if !elem.Intersects(window) {
+			stats.ElementsPruned++
+			continue
+		}
+		if window.ContainsRect(elem) {
+			// Everything below is inside the window: one contiguous range.
+			ranges = append(ranges, ix.PrefixRange(s))
+			stats.SubtreesEmitted++
+			continue
+		}
+
+		quads := s.Quads()
+		var hitMask QuadMask
+		for i := 0; i < 4; i++ {
+			if quads[i].Intersects(window) {
+				hitMask |= 1 << i
+			}
+		}
+		atMax := s.Len() == ix.maxRes
+		for _, code := range AllCodes(atMax) {
+			stats.CodesExamined++
+			if code.Mask()&hitMask == 0 {
+				continue // no quad of this index space touches the window
+			}
+			v := ix.Value(s, code)
+			ranges = append(ranges, ValueRange{Lo: v, Hi: v + 1})
+			stats.CodesEmitted++
+		}
+
+		if atMax {
+			continue
+		}
+		if stats.ElementsVisited >= budget {
+			stats.Truncated = true
+			for d := byte(0); d < 4; d++ {
+				c := s.Child(d)
+				if c.Element().Intersects(window) {
+					ranges = append(ranges, ix.PrefixRange(c))
+					stats.SubtreesEmitted++
+				}
+			}
+			continue
+		}
+		for d := byte(0); d < 4; d++ {
+			queue = append(queue, s.Child(d))
+		}
+	}
+	return mergeRanges(ranges), stats
+}

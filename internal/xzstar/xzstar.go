@@ -1,0 +1,252 @@
+// Package xzstar implements the XZ* spatial index of the TraSS paper
+// (Section IV): quadrant sequences, enlarged elements, position codes, the
+// bijective encoding from index spaces to continuous integers, and the
+// global-pruning machinery of Section V-C.
+//
+// Geometry conventions (fixed by this implementation, see DESIGN.md §3):
+//
+//   - the index plane is [0,1)²; callers normalize lon/lat first;
+//   - quadrant digits: 0=SW, 1=SE, 2=NW, 3=NE;
+//   - the enlarged element of a sequence s with |s|=l is the cell of s
+//     doubled toward the upper-right: same origin, side 2·0.5^l;
+//   - its sub-quads of side 0.5^l are a=SW (the base cell), b=SE, c=NW, d=NE.
+package xzstar
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/geo"
+)
+
+// MaxResolutionLimit bounds the maximum resolution so that every index value
+// (at most 13·4^r − 12) fits comfortably in an int64.
+const MaxResolutionLimit = 28
+
+// DefaultResolution is the paper's default maximum resolution.
+const DefaultResolution = 16
+
+// Index is an XZ* index over the unit square with a fixed maximum
+// resolution. It is immutable and safe for concurrent use: XZ* is a static
+// index — the whole point of Section IV-C is that no in-memory structure
+// needs maintaining.
+type Index struct {
+	maxRes int
+}
+
+// New returns an XZ* index with the given maximum resolution.
+func New(maxRes int) (*Index, error) {
+	if maxRes < 1 || maxRes > MaxResolutionLimit {
+		return nil, fmt.Errorf("xzstar: max resolution %d out of range [1,%d]", maxRes, MaxResolutionLimit)
+	}
+	return &Index{maxRes: maxRes}, nil
+}
+
+// MustNew is New for static configuration; it panics on a bad resolution.
+func MustNew(maxRes int) *Index {
+	ix, err := New(maxRes)
+	if err != nil {
+		panic(err)
+	}
+	return ix
+}
+
+// MaxResolution returns the index's maximum resolution r.
+func (ix *Index) MaxResolution() int { return ix.maxRes }
+
+// Seq is a quadrant sequence: the path of quadrant digits from the root.
+// Its length is its resolution. The zero value is the root (resolution 0),
+// which never identifies an element itself — elements start at resolution 1.
+type Seq struct {
+	digits []byte
+}
+
+// SeqOf builds a sequence from digits. It panics on digits outside 0..3;
+// sequences are produced by this package, so a bad digit is a programming
+// error.
+func SeqOf(digits ...byte) Seq {
+	for _, d := range digits {
+		if d > 3 {
+			panic(fmt.Sprintf("xzstar: bad quadrant digit %d", d))
+		}
+	}
+	cp := make([]byte, len(digits))
+	copy(cp, digits)
+	return Seq{digits: cp}
+}
+
+// Len returns the sequence's resolution.
+func (s Seq) Len() int { return len(s.digits) }
+
+// Digit returns the i-th digit (0-based).
+func (s Seq) Digit(i int) byte { return s.digits[i] }
+
+// Child returns s extended by one digit. The result shares no storage with s.
+func (s Seq) Child(d byte) Seq {
+	if d > 3 {
+		panic(fmt.Sprintf("xzstar: bad quadrant digit %d", d))
+	}
+	out := make([]byte, len(s.digits)+1)
+	copy(out, s.digits)
+	out[len(s.digits)] = d
+	return Seq{digits: out}
+}
+
+// String renders the sequence the way the paper writes it, e.g. "03".
+func (s Seq) String() string {
+	if len(s.digits) == 0 {
+		return "root"
+	}
+	buf := make([]byte, len(s.digits))
+	for i, d := range s.digits {
+		buf[i] = '0' + d
+	}
+	return string(buf)
+}
+
+// Cell returns the quad-tree cell of s: side 0.5^len, anchored per digits.
+func (s Seq) Cell() geo.Rect {
+	x, y, w := 0.0, 0.0, 1.0
+	for _, d := range s.digits {
+		w /= 2
+		if d&1 != 0 {
+			x += w
+		}
+		if d&2 != 0 {
+			y += w
+		}
+	}
+	return geo.Rect{Min: geo.Point{X: x, Y: y}, Max: geo.Point{X: x + w, Y: y + w}}
+}
+
+// Element returns the enlarged element of s: the cell doubled toward the
+// upper-right.
+func (s Seq) Element() geo.Rect {
+	c := s.Cell()
+	w := c.Width()
+	return geo.Rect{Min: c.Min, Max: geo.Point{X: c.Min.X + 2*w, Y: c.Min.Y + 2*w}}
+}
+
+// Quads returns the four sub-quads of the enlarged element in order
+// a (SW, the base cell), b (SE), c (NW), d (NE).
+func (s Seq) Quads() [4]geo.Rect {
+	c := s.Cell()
+	w := c.Width()
+	ox, oy := c.Min.X, c.Min.Y
+	mk := func(ix, iy float64) geo.Rect {
+		return geo.Rect{
+			Min: geo.Point{X: ox + ix*w, Y: oy + iy*w},
+			Max: geo.Point{X: ox + (ix+1)*w, Y: oy + (iy+1)*w},
+		}
+	}
+	return [4]geo.Rect{mk(0, 0), mk(1, 0), mk(0, 1), mk(1, 1)}
+}
+
+// clampCoord keeps v inside [0, 1) so cell arithmetic never indexes out of
+// the root square. nextafter keeps exact 1.0 in the last cell.
+func clampCoord(v float64) float64 {
+	if v < 0 {
+		return 0
+	}
+	if v >= 1 {
+		return math.Nextafter(1, 0)
+	}
+	return v
+}
+
+// seqForPoint returns the length-l quadrant sequence of the cell containing p.
+func seqForPoint(p geo.Point, l int) Seq {
+	x, y := clampCoord(p.X), clampCoord(p.Y)
+	digits := make([]byte, l)
+	cx, cy, w := 0.0, 0.0, 1.0
+	for i := 0; i < l; i++ {
+		w /= 2
+		var d byte
+		if x >= cx+w {
+			d |= 1
+			cx += w
+		}
+		if y >= cy+w {
+			d |= 2
+			cy += w
+		}
+		digits[i] = d
+	}
+	return Seq{digits: digits}
+}
+
+// fits reports whether mbr is covered by the enlarged element anchored at the
+// cell (resolution l) containing mbr's lower-left corner. This is the
+// predicate of the paper's Lemma 2 (and of XZ-Ordering).
+func fits(mbr geo.Rect, l int) bool {
+	w := math.Pow(0.5, float64(l))
+	fit1 := func(lo, hi float64) bool {
+		return hi <= math.Floor(clampCoord(lo)/w)*w+2*w
+	}
+	return fit1(mbr.Min.X, mbr.Max.X) && fit1(mbr.Min.Y, mbr.Max.Y)
+}
+
+// SEE returns the quadrant sequence of the smallest enlarged element covering
+// mbr (Definition 6, via Lemmas 1-2). The result has the largest resolution
+// in [1, maxRes] whose element, anchored at the cell of mbr's lower-left
+// corner, still covers mbr; fit is monotone in the resolution, so this is
+// well-defined. mbr is clamped to the unit square first.
+func (ix *Index) SEE(mbr geo.Rect) Seq {
+	mbr = clampRect(mbr)
+	ext := math.Max(mbr.Width(), mbr.Height())
+
+	// Lemma 1 gives the starting guess; direct predicate checks make the
+	// result robust to floating-point error in the logarithm.
+	var l int
+	if ext <= 0 {
+		l = ix.maxRes
+	} else {
+		l = int(math.Floor(math.Log(ext) / math.Log(0.5)))
+		if l < 1 {
+			l = 1
+		}
+		if l > ix.maxRes {
+			l = ix.maxRes
+		}
+	}
+	for l > 1 && !fits(mbr, l) {
+		l--
+	}
+	for l < ix.maxRes && fits(mbr, l+1) {
+		l++
+	}
+	return seqForPoint(mbr.Min, l)
+}
+
+func clampRect(r geo.Rect) geo.Rect {
+	return geo.Rect{
+		Min: geo.Point{X: geo.Clamp01(r.Min.X), Y: geo.Clamp01(r.Min.Y)},
+		Max: geo.Point{X: geo.Clamp01(r.Max.X), Y: geo.Clamp01(r.Max.Y)},
+	}
+}
+
+// Entry is the full XZ* address of a trajectory: its quadrant sequence,
+// position code and encoded index value.
+type Entry struct {
+	Seq   Seq
+	Code  PosCode
+	Value int64
+}
+
+// Assign computes the XZ* entry for a trajectory given as its point sequence
+// (Section IV-B). It panics on an empty point slice.
+func (ix *Index) Assign(pts []geo.Point) Entry {
+	mbr := geo.MBRPoints(pts)
+	s := ix.SEE(mbr)
+	for {
+		code := codeForPoints(pts, s)
+		if code != CodeA || s.Len() == ix.maxRes {
+			return Entry{Seq: s, Code: code, Value: ix.Value(s, code)}
+		}
+		// Occupying only quad a below max resolution cannot happen for an MBR
+		// that genuinely needed this element (DESIGN.md §3); if floating-point
+		// rounding produces it anyway, the trajectory provably fits one level
+		// deeper, so re-anchor there.
+		s = seqForPoint(mbr.Min, s.Len()+1)
+	}
+}

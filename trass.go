@@ -1,0 +1,272 @@
+// Package trass is an embedded trajectory similarity search engine — a Go
+// reproduction of "TraSS: Efficient Trajectory Similarity Search Based on
+// Key-Value Data Stores" (ICDE 2022).
+//
+// Trajectories are stored in an HBase-style, range-partitioned key-value
+// substrate under XZ* index keys: a fine-grained static spatial index whose
+// enlarged elements and position codes capture both the size and the shape
+// of each trajectory. Queries run in two pruning stages before any exact
+// similarity computation: global pruning converts the query into a handful
+// of key-range scans, and local filtering — pushed down into the region
+// servers like an HBase coprocessor — rejects candidates using pre-computed
+// Douglas-Peucker features.
+//
+// Basic use:
+//
+//	db, err := trass.Open("/data/taxis", trass.WithShards(8))
+//	...
+//	db.Put(trass.NewTrajectory("cab-42", points))
+//	matches, err := db.ThresholdSearch(query, 0.005)
+//	nearest, err := db.TopKSearch(query, 50)
+//
+// Coordinates live on the normalized plane [0,1)². Use NormalizeLonLat for
+// longitude/latitude data. Three similarity measures are supported: discrete
+// Fréchet (default), Hausdorff, and DTW.
+package trass
+
+import (
+	"fmt"
+
+	"repro/internal/dist"
+	"repro/internal/geo"
+	"repro/internal/kv"
+	"repro/internal/query"
+	"repro/internal/store"
+	"repro/internal/traj"
+)
+
+// ErrNotFound is returned by Get for an unknown trajectory id.
+var ErrNotFound = kv.ErrNotFound
+
+// Measure selects the trajectory similarity measure.
+type Measure = dist.Measure
+
+// Supported measures.
+const (
+	Frechet   = dist.Frechet
+	Hausdorff = dist.Hausdorff
+	DTW       = dist.DTW
+)
+
+// Point is a location on the normalized plane [0,1)².
+type Point = geo.Point
+
+// Trajectory is an identified point sequence.
+type Trajectory = traj.Trajectory
+
+// NewTrajectory builds a trajectory from an id and points (copied). It
+// panics on an empty point slice.
+func NewTrajectory(id string, pts []Point) *Trajectory { return traj.New(id, pts) }
+
+// NewTimedTrajectory is NewTrajectory with per-point Unix-seconds timestamps
+// (one per point, copied). Timestamps never affect indexing; they feed the
+// time-window query variants.
+func NewTimedTrajectory(id string, pts []Point, times []int64) *Trajectory {
+	return traj.NewTimed(id, pts, times)
+}
+
+// TimeWindow restricts a query to trajectories observed within
+// [Start, End] Unix seconds (inclusive); zero leaves a side unbounded.
+// Untimed trajectories match every window.
+type TimeWindow = query.TimeWindow
+
+// NormalizeLonLat maps longitude/latitude onto the normalized plane.
+func NormalizeLonLat(lon, lat float64) Point { return geo.NormalizeLonLat(lon, lat) }
+
+// DenormalizeLonLat is the inverse of NormalizeLonLat.
+func DenormalizeLonLat(p Point) (lon, lat float64) { return geo.DenormalizeLonLat(p) }
+
+// Match is one query result.
+type Match struct {
+	ID       string
+	Distance float64
+	Points   []Point
+}
+
+// QueryStats reports what one query did: planning, scanning and refinement
+// times plus the candidate counts the TraSS paper's evaluation tracks.
+type QueryStats = query.Stats
+
+// Option configures Open.
+type Option func(*store.Config, *config)
+
+type config struct {
+	measure Measure
+}
+
+// WithShards sets the row-key hash fan-out (default 8, the paper's value).
+func WithShards(n int) Option {
+	return func(sc *store.Config, _ *config) { sc.Shards = n }
+}
+
+// WithMaxResolution sets the XZ* maximum resolution (default 16).
+func WithMaxResolution(r int) Option {
+	return func(sc *store.Config, _ *config) { sc.MaxResolution = r }
+}
+
+// WithDPTolerance sets the Douglas-Peucker feature tolerance in normalized
+// plane units (default 0.01, the paper's value in its own units).
+func WithDPTolerance(theta float64) Option {
+	return func(sc *store.Config, _ *config) { sc.DPTolerance = theta }
+}
+
+// WithMeasure selects the similarity measure (default Fréchet).
+func WithMeasure(m Measure) Option {
+	return func(_ *store.Config, c *config) { c.measure = m }
+}
+
+// WithParallelism bounds concurrent region scans per query (default: one per
+// region).
+func WithParallelism(n int) Option {
+	return func(sc *store.Config, _ *config) { sc.Parallelism = n }
+}
+
+// DB is an open trajectory store with its query engine.
+type DB struct {
+	store  *store.Store
+	engine *query.Engine
+}
+
+// Open creates or opens a TraSS database rooted at dir.
+func Open(dir string, opts ...Option) (*DB, error) {
+	sc := store.Config{Dir: dir}
+	c := config{measure: Frechet}
+	for _, o := range opts {
+		o(&sc, &c)
+	}
+	st, err := store.Open(sc)
+	if err != nil {
+		return nil, err
+	}
+	return &DB{store: st, engine: query.New(st, c.measure)}, nil
+}
+
+// Put indexes and stores one trajectory.
+func (db *DB) Put(t *Trajectory) error { return db.store.Put(t) }
+
+// PutBatch stores many trajectories.
+func (db *DB) PutBatch(ts []*Trajectory) error { return db.store.PutBatch(ts) }
+
+// Flush persists in-memory data to disk.
+func (db *DB) Flush() error { return db.store.Flush() }
+
+// Compact merges each region's files and drops shadowed versions.
+func (db *DB) Compact() error { return db.store.Compact() }
+
+// Count returns the number of stored trajectories.
+func (db *DB) Count() int64 { return db.store.Count() }
+
+// Get fetches one stored trajectory by id, or ErrNotFound.
+func (db *DB) Get(id string) (*Trajectory, error) {
+	rec, err := db.store.GetByID(id)
+	if err != nil {
+		return nil, err
+	}
+	return &Trajectory{ID: rec.ID, Points: rec.Points}, nil
+}
+
+// ThresholdSearch returns every stored trajectory within eps of q under the
+// database's measure (Definition 3 of the paper).
+func (db *DB) ThresholdSearch(q *Trajectory, eps float64) ([]Match, error) {
+	ms, _, err := db.ThresholdSearchStats(q, eps)
+	return ms, err
+}
+
+// ThresholdSearchStats is ThresholdSearch plus per-query statistics.
+func (db *DB) ThresholdSearchStats(q *Trajectory, eps float64) ([]Match, *QueryStats, error) {
+	if eps < 0 {
+		return nil, nil, fmt.Errorf("trass: negative threshold %v", eps)
+	}
+	rs, stats, err := db.engine.Threshold(q, eps)
+	if err != nil {
+		return nil, nil, err
+	}
+	return toMatches(rs), stats, nil
+}
+
+// TopKSearch returns the k stored trajectories nearest to q, ascending by
+// distance (Definition 4 of the paper).
+func (db *DB) TopKSearch(q *Trajectory, k int) ([]Match, error) {
+	ms, _, err := db.TopKSearchStats(q, k)
+	return ms, err
+}
+
+// TopKSearchStats is TopKSearch plus per-query statistics.
+func (db *DB) TopKSearchStats(q *Trajectory, k int) ([]Match, *QueryStats, error) {
+	rs, stats, err := db.engine.TopK(q, k)
+	if err != nil {
+		return nil, nil, err
+	}
+	return toMatches(rs), stats, nil
+}
+
+// Rect is an axis-parallel window on the normalized plane.
+type Rect = geo.Rect
+
+// RangeSearch returns every stored trajectory with at least one point inside
+// window (the spatial range query the paper's conclusion mentions XZ* also
+// supports). Matches carry no distance.
+func (db *DB) RangeSearch(window Rect) ([]Match, error) {
+	rs, _, err := db.engine.Range(window)
+	if err != nil {
+		return nil, err
+	}
+	return toMatches(rs), nil
+}
+
+// ThresholdSearchWindow is ThresholdSearch restricted to trajectories
+// observed within the time window.
+func (db *DB) ThresholdSearchWindow(q *Trajectory, eps float64, w TimeWindow) ([]Match, error) {
+	if eps < 0 {
+		return nil, fmt.Errorf("trass: negative threshold %v", eps)
+	}
+	rs, _, err := db.engine.ThresholdWindow(q, eps, w)
+	if err != nil {
+		return nil, err
+	}
+	return toMatches(rs), nil
+}
+
+// TopKSearchWindow returns the k nearest trajectories among those observed
+// within the time window.
+func (db *DB) TopKSearchWindow(q *Trajectory, k int, w TimeWindow) ([]Match, error) {
+	rs, _, err := db.engine.TopKWindow(q, k, w)
+	if err != nil {
+		return nil, err
+	}
+	return toMatches(rs), nil
+}
+
+// RangeSearchWindow is RangeSearch restricted to trajectories observed
+// within the time window.
+func (db *DB) RangeSearchWindow(window Rect, w TimeWindow) ([]Match, error) {
+	rs, _, err := db.engine.RangeWindow(window, w)
+	if err != nil {
+		return nil, err
+	}
+	return toMatches(rs), nil
+}
+
+// NearestSearch returns the k stored trajectories whose closest approach to
+// point p is smallest, ascending by that distance.
+func (db *DB) NearestSearch(p Point, k int) ([]Match, error) {
+	rs, _, err := db.engine.NearestToPoint(p, k)
+	if err != nil {
+		return nil, err
+	}
+	return toMatches(rs), nil
+}
+
+func toMatches(rs []query.Result) []Match {
+	out := make([]Match, len(rs))
+	for i, r := range rs {
+		out[i] = Match{ID: r.ID, Distance: r.Distance, Points: r.Points}
+	}
+	return out
+}
+
+// Verify checks the integrity (block checksums) of every on-disk file.
+func (db *DB) Verify() error { return db.store.Verify() }
+
+// Close shuts the database down.
+func (db *DB) Close() error { return db.store.Close() }

@@ -1,0 +1,277 @@
+package trass
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"repro/internal/dist"
+	"repro/internal/gen"
+)
+
+func openTestDB(t *testing.T, opts ...Option) *DB {
+	t.Helper()
+	db, err := Open(t.TempDir(), opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { db.Close() })
+	return db
+}
+
+func TestPublicAPIEndToEnd(t *testing.T) {
+	db := openTestDB(t)
+	data := gen.TDrive(gen.TDriveOptions{Seed: 1, N: 300})
+	if err := db.PutBatch(data); err != nil {
+		t.Fatal(err)
+	}
+	if db.Count() != 300 {
+		t.Fatalf("count = %d", db.Count())
+	}
+	if err := db.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	q := data[42]
+	eps := gen.DegreesToNorm(0.01)
+
+	matches, stats, err := db.ThresholdSearchStats(q, eps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The query itself is stored, so there is at least one match at 0.
+	foundSelf := false
+	for _, m := range matches {
+		if m.ID == q.ID {
+			foundSelf = true
+			if m.Distance > 1e-7 {
+				t.Fatalf("self distance %v", m.Distance)
+			}
+		}
+	}
+	if !foundSelf {
+		t.Fatal("query trajectory not found by its own threshold search")
+	}
+	if stats.Results != len(matches) {
+		t.Fatal("stats mismatch")
+	}
+
+	top, err := db.TopKSearch(q, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(top) != 10 {
+		t.Fatalf("top-k returned %d", len(top))
+	}
+	if top[0].ID != q.ID || top[0].Distance > 1e-7 {
+		t.Fatalf("nearest must be the query itself, got %+v", top[0])
+	}
+	if !sort.SliceIsSorted(top, func(i, j int) bool { return top[i].Distance < top[j].Distance }) {
+		t.Fatal("top-k not ascending")
+	}
+}
+
+func TestThresholdMatchesBruteOnPublicAPI(t *testing.T) {
+	for _, m := range []Measure{Frechet, Hausdorff, DTW} {
+		m := m
+		t.Run(m.String(), func(t *testing.T) {
+			db := openTestDB(t, WithMeasure(m), WithShards(4))
+			data := gen.TDrive(gen.TDriveOptions{Seed: 2, N: 200})
+			if err := db.PutBatch(data); err != nil {
+				t.Fatal(err)
+			}
+			q := data[7]
+			eps := gen.DegreesToNorm(0.02)
+			if m == DTW {
+				eps *= 20
+			}
+			got, err := db.ThresholdSearch(q, eps)
+			if err != nil {
+				t.Fatal(err)
+			}
+			fn := dist.For(m)
+			want := 0
+			for _, tr := range data {
+				if fn(q.Points, tr.Points) <= eps {
+					want++
+				}
+			}
+			if len(got) != want {
+				t.Fatalf("measure %v: got %d, want %d", m, len(got), want)
+			}
+		})
+	}
+}
+
+func TestOptionValidation(t *testing.T) {
+	if _, err := Open(""); err == nil {
+		t.Fatal("empty dir must fail")
+	}
+	if _, err := Open(t.TempDir(), WithMaxResolution(99)); err == nil {
+		t.Fatal("bad resolution must fail")
+	}
+	db := openTestDB(t)
+	q := NewTrajectory("q", []Point{{X: 0.5, Y: 0.5}})
+	if _, err := db.ThresholdSearch(q, -1); err == nil {
+		t.Fatal("negative threshold must fail")
+	}
+}
+
+func TestLonLatHelpers(t *testing.T) {
+	p := NormalizeLonLat(116.4, 39.9)
+	lon, lat := DenormalizeLonLat(p)
+	if math.Abs(lon-116.4) > 1e-9 || math.Abs(lat-39.9) > 1e-9 {
+		t.Fatalf("round trip: %v %v", lon, lat)
+	}
+}
+
+func TestPersistenceAcrossReopen(t *testing.T) {
+	dir := t.TempDir()
+	db, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := gen.TDrive(gen.TDriveOptions{Seed: 3, N: 50})
+	if err := db.PutBatch(data); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	db2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db2.Close()
+	// Rows persist in the KV substrate across restarts; a top-k for a stored
+	// trajectory must find it at distance 0.
+	top, err := db2.TopKSearch(data[0], 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(top) != 1 || top[0].ID != data[0].ID || top[0].Distance > 1e-7 {
+		t.Fatalf("after reopen: %+v", top)
+	}
+}
+
+func TestRangeSearchPublicAPI(t *testing.T) {
+	db := openTestDB(t)
+	data := gen.TDrive(gen.TDriveOptions{Seed: 9, N: 200})
+	if err := db.PutBatch(data); err != nil {
+		t.Fatal(err)
+	}
+	// A window around a stored trajectory's first point must find it.
+	p := data[17].Points[0]
+	window := Rect{
+		Min: Point{X: p.X - 1e-6, Y: p.Y - 1e-6},
+		Max: Point{X: p.X + 1e-6, Y: p.Y + 1e-6},
+	}
+	matches, err := db.RangeSearch(window)
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, m := range matches {
+		if m.ID == data[17].ID {
+			found = true
+		}
+		// Every match genuinely has a point in the window.
+		hit := false
+		for _, pt := range m.Points {
+			if window.ContainsPoint(pt) {
+				hit = true
+				break
+			}
+		}
+		if !hit {
+			t.Fatalf("match %s has no point in the window", m.ID)
+		}
+	}
+	if !found {
+		t.Fatal("anchor trajectory not found by range search")
+	}
+}
+
+func TestCompactAndOptions(t *testing.T) {
+	db := openTestDB(t,
+		WithDPTolerance(0.005/360),
+		WithParallelism(2),
+		WithShards(2),
+		WithMaxResolution(14),
+	)
+	data := gen.TDrive(gen.TDriveOptions{Seed: 10, N: 100})
+	if err := db.PutBatch(data); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	// Queries still exact after compaction.
+	top, err := db.TopKSearch(data[3], 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(top) != 1 || top[0].ID != data[3].ID {
+		t.Fatalf("post-compaction top-1: %+v", top)
+	}
+}
+
+func TestRandomizedPublicAPIAgainstBrute(t *testing.T) {
+	db := openTestDB(t, WithShards(2))
+	rng := rand.New(rand.NewSource(4))
+	data := gen.Lorry(gen.LorryOptions{Seed: 4, N: 150})
+	if err := db.PutBatch(data); err != nil {
+		t.Fatal(err)
+	}
+	fn := dist.For(Frechet)
+	for i := 0; i < 3; i++ {
+		q := data[rng.Intn(len(data))]
+		k := 1 + rng.Intn(20)
+		got, err := db.TopKSearch(q, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ds := make([]float64, len(data))
+		for j, tr := range data {
+			ds[j] = fn(q.Points, tr.Points)
+		}
+		sort.Float64s(ds)
+		for j := range got {
+			if math.Abs(got[j].Distance-ds[j]) > 1e-6 {
+				t.Fatalf("rank %d: %v want %v", j, got[j].Distance, ds[j])
+			}
+		}
+	}
+}
+
+func TestGetByID(t *testing.T) {
+	db := openTestDB(t)
+	data := gen.TDrive(gen.TDriveOptions{Seed: 11, N: 100})
+	if err := db.PutBatch(data); err != nil {
+		t.Fatal(err)
+	}
+	got, err := db.Get(data[42].ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.ID != data[42].ID || got.Len() != data[42].Len() {
+		t.Fatalf("Get returned %v", got)
+	}
+	if _, err := db.Get("no-such-id"); err != ErrNotFound {
+		t.Fatalf("missing id: %v", err)
+	}
+	// Also works after flush + reopen (persisted index).
+	if err := db.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.Get(data[7].ID); err != nil {
+		t.Fatalf("after flush: %v", err)
+	}
+}
