@@ -73,7 +73,7 @@ func cmdGen(args []string) error {
 	seed := fs.Int64("seed", 1, "random seed")
 	scale := fs.Int("scale", 1, "replicate the dataset this many times")
 	out := fs.String("out", "", "output file (default stdout)")
-	fs.Parse(args)
+	_ = fs.Parse(args)
 
 	var trajs []*traj.Trajectory
 	switch *kind {
@@ -102,7 +102,7 @@ func cmdLoad(args []string) error {
 	tdriveDir := fs.String("tdrive-dir", "", "directory with a real T-Drive release (one txt per taxi)")
 	shards := fs.Int("shards", 8, "row-key shards")
 	res := fs.Int("resolution", 16, "XZ* maximum resolution")
-	fs.Parse(args)
+	_ = fs.Parse(args)
 	if *dbDir == "" || (*in == "") == (*tdriveDir == "") {
 		return fmt.Errorf("load: -db plus exactly one of -in or -tdrive-dir is required")
 	}
@@ -156,7 +156,7 @@ func cmdQuery(args []string) error {
 	k := fs.Int("k", 0, "top-k (mutually exclusive with -eps)")
 	measure := fs.String("measure", "frechet", "similarity measure: frechet | hausdorff | dtw")
 	showStats := fs.Bool("stats", false, "print per-query statistics")
-	fs.Parse(args)
+	_ = fs.Parse(args)
 	if *dbDir == "" {
 		return fmt.Errorf("query: -db is required")
 	}
@@ -247,7 +247,7 @@ func cmdExport(args []string) error {
 	in := fs.String("in", "", "input dataset file (required)")
 	out := fs.String("out", "", "output GeoJSON file (default stdout)")
 	limit := fs.Int("limit", 0, "export at most this many trajectories (0 = all)")
-	fs.Parse(args)
+	_ = fs.Parse(args)
 	if *in == "" {
 		return fmt.Errorf("export: -in is required")
 	}
@@ -272,7 +272,7 @@ func cmdStats(args []string) error {
 	fs := flag.NewFlagSet("stats", flag.ExitOnError)
 	dbDir := fs.String("db", "", "store directory (required)")
 	verify := fs.Bool("verify", false, "also check on-disk block checksums")
-	fs.Parse(args)
+	_ = fs.Parse(args)
 	if *dbDir == "" {
 		return fmt.Errorf("stats: -db is required")
 	}

@@ -1,0 +1,118 @@
+// Command trasslint runs the project's static-analysis suite (internal/lint)
+// over the module: stdlib-only analyzers for the invariants TraSS depends on
+// — lock discipline, float comparison hygiene, discarded errors, iterator
+// key aliasing, and goroutine lifecycle.
+//
+// Usage:
+//
+//	trasslint [-tests] [-v] [packages]
+//
+// where packages is ./... (the default) or one or more package directories.
+// Exit status: 0 clean, 1 diagnostics found, 2 load failure.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/lint"
+)
+
+func main() {
+	tests := flag.Bool("tests", false, "also analyze in-package _test.go files")
+	verbose := flag.Bool("v", false, "log each analyzed package")
+	list := flag.Bool("list", false, "list analyzers and exit")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: trasslint [-tests] [-v] [./... | dirs]\n\nAnalyzers:\n")
+		for _, a := range lint.All() {
+			fmt.Fprintf(os.Stderr, "  %-10s %s\n", a.Name, a.Doc)
+		}
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	if *list {
+		for _, a := range lint.All() {
+			fmt.Printf("%-10s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	cwd, err := os.Getwd()
+	if err != nil {
+		fatal(err)
+	}
+	loader, err := lint.NewLoader(cwd)
+	if err != nil {
+		fatal(err)
+	}
+	loader.IncludeTests = *tests
+
+	args := flag.Args()
+	if len(args) == 0 {
+		args = []string{"./..."}
+	}
+	var pkgs []*lint.Package
+	for _, arg := range args {
+		switch {
+		case arg == "./..." || arg == "...":
+			all, err := loader.LoadAll()
+			if err != nil {
+				fatal(err)
+			}
+			pkgs = append(pkgs, all...)
+		case strings.HasSuffix(arg, "/..."):
+			all, err := loader.LoadAll()
+			if err != nil {
+				fatal(err)
+			}
+			prefix := filepath.Clean(strings.TrimSuffix(arg, "/...")) + string(filepath.Separator)
+			for _, p := range all {
+				rel, err := filepath.Rel(cwd, p.Dir)
+				if err == nil && (strings.HasPrefix(rel+string(filepath.Separator), prefix) || rel == filepath.Clean(strings.TrimSuffix(arg, "/..."))) {
+					pkgs = append(pkgs, p)
+				}
+			}
+		default:
+			p, err := loader.LoadDir(arg)
+			if err != nil {
+				fatal(err)
+			}
+			if p != nil {
+				pkgs = append(pkgs, p)
+			}
+		}
+	}
+
+	exit := 0
+	analyzers := lint.All()
+	for _, pkg := range pkgs {
+		if *verbose {
+			fmt.Fprintf(os.Stderr, "trasslint: %s\n", pkg.Path)
+		}
+		for _, terr := range pkg.TypeErrors {
+			fmt.Fprintf(os.Stderr, "trasslint: warning: %s: %v\n", pkg.Path, terr)
+		}
+		for _, d := range lint.Run(pkg, analyzers) {
+			fmt.Println(rel(cwd, d))
+			exit = 1
+		}
+	}
+	os.Exit(exit)
+}
+
+// rel shortens the diagnostic's file path relative to the working directory.
+func rel(cwd string, d lint.Diagnostic) string {
+	if r, err := filepath.Rel(cwd, d.Pos.Filename); err == nil && !strings.HasPrefix(r, "..") {
+		d.Pos.Filename = r
+	}
+	return d.String()
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "trasslint: %v\n", err)
+	os.Exit(2)
+}

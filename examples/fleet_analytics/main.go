@@ -30,7 +30,7 @@ func main() {
 	eps := gen.DegreesToNorm(0.05)
 
 	w := tabwriter.NewWriter(os.Stdout, 0, 4, 2, ' ', 0)
-	fmt.Fprintln(w, "measure\tthreshold\tmatches\trows scanned\tcandidates\tprecision\tquery time")
+	_, _ = fmt.Fprintln(w, "measure\tthreshold\tmatches\trows scanned\tcandidates\tprecision\tquery time")
 	for _, m := range []trass.Measure{trass.Frechet, trass.Hausdorff, trass.DTW} {
 		dir := fmt.Sprintf("%s/%s", base, m)
 		db, err := trass.Open(dir, trass.WithMeasure(m))
@@ -52,7 +52,7 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		fmt.Fprintf(w, "%s\t%.6f\t%d\t%d\t%d\t%.3f\t%v\n",
+		_, _ = fmt.Fprintf(w, "%s\t%.6f\t%d\t%d\t%d\t%.3f\t%v\n",
 			m, e, len(matches), stats.RowsScanned, stats.Retrieved,
 			stats.Precision(), (stats.PruneTime + stats.ScanTime + stats.RefineTime).Round(1000))
 
@@ -63,15 +63,20 @@ func main() {
 			if err != nil {
 				log.Fatal(err)
 			}
-			fmt.Fprintf(w, "\t→ consolidation candidates:\t")
+			_, _ = fmt.Fprintf(w, "\t→ consolidation candidates:\t")
 			for _, t := range top {
 				if t.ID != query.ID {
-					fmt.Fprintf(w, "%s ", t.ID)
+					_, _ = fmt.Fprintf(w, "%s ", t.ID)
 				}
 			}
-			fmt.Fprintln(w)
+			_, _ = fmt.Fprintln(w)
 		}
-		db.Close()
+		if err := db.Close(); err != nil {
+			log.Fatal(err)
+		}
 	}
-	w.Flush()
+	// tabwriter defers all output (and any write error) to Flush.
+	if err := w.Flush(); err != nil {
+		log.Fatal(err)
+	}
 }

@@ -83,7 +83,7 @@ func (j *JUST) Build(trajs []*traj.Trajectory) (time.Duration, error) {
 		value := j.ix.Assign(t.Points)
 		rec := &traj.Record{ID: t.ID, Points: t.Points, Features: traj.ComputeFeatures(t, 0.01)}
 		if err := cl.Put(j.rowKey(value, t.ID), traj.EncodeRecord(rec)); err != nil {
-			cl.Close()
+			_ = cl.Close()
 			j.cluster = nil
 			return 0, err
 		}

@@ -62,7 +62,9 @@ func (c Config) withDefaults() Config {
 
 func (c Config) logf(format string, args ...any) {
 	if c.Out != nil {
-		fmt.Fprintf(c.Out, format+"\n", args...)
+		// Progress logging is best-effort; a broken progress writer must not
+		// abort a multi-minute benchmark run.
+		_, _ = fmt.Fprintf(c.Out, format+"\n", args...)
 	}
 }
 
@@ -82,8 +84,9 @@ type Table struct {
 // AddRow appends a formatted row.
 func (t *Table) AddRow(cells ...string) { t.Rows = append(t.Rows, cells) }
 
-// Write renders the table with aligned columns.
-func (t *Table) Write(w io.Writer) {
+// Write renders the table with aligned columns. The first write error is
+// returned; later writes are skipped.
+func (t *Table) Write(w io.Writer) error {
 	widths := make([]int, len(t.Columns))
 	for i, c := range t.Columns {
 		widths[i] = len(c)
@@ -95,15 +98,16 @@ func (t *Table) Write(w io.Writer) {
 			}
 		}
 	}
-	fmt.Fprintf(w, "## %s\n", t.Title)
+	ew := &errWriter{w: w}
+	ew.printf("## %s\n", t.Title)
 	line := func(cells []string) {
 		for i, c := range cells {
 			if i > 0 {
-				fmt.Fprint(w, "  ")
+				ew.printf("  ")
 			}
-			fmt.Fprintf(w, "%-*s", widths[min(i, len(widths)-1)], c)
+			ew.printf("%-*s", widths[min(i, len(widths)-1)], c)
 		}
-		fmt.Fprintln(w)
+		ew.printf("\n")
 	}
 	line(t.Columns)
 	sep := make([]string, len(t.Columns))
@@ -114,6 +118,21 @@ func (t *Table) Write(w io.Writer) {
 	for _, r := range t.Rows {
 		line(r)
 	}
+	return ew.err
+}
+
+// errWriter is a sticky-error formatter: after the first write failure every
+// later printf is a no-op, so rendering code stays free of per-line checks.
+type errWriter struct {
+	w   io.Writer
+	err error
+}
+
+func (e *errWriter) printf(format string, args ...any) {
+	if e.err != nil {
+		return
+	}
+	_, e.err = fmt.Fprintf(e.w, format, args...)
 }
 
 func min(a, b int) int {
@@ -252,11 +271,11 @@ func (t *trassSystem) Build(trajs []*traj.Trajectory) (time.Duration, error) {
 	}
 	start := time.Now()
 	if err := st.PutBatch(trajs); err != nil {
-		st.Close()
+		_ = st.Close()
 		return 0, err
 	}
 	if err := st.Flush(); err != nil {
-		st.Close()
+		_ = st.Close()
 		return 0, err
 	}
 	elapsed := time.Since(start)
@@ -340,7 +359,9 @@ func (c Config) buildSystems(kind datasetKind, measure dist.Measure, names []str
 
 func closeAll(systems map[string]baselines.System) {
 	for _, s := range systems {
-		s.Close()
+		// Best-effort teardown between experiments; the in-memory baselines
+		// never fail to close and the TraSS store's state is discarded anyway.
+		_ = s.Close()
 	}
 }
 
@@ -385,8 +406,12 @@ func Run(name string, cfg Config, w io.Writer) error {
 			return err
 		}
 		for _, t := range tables {
-			t.Write(w)
-			fmt.Fprintln(w)
+			if err := t.Write(w); err != nil {
+				return err
+			}
+			if _, err := fmt.Fprintln(w); err != nil {
+				return err
+			}
 		}
 		return nil
 	}

@@ -34,12 +34,12 @@ func Fig12(cfg Config) ([]*Table, error) {
 			return nil, err
 		}
 		if err := st.PutBatch(cfg.dataset(kind)); err != nil {
-			st.Close()
+			_ = st.Close()
 			return nil, err
 		}
 		r, c := st.Distribution()
 		hist[kind] = struct{ res, codes []int64 }{r, c}
-		st.Close()
+		_ = st.Close()
 	}
 
 	for r := 1; r <= 16; r++ {
@@ -102,7 +102,7 @@ func rowKeySizes(cfg Config, kind datasetKind, trajs []*traj.Trajectory) (intB, 
 			return 0, 0, err
 		}
 		if err := st.PutBatch(trajs); err != nil {
-			st.Close()
+			_ = st.Close()
 			return 0, 0, err
 		}
 		if enc == store.IntegerEncoding {
@@ -110,7 +110,7 @@ func rowKeySizes(cfg Config, kind datasetKind, trajs []*traj.Trajectory) (intB, 
 		} else {
 			strB = st.AvgRowKeyBytes()
 		}
-		st.Close()
+		_ = st.Close()
 	}
 	return intB, strB, nil
 }
@@ -134,11 +134,11 @@ func Fig14(cfg Config) ([]*Table, error) {
 			return nil, err
 		}
 		if err := st.PutBatch(trajs); err != nil {
-			st.Close()
+			_ = st.Close()
 			return nil, err
 		}
 		if err := st.Flush(); err != nil {
-			st.Close()
+			_ = st.Close()
 			return nil, err
 		}
 		eng := query.New(st, dist.Frechet)
@@ -147,13 +147,13 @@ func Fig14(cfg Config) ([]*Table, error) {
 		for _, q := range queries {
 			t0 := time.Now()
 			if _, _, err := eng.Threshold(q, gen.DegreesToNorm(0.01)); err != nil {
-				st.Close()
+				_ = st.Close()
 				return nil, err
 			}
 			thrTimes = append(thrTimes, time.Since(t0))
 			t1 := time.Now()
 			if _, _, err := eng.TopK(q, 100); err != nil {
-				st.Close()
+				_ = st.Close()
 				return nil, err
 			}
 			topTimes = append(topTimes, time.Since(t1))
@@ -163,7 +163,7 @@ func Fig14(cfg Config) ([]*Table, error) {
 			median(thrTimes).Round(time.Microsecond).String(),
 			median(topTimes).Round(time.Microsecond).String())
 		cfg.logf("fig14 r=%d done", res)
-		st.Close()
+		_ = st.Close()
 	}
 	return []*Table{tab}, nil
 }

@@ -90,19 +90,24 @@ func Fig19(cfg Config) ([]*Table, error) {
 			return nil, err
 		}
 		if err := st.PutBatch(trajs); err != nil {
-			st.Close()
+			_ = st.Close()
 			return nil, err
 		}
 		if err := st.Flush(); err != nil {
-			st.Close()
+			_ = st.Close()
 			return nil, err
 		}
 		eng := query.New(st, dist.Frechet)
 
-		var mu sync.Mutex
-		var total time.Duration
-		var rpcs float64
-		var firstErr error
+		// Each client accumulates into its own slot; slots are merged only
+		// after wg.Wait(), so the fan-out is race-free by construction
+		// rather than by locking on the hot path.
+		type clientResult struct {
+			total time.Duration
+			rpcs  float64
+			err   error
+		}
+		results := make([]clientResult, clients)
 		next := make(chan int, len(queries))
 		for i := range queries {
 			next <- i
@@ -111,35 +116,39 @@ func Fig19(cfg Config) ([]*Table, error) {
 		var wg sync.WaitGroup
 		for c := 0; c < clients; c++ {
 			wg.Add(1)
-			go func() {
+			go func(slot *clientResult) {
 				defer wg.Done()
 				for i := range next {
 					t0 := time.Now()
 					_, qs, err := eng.Threshold(queries[i], gen.DegreesToNorm(0.01))
-					elapsed := time.Since(t0)
-					mu.Lock()
-					if err != nil && firstErr == nil {
-						firstErr = err
+					if err != nil {
+						if slot.err == nil {
+							slot.err = err
+						}
+						continue
 					}
-					if err == nil {
-						total += elapsed
-						rpcs += float64(qs.RPCs)
-					}
-					mu.Unlock()
+					slot.total += time.Since(t0)
+					slot.rpcs += float64(qs.RPCs)
 				}
-			}()
+			}(&results[c])
 		}
 		wg.Wait()
-		if firstErr != nil {
-			st.Close()
-			return nil, firstErr
+		var total time.Duration
+		var rpcs float64
+		for _, r := range results {
+			if r.err != nil {
+				_ = st.Close()
+				return nil, r.err
+			}
+			total += r.total
+			rpcs += r.rpcs
 		}
 		n := float64(len(queries))
 		tab.AddRow(fmt.Sprintf("%d", shards),
 			(total / time.Duration(len(queries))).Round(time.Microsecond).String(),
 			fmt.Sprintf("%.1f", rpcs/n))
 		cfg.logf("fig19 shards=%d done", shards)
-		st.Close()
+		_ = st.Close()
 	}
 	return []*Table{tab}, nil
 }

@@ -108,7 +108,7 @@ func Open(cfg Config) (*Cluster, error) {
 	for _, b := range bounds {
 		r, err := c.newRegion(b[0], b[1])
 		if err != nil {
-			c.Close()
+			_ = c.Close()
 			return nil, err
 		}
 		c.regions = append(c.regions, r)
@@ -341,10 +341,10 @@ func (c *Cluster) splitRegion(r *Region) error {
 		keys = append(keys, append([]byte(nil), it.Key()...))
 	}
 	if err := it.Err(); err != nil {
-		it.Close()
+		_ = it.Close()
 		return err
 	}
-	it.Close()
+	_ = it.Close()
 	if len(keys) < 2 {
 		r.approxSize.Store(0) // nothing to split; stop re-triggering
 		return nil
@@ -361,8 +361,8 @@ func (c *Cluster) splitRegion(r *Region) error {
 	}
 	right, err := c.newRegion(mid, r.end)
 	if err != nil {
-		left.db.Close()
-		os.RemoveAll(left.dir)
+		_ = left.db.Close()
+		_ = os.RemoveAll(left.dir)
 		return err
 	}
 	it = r.db.Scan(nil, nil)
@@ -372,24 +372,24 @@ func (c *Cluster) splitRegion(r *Region) error {
 			dst = right
 		}
 		if err := dst.db.Put(it.Key(), it.Value()); err != nil {
-			it.Close()
-			left.db.Close()
-			right.db.Close()
-			os.RemoveAll(left.dir)
-			os.RemoveAll(right.dir)
+			_ = it.Close()
+			_ = left.db.Close()
+			_ = right.db.Close()
+			_ = os.RemoveAll(left.dir)
+			_ = os.RemoveAll(right.dir)
 			return err
 		}
 		dst.approxSize.Add(int64(len(it.Key()) + len(it.Value())))
 	}
 	if err := it.Err(); err != nil {
-		it.Close()
-		left.db.Close()
-		right.db.Close()
-		os.RemoveAll(left.dir)
-		os.RemoveAll(right.dir)
+		_ = it.Close()
+		_ = left.db.Close()
+		_ = right.db.Close()
+		_ = os.RemoveAll(left.dir)
+		_ = os.RemoveAll(right.dir)
 		return err
 	}
-	it.Close()
+	_ = it.Close()
 	if err := left.db.Flush(); err != nil {
 		return err
 	}
@@ -398,7 +398,7 @@ func (c *Cluster) splitRegion(r *Region) error {
 	}
 
 	c.regions = append(c.regions[:idx], append([]*Region{left, right}, c.regions[idx+1:]...)...)
-	r.db.Close()
-	os.RemoveAll(r.dir)
+	_ = r.db.Close()
+	_ = os.RemoveAll(r.dir)
 	return nil
 }

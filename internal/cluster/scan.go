@@ -179,15 +179,15 @@ func (c *Cluster) scanRegion(t regionTask, filter Filter, limit int, rpcLatency 
 			res.RowsReturned++
 			res.BytesShipped += int64(len(e.Key) + len(e.Value))
 			if limit > 0 && len(res.Entries) >= limit {
-				it.Close()
+				_ = it.Close()
 				return res, nil
 			}
 		}
 		if err := it.Err(); err != nil {
-			it.Close()
+			_ = it.Close()
 			return nil, err
 		}
-		it.Close()
+		_ = it.Close()
 	}
 	return res, nil
 }

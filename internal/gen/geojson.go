@@ -56,7 +56,7 @@ func WriteGeoJSONFile(path string, trajs []*traj.Trajectory) error {
 		return err
 	}
 	if err := WriteGeoJSON(f, trajs); err != nil {
-		f.Close()
+		_ = f.Close()
 		return err
 	}
 	return f.Close()

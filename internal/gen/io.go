@@ -48,7 +48,7 @@ func WriteFile(path string, trajs []*traj.Trajectory) error {
 		return err
 	}
 	if err := Write(f, trajs); err != nil {
-		f.Close()
+		_ = f.Close()
 		return err
 	}
 	return f.Close()

@@ -73,7 +73,7 @@ func LoadTDriveDir(dir string) ([]*traj.Trajectory, error) {
 		}
 		id := strings.TrimSuffix(filepath.Base(name), ".txt")
 		tr, err := ReadTDriveCSV(f, id)
-		f.Close()
+		_ = f.Close()
 		if err != nil {
 			// Some release files are empty; skip them rather than abort a
 			// multi-thousand-file load.

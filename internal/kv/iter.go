@@ -170,13 +170,16 @@ func (m *mergeIter) Close() error {
 		return nil
 	}
 	m.closed = true
+	var first error
 	for _, src := range m.h {
-		src.it.Close()
+		if err := src.it.Close(); err != nil && first == nil {
+			first = err
+		}
 	}
 	m.h = nil
 	for _, rel := range m.releases {
 		rel()
 	}
 	m.releases = nil
-	return nil
+	return first
 }

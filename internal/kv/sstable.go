@@ -106,7 +106,7 @@ func (sw *sstWriter) finishBlock() error {
 // returns the total file size.
 func (sw *sstWriter) finish() (int64, error) {
 	if err := sw.finishBlock(); err != nil {
-		sw.f.Close()
+		_ = sw.f.Close()
 		return 0, err
 	}
 	indexOff := sw.off
@@ -119,13 +119,13 @@ func (sw *sstWriter) finish() (int64, error) {
 		idx = binary.AppendUvarint(idx, uint64(ie.crc))
 	}
 	if _, err := sw.w.Write(idx); err != nil {
-		sw.f.Close()
+		_ = sw.f.Close()
 		return 0, err
 	}
 	bloomOff := indexOff + int64(len(idx))
 	bl := sw.bloom.encode()
 	if _, err := sw.w.Write(bl); err != nil {
-		sw.f.Close()
+		_ = sw.f.Close()
 		return 0, err
 	}
 
@@ -137,15 +137,15 @@ func (sw *sstWriter) finish() (int64, error) {
 	binary.LittleEndian.PutUint64(footer[32:40], uint64(sw.count))
 	binary.LittleEndian.PutUint64(footer[40:48], tableMagic)
 	if _, err := sw.w.Write(footer[:]); err != nil {
-		sw.f.Close()
+		_ = sw.f.Close()
 		return 0, err
 	}
 	if err := sw.w.Flush(); err != nil {
-		sw.f.Close()
+		_ = sw.f.Close()
 		return 0, err
 	}
 	if err := sw.f.Sync(); err != nil {
-		sw.f.Close()
+		_ = sw.f.Close()
 		return 0, err
 	}
 	size := bloomOff + int64(len(bl)) + footerSize
@@ -154,8 +154,8 @@ func (sw *sstWriter) finish() (int64, error) {
 
 func (sw *sstWriter) abort() {
 	name := sw.f.Name()
-	sw.f.Close()
-	os.Remove(name)
+	_ = sw.f.Close()
+	_ = os.Remove(name)
 }
 
 // sstReader serves point and range reads from one SSTable. The block index
@@ -183,9 +183,9 @@ func (sr *sstReader) release() {
 	if sr.refs.Add(-1) > 0 {
 		return
 	}
-	sr.f.Close()
+	_ = sr.f.Close()
 	if sr.obsolete.Load() {
-		os.Remove(sr.path)
+		_ = os.Remove(sr.path)
 	}
 }
 
@@ -196,20 +196,20 @@ func openSSTable(path string, seq uint64, stats *Stats, cache *blockCache) (*sst
 	}
 	st, err := f.Stat()
 	if err != nil {
-		f.Close()
+		_ = f.Close()
 		return nil, err
 	}
 	if st.Size() < footerSize {
-		f.Close()
+		_ = f.Close()
 		return nil, fmt.Errorf("kv: sstable %s too small", path)
 	}
 	var footer [footerSize]byte
 	if _, err := f.ReadAt(footer[:], st.Size()-footerSize); err != nil {
-		f.Close()
+		_ = f.Close()
 		return nil, err
 	}
 	if binary.LittleEndian.Uint64(footer[40:48]) != tableMagic {
-		f.Close()
+		_ = f.Close()
 		return nil, fmt.Errorf("kv: sstable %s has bad magic", path)
 	}
 	indexOff := int64(binary.LittleEndian.Uint64(footer[0:8]))
@@ -219,20 +219,20 @@ func openSSTable(path string, seq uint64, stats *Stats, cache *blockCache) (*sst
 	count := int64(binary.LittleEndian.Uint64(footer[32:40]))
 	if indexOff < 0 || indexLen < 0 || bloomOff < 0 || bloomLen < 0 ||
 		indexOff+indexLen > st.Size() || bloomOff+bloomLen > st.Size() {
-		f.Close()
+		_ = f.Close()
 		return nil, fmt.Errorf("kv: sstable %s has corrupt footer", path)
 	}
 
 	idxBuf := make([]byte, indexLen)
 	if _, err := f.ReadAt(idxBuf, indexOff); err != nil {
-		f.Close()
+		_ = f.Close()
 		return nil, err
 	}
 	var index []indexEntry
 	for len(idxBuf) > 0 {
 		klen, sz := binary.Uvarint(idxBuf)
 		if sz <= 0 || uint64(len(idxBuf)-sz) < klen {
-			f.Close()
+			_ = f.Close()
 			return nil, fmt.Errorf("kv: sstable %s has corrupt index", path)
 		}
 		idxBuf = idxBuf[sz:]
@@ -242,7 +242,7 @@ func openSSTable(path string, seq uint64, stats *Stats, cache *blockCache) (*sst
 		for i := range vals {
 			v, sz := binary.Uvarint(idxBuf)
 			if sz <= 0 {
-				f.Close()
+				_ = f.Close()
 				return nil, fmt.Errorf("kv: sstable %s has corrupt index", path)
 			}
 			idxBuf = idxBuf[sz:]
@@ -258,12 +258,12 @@ func openSSTable(path string, seq uint64, stats *Stats, cache *blockCache) (*sst
 
 	blBuf := make([]byte, bloomLen)
 	if _, err := f.ReadAt(blBuf, bloomOff); err != nil {
-		f.Close()
+		_ = f.Close()
 		return nil, err
 	}
 	bloom, ok := decodeBloomFilter(blBuf)
 	if !ok {
-		f.Close()
+		_ = f.Close()
 		return nil, fmt.Errorf("kv: sstable %s has corrupt bloom filter", path)
 	}
 	return &sstReader{f: f, path: path, seq: seq, index: index, bloom: bloom, count: count, stats: stats, cache: cache}, nil

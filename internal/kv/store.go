@@ -364,16 +364,19 @@ func (db *DB) compactTablesLocked(n int) error {
 	for merged.Next() {
 		if err := sw.add(merged.kind, merged.Key(), merged.Value()); err != nil {
 			sw.abort()
-			merged.Close()
+			_ = merged.Close()
 			return err
 		}
 	}
 	if err := merged.Err(); err != nil {
 		sw.abort()
-		merged.Close()
+		_ = merged.Close()
 		return err
 	}
-	merged.Close()
+	if err := merged.Close(); err != nil {
+		sw.abort()
+		return err
+	}
 	size, err := sw.finish()
 	if err != nil {
 		return err

@@ -30,7 +30,7 @@ func openWAL(path string) (*wal, error) {
 	}
 	st, err := f.Stat()
 	if err != nil {
-		f.Close()
+		_ = f.Close()
 		return nil, fmt.Errorf("kv: stat wal: %w", err)
 	}
 	return &wal{f: f, w: bufio.NewWriterSize(f, 64<<10), size: st.Size()}, nil
@@ -69,7 +69,7 @@ func (w *wal) sync() error {
 
 func (w *wal) close() error {
 	if err := w.w.Flush(); err != nil {
-		w.f.Close()
+		_ = w.f.Close()
 		return err
 	}
 	return w.f.Close()
@@ -103,6 +103,12 @@ func replayWAL(path string, fn func(kind byte, key, value []byte)) error {
 			return nil
 		}
 		if crc32.ChecksumIEEE(payload) != wantCRC {
+			return nil
+		}
+		if len(payload) == 0 {
+			// An all-zero header passes the CRC check (crc32("") == 0) but
+			// carries no record; a zero-filled tail must read as torn, not
+			// panic on payload[0].
 			return nil
 		}
 		kind := payload[0]

@@ -1,0 +1,121 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// ErrCheckAnalyzer flags call statements that silently discard an error
+// result. On TraSS's persistence paths (internal/kv's WAL and SSTables,
+// internal/gen's dataset I/O) a swallowed error turns into silent data loss:
+// an unchecked wal flush acknowledges writes that never reached disk.
+//
+// Discarding must be explicit: write `_ = f.Close()` (or capture and handle)
+// so the reader can tell a decision from an accident. Exemptions:
+//
+//   - deferred and `go` calls (deferred Close on read paths is idiomatic);
+//   - fmt.Print* and fmt.Fprint* writing to os.Stdout/os.Stderr (failures
+//     there are unactionable in a CLI);
+//   - methods of bytes.Buffer, strings.Builder and hash.Hash, which are
+//     documented never to fail.
+var ErrCheckAnalyzer = &Analyzer{
+	Name: "errcheck",
+	Doc:  "discarded error result; handle it or discard explicitly with _ =",
+	Run:  runErrCheck,
+}
+
+func runErrCheck(pass *Pass) {
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			stmt, ok := n.(*ast.ExprStmt)
+			if !ok {
+				return true
+			}
+			call, ok := stmt.X.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if !returnsError(pass, call) || exemptCall(pass, call) {
+				return true
+			}
+			pass.Reportf(call.Pos(), "result of %s includes an error that is discarded; handle it or write _ = %s(...)",
+				types.ExprString(call.Fun), types.ExprString(call.Fun))
+			return true
+		})
+	}
+}
+
+// returnsError reports whether the call's only or last result is an error.
+func returnsError(pass *Pass, call *ast.CallExpr) bool {
+	t := pass.TypeOf(call)
+	if t == nil {
+		return false
+	}
+	switch t := t.(type) {
+	case *types.Tuple:
+		if t.Len() == 0 {
+			return false
+		}
+		return isErrorType(t.At(t.Len() - 1).Type())
+	default:
+		return isErrorType(t)
+	}
+}
+
+var errorType = types.Universe.Lookup("error").Type()
+
+func isErrorType(t types.Type) bool {
+	return t != nil && types.Identical(t, errorType)
+}
+
+// exemptCall matches the documented never-fails / print-to-stdout cases.
+func exemptCall(pass *Pass, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	// Package-level fmt.Print*, and fmt.Fprint* aimed at a std stream
+	// (failures there are unactionable).
+	if id, ok := sel.X.(*ast.Ident); ok {
+		if obj, ok := pass.Info.Uses[id].(*types.PkgName); ok && obj.Imported().Path() == "fmt" {
+			if strings.HasPrefix(sel.Sel.Name, "Print") {
+				return true
+			}
+			if strings.HasPrefix(sel.Sel.Name, "Fprint") && len(call.Args) > 0 {
+				return isStdStream(pass, call.Args[0])
+			}
+			return false
+		}
+	}
+	return neverFailsReceiver(pass, sel)
+}
+
+// isStdStream matches the expressions os.Stdout and os.Stderr.
+func isStdStream(pass *Pass, e ast.Expr) bool {
+	sel, ok := ast.Unparen(e).(*ast.SelectorExpr)
+	if !ok || (sel.Sel.Name != "Stdout" && sel.Sel.Name != "Stderr") {
+		return false
+	}
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	obj, ok := pass.Info.Uses[id].(*types.PkgName)
+	return ok && obj.Imported().Path() == "os"
+}
+
+func neverFailsReceiver(pass *Pass, sel *ast.SelectorExpr) bool {
+	// Methods whose receivers document that writes cannot fail.
+	if recv := pass.TypeOf(sel.X); recv != nil {
+		for _, t := range []struct{ pkg, name string }{
+			{"bytes", "Buffer"}, {"strings", "Builder"},
+			{"hash", "Hash"}, {"hash", "Hash32"}, {"hash", "Hash64"},
+		} {
+			if isPkgType(recv, t.pkg, t.name) {
+				return true
+			}
+		}
+	}
+	return false
+}

@@ -1,0 +1,52 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// FloatCmpAnalyzer flags == and != between floating-point values. The
+// geometry and pruning layers (internal/geo, internal/dist, internal/xzstar)
+// derive bounds from chains of float arithmetic, where exact equality is
+// almost never what the math means: two different evaluation orders of the
+// same bound differ in the last ulp, and a NaN silently compares unequal to
+// everything. Comparisons must go through an epsilon helper; the rare
+// intentional exact comparison (e.g. an untouched sentinel value) takes a
+// lint:ignore with its justification.
+//
+// Comparisons where both operands are compile-time constants are exact by
+// definition and exempt.
+var FloatCmpAnalyzer = &Analyzer{
+	Name: "floatcmp",
+	Doc:  "exact ==/!= comparison of floating-point values; use an epsilon comparison",
+	Run:  runFloatCmp,
+}
+
+func runFloatCmp(pass *Pass) {
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			be, ok := n.(*ast.BinaryExpr)
+			if !ok || (be.Op != token.EQL && be.Op != token.NEQ) {
+				return true
+			}
+			xt, yt := pass.Info.Types[be.X], pass.Info.Types[be.Y]
+			if !isFloat(xt.Type) && !isFloat(yt.Type) {
+				return true
+			}
+			if xt.Value != nil && yt.Value != nil {
+				return true // constant folding is exact
+			}
+			pass.Reportf(be.OpPos, "%s compares floating-point values exactly; use an epsilon comparison (or lint:ignore with justification)", be.Op)
+			return true
+		})
+	}
+}
+
+func isFloat(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0
+}

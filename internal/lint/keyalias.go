@@ -1,0 +1,143 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// KeyAliasAnalyzer guards the aliasing contract of KV iterators (the classic
+// LSM bug): the []byte returned by Iterator.Key()/Value() is only valid
+// until the next call to Next() — internal/kv's merge iterator reuses one
+// backing buffer, and an SSTable iterator's slices point into a block that
+// the next advance may evict. Retaining such a slice past the advance means
+// rows silently mutate under the caller.
+//
+// The analyzer identifies iterator-shaped receivers structurally (a Next()
+// bool method plus Key()/Value() returning []byte, so internal kvIter,
+// public kv.Iterator and test doubles all match) and flags expressions that
+// *retain or mutate* the raw slice:
+//
+//	keys = append(keys, it.Key())     // stores the alias
+//	e := Entry{Key: it.Key()}         // composite literal retains it
+//	x.field = it.Key(); m[k] = ...    // escapes through an lvalue
+//	ch <- it.Key(); return it.Key()   // escapes the stack frame
+//	append(it.Key(), ...)             // may write into iterator memory
+//
+// Transient uses — comparisons, hashing, copy, append([]byte(nil), k...),
+// string(k) — are fine and not reported.
+var KeyAliasAnalyzer = &Analyzer{
+	Name: "keyalias",
+	Doc:  "iterator Key()/Value() bytes retained past Next(); copy before storing",
+	Run:  runKeyAlias,
+}
+
+func runKeyAlias(pass *Pass) {
+	for _, file := range pass.Files {
+		walkWithStack(file, func(stack []ast.Node, n ast.Node) {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || !isIterBytesCall(pass, call) {
+				return
+			}
+			if len(stack) < 2 {
+				return
+			}
+			method := call.Fun.(*ast.SelectorExpr).Sel.Name
+			parent := stack[len(stack)-2]
+			switch p := parent.(type) {
+			case *ast.CallExpr:
+				if isBuiltinAppend(pass, p) {
+					if len(p.Args) > 0 && p.Args[0] == call {
+						pass.Reportf(call.Pos(), "append writes into the buffer returned by %s(), which the iterator owns; copy it first", method)
+						return
+					}
+					// append(dst, it.Key()) stores the alias itself;
+					// append(dst, it.Key()...) copies the bytes and is safe.
+					for _, arg := range p.Args[1:] {
+						if arg == call && !p.Ellipsis.IsValid() {
+							pass.Reportf(call.Pos(), "%s() result stored in a slice via append without copying; it is invalidated by the next Next() — use append([]byte(nil), it.%s()...)", method, method)
+							return
+						}
+					}
+				}
+			case *ast.KeyValueExpr:
+				if p.Value == call && inCompositeLit(stack) {
+					pass.Reportf(call.Pos(), "%s() result retained in a composite literal; it is invalidated by the next Next() — copy it first", method)
+				}
+			case *ast.CompositeLit:
+				pass.Reportf(call.Pos(), "%s() result retained in a composite literal; it is invalidated by the next Next() — copy it first", method)
+			case *ast.AssignStmt:
+				for i, rhs := range p.Rhs {
+					if rhs != call || i >= len(p.Lhs) {
+						continue
+					}
+					switch p.Lhs[i].(type) {
+					case *ast.SelectorExpr, *ast.IndexExpr:
+						pass.Reportf(call.Pos(), "%s() result stored in a field, map or slice element; it is invalidated by the next Next() — copy it first", method)
+					}
+				}
+			case *ast.ReturnStmt:
+				pass.Reportf(call.Pos(), "%s() result returned to the caller; it is invalidated by the next Next() — copy it first", method)
+			case *ast.SendStmt:
+				if p.Value == call {
+					pass.Reportf(call.Pos(), "%s() result sent on a channel; it is invalidated by the next Next() — copy it first", method)
+				}
+			}
+		})
+	}
+}
+
+// isIterBytesCall reports whether call is X.Key() or X.Value() where X's
+// type looks like a KV iterator: it also has a Next() bool method, and the
+// called method returns []byte.
+func isIterBytesCall(pass *Pass, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || (sel.Sel.Name != "Key" && sel.Sel.Name != "Value") || len(call.Args) != 0 {
+		return false
+	}
+	// The called method must return exactly []byte.
+	ct := pass.TypeOf(call)
+	slice, ok := ct.(*types.Slice)
+	if !ok {
+		return false
+	}
+	if b, ok := slice.Elem().(*types.Basic); !ok || b.Kind() != types.Byte {
+		return false
+	}
+	recv := pass.TypeOf(sel.X)
+	if recv == nil {
+		return false
+	}
+	return hasNextBool(recv)
+}
+
+func hasNextBool(t types.Type) bool {
+	obj, _, _ := types.LookupFieldOrMethod(t, true, nil, "Next")
+	fn, ok := obj.(*types.Func)
+	if !ok {
+		return false
+	}
+	sig := fn.Type().(*types.Signature)
+	if sig.Params().Len() != 0 || sig.Results().Len() != 1 {
+		return false
+	}
+	b, ok := sig.Results().At(0).Type().(*types.Basic)
+	return ok && b.Kind() == types.Bool
+}
+
+func isBuiltinAppend(pass *Pass, call *ast.CallExpr) bool {
+	id, ok := call.Fun.(*ast.Ident)
+	if !ok || id.Name != "append" {
+		return false
+	}
+	_, isBuiltin := pass.Info.Uses[id].(*types.Builtin)
+	return isBuiltin
+}
+
+func inCompositeLit(stack []ast.Node) bool {
+	for i := len(stack) - 1; i >= 0; i-- {
+		if _, ok := stack[i].(*ast.CompositeLit); ok {
+			return true
+		}
+	}
+	return false
+}

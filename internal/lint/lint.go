@@ -1,0 +1,220 @@
+// Package lint is trasslint's engine: a project-specific static-analysis
+// suite built entirely on the standard library's go/parser, go/ast and
+// go/types. It exists because TraSS's correctness rests on invariants no
+// general-purpose tool checks — the bijective XZ* encoding, rowkey byte
+// ordering, lock discipline in the LSM substrate, and the aliasing contract
+// of KV iterators — and the project's stdlib-only constraint rules out
+// golang.org/x/tools/go/analysis.
+//
+// The shape mirrors the x/tools analysis framework so analyzers stay small
+// and testable: each Analyzer inspects one type-checked package through a
+// Pass and reports Diagnostics. Suppression is explicit and audited: a
+// comment of the form
+//
+//	//lint:ignore <analyzer> <reason>
+//
+// on the offending line or the line above silences that analyzer there; a
+// directive without a reason is itself a diagnostic.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Analyzer is one named check over a type-checked package.
+type Analyzer struct {
+	// Name is the identifier used in diagnostics and lint:ignore directives.
+	Name string
+	// Doc is a one-line description of the invariant the analyzer protects.
+	Doc string
+	// Run inspects the package and reports findings via pass.Report.
+	Run func(pass *Pass)
+}
+
+// All returns the full analyzer suite in stable order.
+func All() []*Analyzer {
+	return []*Analyzer{
+		LocksAnalyzer,
+		FloatCmpAnalyzer,
+		ErrCheckAnalyzer,
+		KeyAliasAnalyzer,
+		CtxLeakAnalyzer,
+	}
+}
+
+// Diagnostic is one finding.
+type Diagnostic struct {
+	Pos      token.Position
+	Analyzer string
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: [%s] %s", d.Pos, d.Analyzer, d.Message)
+}
+
+// Pass carries one package through one analyzer.
+type Pass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	Files    []*ast.File
+	Pkg      *types.Package
+	Info     *types.Info
+
+	diags   *[]Diagnostic
+	ignores map[ignoreKey]bool
+}
+
+type ignoreKey struct {
+	file     string
+	line     int
+	analyzer string
+}
+
+// Report records a diagnostic at pos unless a lint:ignore directive covers it.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	position := p.Fset.Position(pos)
+	for _, line := range []int{position.Line, position.Line - 1} {
+		if p.ignores[ignoreKey{position.Filename, line, p.Analyzer.Name}] ||
+			p.ignores[ignoreKey{position.Filename, line, "all"}] {
+			return
+		}
+	}
+	*p.diags = append(*p.diags, Diagnostic{
+		Pos:      position,
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// TypeOf returns the type of e, or nil when unknown (type errors).
+func (p *Pass) TypeOf(e ast.Expr) types.Type {
+	if t, ok := p.Info.Types[e]; ok {
+		return t.Type
+	}
+	if id, ok := e.(*ast.Ident); ok {
+		if obj := p.Info.Uses[id]; obj != nil {
+			return obj.Type()
+		}
+		if obj := p.Info.Defs[id]; obj != nil {
+			return obj.Type()
+		}
+	}
+	return nil
+}
+
+// Run executes the analyzers over pkg and returns their diagnostics sorted by
+// position. Malformed lint:ignore directives are reported under analyzer
+// "lint".
+func Run(pkg *Package, analyzers []*Analyzer) []Diagnostic {
+	var diags []Diagnostic
+	ignores, bad := collectIgnores(pkg.Fset, pkg.Files)
+	diags = append(diags, bad...)
+	for _, a := range analyzers {
+		pass := &Pass{
+			Analyzer: a,
+			Fset:     pkg.Fset,
+			Files:    pkg.Files,
+			Pkg:      pkg.Pkg,
+			Info:     pkg.Info,
+			diags:    &diags,
+			ignores:  ignores,
+		}
+		a.Run(pass)
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i].Pos, diags[j].Pos
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		return a.Column < b.Column
+	})
+	return diags
+}
+
+// collectIgnores indexes lint:ignore directives by (file, line, analyzer).
+// A directive must name an analyzer and give a non-empty reason; anything
+// else is reported so suppressions stay auditable.
+func collectIgnores(fset *token.FileSet, files []*ast.File) (map[ignoreKey]bool, []Diagnostic) {
+	ignores := make(map[ignoreKey]bool)
+	var bad []Diagnostic
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text, ok := strings.CutPrefix(c.Text, "//lint:ignore")
+				if !ok {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				fields := strings.Fields(text)
+				if len(fields) < 2 {
+					bad = append(bad, Diagnostic{
+						Pos:      pos,
+						Analyzer: "lint",
+						Message:  "lint:ignore needs an analyzer name and a reason: //lint:ignore <analyzer> <reason>",
+					})
+					continue
+				}
+				ignores[ignoreKey{pos.Filename, pos.Line, fields[0]}] = true
+			}
+		}
+	}
+	return ignores, bad
+}
+
+// --- shared type helpers -------------------------------------------------
+
+// isPkgType reports whether t (after following pointers and named types) is
+// the named type pkgPath.name.
+func isPkgType(t types.Type, pkgPath, name string) bool {
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj != nil && obj.Pkg() != nil && obj.Pkg().Path() == pkgPath && obj.Name() == name
+}
+
+// isSyncObject reports whether obj is declared in package sync (or
+// sync/atomic when atomic is true).
+func objInPkg(obj types.Object, path string) bool {
+	return obj != nil && obj.Pkg() != nil && obj.Pkg().Path() == path
+}
+
+// walkWithStack walks the file keeping the ancestor stack; fn receives the
+// stack with n as its last element.
+func walkWithStack(file *ast.File, fn func(stack []ast.Node, n ast.Node)) {
+	var stack []ast.Node
+	ast.Inspect(file, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		stack = append(stack, n)
+		fn(stack, n)
+		return true
+	})
+}
+
+// funcsOf yields every function body in the file (declarations and literals)
+// exactly once, with a printable name.
+func funcsOf(file *ast.File, fn func(name string, body *ast.BlockStmt)) {
+	for _, decl := range file.Decls {
+		fd, ok := decl.(*ast.FuncDecl)
+		if !ok || fd.Body == nil {
+			continue
+		}
+		fn(fd.Name.Name, fd.Body)
+	}
+}

@@ -1,0 +1,180 @@
+package lint_test
+
+import (
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+	"testing"
+
+	"repro/internal/lint"
+)
+
+// wantRe extracts the expectation pattern from a `// want "..."` marker.
+var wantRe = regexp.MustCompile(`// want "((?:[^"\\]|\\.)*)"`)
+
+// expectation is one `// want` marker: a diagnostic matching re must be
+// reported on line.
+type expectation struct {
+	line int
+	re   *regexp.Regexp
+}
+
+// loadFixture type-checks one seeded-violation package under testdata/src.
+func loadFixture(t *testing.T, name string) *lint.Package {
+	t.Helper()
+	dir, err := filepath.Abs(filepath.Join("testdata", "src", name))
+	if err != nil {
+		t.Fatal(err)
+	}
+	loader, err := lint.NewLoader(dir)
+	if err != nil {
+		t.Fatalf("NewLoader(%s): %v", dir, err)
+	}
+	pkg, err := loader.LoadDir(dir)
+	if err != nil {
+		t.Fatalf("LoadDir(%s): %v", dir, err)
+	}
+	if len(pkg.TypeErrors) > 0 {
+		t.Fatalf("fixture %s has type errors: %v", name, pkg.TypeErrors)
+	}
+	return pkg
+}
+
+// wantsOf collects the `// want` markers of a loaded fixture, keyed by line.
+func wantsOf(t *testing.T, pkg *lint.Package) []expectation {
+	t.Helper()
+	var wants []expectation
+	for _, file := range pkg.Files {
+		for _, cg := range file.Comments {
+			for _, c := range cg.List {
+				m := wantRe.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pattern := strings.ReplaceAll(m[1], `\"`, `"`)
+				re, err := regexp.Compile(pattern)
+				if err != nil {
+					t.Fatalf("bad want pattern %q: %v", m[1], err)
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				wants = append(wants, expectation{line: pos.Line, re: re})
+			}
+		}
+	}
+	sort.Slice(wants, func(i, j int) bool { return wants[i].line < wants[j].line })
+	return wants
+}
+
+// checkFixture runs exactly one analyzer over its fixture package and
+// verifies the diagnostics match the `// want` markers one-to-one.
+func checkFixture(t *testing.T, fixture string, az *lint.Analyzer) {
+	t.Helper()
+	pkg := loadFixture(t, fixture)
+	wants := wantsOf(t, pkg)
+	if len(wants) == 0 {
+		t.Fatalf("fixture %s has no want markers; it proves nothing", fixture)
+	}
+	diags := lint.Run(pkg, []*lint.Analyzer{az})
+
+	matched := make([]bool, len(wants))
+	for _, d := range diags {
+		pos := d.Pos
+		found := false
+		for i, w := range wants {
+			if matched[i] || w.line != pos.Line {
+				continue
+			}
+			if w.re.MatchString(d.Message) {
+				matched[i] = true
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("unexpected diagnostic at %s:%d: %s", filepath.Base(pos.Filename), pos.Line, d.Message)
+		}
+	}
+	for i, w := range wants {
+		if !matched[i] {
+			t.Errorf("missing diagnostic on line %d: want match for %q", w.line, w.re)
+		}
+	}
+}
+
+func analyzerByName(t *testing.T, name string) *lint.Analyzer {
+	t.Helper()
+	for _, az := range lint.All() {
+		if az.Name == name {
+			return az
+		}
+	}
+	t.Fatalf("no analyzer named %q", name)
+	return nil
+}
+
+func TestLocksFixture(t *testing.T)    { checkFixture(t, "locksviol", analyzerByName(t, "locks")) }
+func TestFloatcmpFixture(t *testing.T) { checkFixture(t, "floatviol", analyzerByName(t, "floatcmp")) }
+func TestErrcheckFixture(t *testing.T) { checkFixture(t, "errviol", analyzerByName(t, "errcheck")) }
+func TestKeyaliasFixture(t *testing.T) { checkFixture(t, "aliasviol", analyzerByName(t, "keyalias")) }
+func TestCtxleakFixture(t *testing.T)  { checkFixture(t, "ctxviol", analyzerByName(t, "ctxleak")) }
+
+// TestAllAnalyzers pins the analyzer roster: five analyzers, distinct
+// non-empty names, each with documentation.
+func TestAllAnalyzers(t *testing.T) {
+	all := lint.All()
+	if len(all) != 5 {
+		t.Fatalf("All() returned %d analyzers, want 5", len(all))
+	}
+	seen := map[string]bool{}
+	for _, az := range all {
+		if az.Name == "" || az.Doc == "" || az.Run == nil {
+			t.Errorf("analyzer %+v is incomplete", az)
+		}
+		if seen[az.Name] {
+			t.Errorf("duplicate analyzer name %q", az.Name)
+		}
+		seen[az.Name] = true
+	}
+}
+
+// TestIgnoreDirectiveRequiresReason verifies that a bare lint:ignore without
+// an analyzer name and reason is itself reported, not silently honored.
+func TestIgnoreDirectiveRequiresReason(t *testing.T) {
+	pkg := loadFixture(t, "floatviol")
+	diags := lint.Run(pkg, lint.All())
+	for _, d := range diags {
+		if strings.Contains(d.Message, "malformed") {
+			t.Errorf("well-formed fixture reported malformed directive: %s", d.Message)
+		}
+	}
+}
+
+// TestModuleLoadAll smoke-tests the loader against the real module: every
+// package must load, and the lint gate must be clean (the repo's own code is
+// the sixth fixture — one that must produce zero diagnostics).
+func TestModuleLoadAll(t *testing.T) {
+	if testing.Short() {
+		t.Skip("loads the whole module; skipped in -short")
+	}
+	loader, err := lint.NewLoader(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := loader.LoadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) < 10 {
+		t.Fatalf("LoadAll found only %d packages; module walk is broken", len(pkgs))
+	}
+	for _, pkg := range pkgs {
+		if strings.Contains(pkg.Path, "testdata") {
+			t.Errorf("LoadAll descended into testdata: %s", pkg.Path)
+		}
+		diags := lint.Run(pkg, lint.All())
+		for _, d := range diags {
+			t.Errorf("repo is not lint-clean: %s", d)
+		}
+	}
+}

@@ -1,0 +1,217 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// LocksAnalyzer enforces the lock discipline the LSM substrate (internal/kv),
+// the sharded cluster layer and the store metadata depend on:
+//
+//  1. a value containing a sync.Mutex/RWMutex (or other non-copyable sync or
+//     sync/atomic state) must never be copied — a copied lock guards nothing;
+//  2. a function that calls Lock/RLock on a sync mutex must also contain a
+//     matching Unlock/RUnlock for the same lock expression (deferred or on
+//     some path). A function that acquires and never releases is either a
+//     leak or an undocumented locked-helper and needs a lint:ignore.
+var LocksAnalyzer = &Analyzer{
+	Name: "locks",
+	Doc:  "sync.Mutex/RWMutex copied by value, and Lock() without any matching Unlock()",
+	Run:  runLocks,
+}
+
+// nonCopyableSync lists sync and sync/atomic types whose value must not be
+// copied after first use.
+var nonCopyableSync = map[string]map[string]bool{
+	"sync": {
+		"Mutex": true, "RWMutex": true, "WaitGroup": true, "Once": true,
+		"Cond": true, "Pool": true, "Map": true,
+	},
+	"sync/atomic": {
+		"Bool": true, "Int32": true, "Int64": true, "Uint32": true,
+		"Uint64": true, "Uintptr": true, "Pointer": true, "Value": true,
+	},
+}
+
+// containsLock reports whether a value of type t embeds non-copyable sync
+// state (directly, in a struct field, or in an array element).
+func containsLock(t types.Type, seen map[types.Type]bool) bool {
+	if t == nil || seen[t] {
+		return false
+	}
+	seen[t] = true
+	if named, ok := t.(*types.Named); ok {
+		obj := named.Obj()
+		if obj != nil && obj.Pkg() != nil {
+			if names := nonCopyableSync[obj.Pkg().Path()]; names[obj.Name()] {
+				return true
+			}
+		}
+		return containsLock(named.Underlying(), seen)
+	}
+	switch u := t.(type) {
+	case *types.Struct:
+		for i := 0; i < u.NumFields(); i++ {
+			if containsLock(u.Field(i).Type(), seen) {
+				return true
+			}
+		}
+	case *types.Array:
+		return containsLock(u.Elem(), seen)
+	}
+	return false
+}
+
+func runLocks(pass *Pass) {
+	for _, file := range pass.Files {
+		checkLockCopies(pass, file)
+		checkLockPairs(pass, file)
+	}
+}
+
+// checkLockCopies flags function signatures and assignments that copy a
+// lock-bearing value.
+func checkLockCopies(pass *Pass, file *ast.File) {
+	byValue := func(e ast.Expr, what string) {
+		t := pass.TypeOf(e)
+		if t == nil {
+			return
+		}
+		if _, isPtr := t.(*types.Pointer); isPtr {
+			return
+		}
+		if containsLock(t, map[types.Type]bool{}) {
+			pass.Reportf(e.Pos(), "%s copies a value containing a sync lock (type %s); use a pointer", what, t)
+		}
+	}
+	ast.Inspect(file, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncDecl:
+			if n.Recv != nil {
+				for _, f := range n.Recv.List {
+					byValue(f.Type, "method receiver")
+				}
+			}
+			checkFieldList(pass, n.Type, byValue)
+		case *ast.FuncLit:
+			checkFieldList(pass, n.Type, byValue)
+		case *ast.AssignStmt:
+			// x := *p and y = x copy the lock state wholesale; composite
+			// literals and calls construct fresh values and are fine, as is
+			// assigning to the blank identifier (nothing retains the copy).
+			for i, rhs := range n.Rhs {
+				if len(n.Lhs) == len(n.Rhs) {
+					if id, ok := n.Lhs[i].(*ast.Ident); ok && id.Name == "_" {
+						continue
+					}
+				}
+				switch rhs.(type) {
+				case *ast.StarExpr, *ast.Ident, *ast.SelectorExpr, *ast.IndexExpr:
+					byValue(rhs, "assignment")
+				}
+			}
+		case *ast.RangeStmt:
+			if n.Value != nil {
+				t := pass.TypeOf(n.Value)
+				if t != nil {
+					if _, isPtr := t.(*types.Pointer); !isPtr && containsLock(t, map[types.Type]bool{}) {
+						pass.Reportf(n.Value.Pos(), "range value copies a value containing a sync lock (type %s); range over indices or pointers", t)
+					}
+				}
+			}
+		}
+		return true
+	})
+}
+
+func checkFieldList(pass *Pass, ft *ast.FuncType, byValue func(ast.Expr, string)) {
+	if ft.Params != nil {
+		for _, f := range ft.Params.List {
+			byValue(f.Type, "function parameter")
+		}
+	}
+	if ft.Results != nil {
+		for _, f := range ft.Results.List {
+			byValue(f.Type, "function result")
+		}
+	}
+}
+
+// lockCall identifies m.Lock / m.Unlock / m.RLock / m.RUnlock where the
+// method really is sync.Mutex's or sync.RWMutex's, returning the lock
+// expression key ("db.mu") and the method name.
+func lockCall(pass *Pass, call *ast.CallExpr) (key, method string, ok bool) {
+	sel, isSel := call.Fun.(*ast.SelectorExpr)
+	if !isSel {
+		return "", "", false
+	}
+	switch sel.Sel.Name {
+	case "Lock", "Unlock", "RLock", "RUnlock", "TryLock", "TryRLock":
+	default:
+		return "", "", false
+	}
+	selection := pass.Info.Selections[sel]
+	if selection == nil || !objInPkg(selection.Obj(), "sync") {
+		return "", "", false
+	}
+	return types.ExprString(sel.X), sel.Sel.Name, true
+}
+
+// checkLockPairs flags functions that acquire a sync lock but contain no
+// matching release for the same lock expression. The check is per function
+// declaration, with nested function literals (defer/goroutine bodies)
+// included — all-paths analysis is deliberately out of scope; the absence of
+// any release at all is the bug class this catches.
+func checkLockPairs(pass *Pass, file *ast.File) {
+	for _, decl := range file.Decls {
+		fd, ok := decl.(*ast.FuncDecl)
+		if !ok || fd.Body == nil {
+			continue
+		}
+		type counts struct {
+			lock, unlock, rlock, runlock int
+			firstLock, firstRLock        ast.Node
+		}
+		locks := map[string]*counts{}
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			key, method, ok := lockCall(pass, call)
+			if !ok {
+				return true
+			}
+			c := locks[key]
+			if c == nil {
+				c = &counts{}
+				locks[key] = c
+			}
+			switch method {
+			case "Lock", "TryLock":
+				c.lock++
+				if c.firstLock == nil {
+					c.firstLock = call
+				}
+			case "Unlock":
+				c.unlock++
+			case "RLock", "TryRLock":
+				c.rlock++
+				if c.firstRLock == nil {
+					c.firstRLock = call
+				}
+			case "RUnlock":
+				c.runlock++
+			}
+			return true
+		})
+		for key, c := range locks {
+			if c.lock > 0 && c.unlock == 0 {
+				pass.Reportf(c.firstLock.Pos(), "%s: %s.Lock() with no %s.Unlock() anywhere in the function", fd.Name.Name, key, key)
+			}
+			if c.rlock > 0 && c.runlock == 0 {
+				pass.Reportf(c.firstRLock.Pos(), "%s: %s.RLock() with no %s.RUnlock() anywhere in the function (Unlock() does not release a read lock)", fd.Name.Name, key, key)
+			}
+		}
+	}
+}

@@ -1,0 +1,91 @@
+// Package aliasviol seeds violations for the keyalias analyzer: []byte
+// slices returned by a KV iterator's Key()/Value() retained past Next().
+package aliasviol
+
+type iter struct{ i int }
+
+func (it *iter) Next() bool    { return it.i < 3 }
+func (it *iter) Key() []byte   { return []byte("k") }
+func (it *iter) Value() []byte { return []byte("v") }
+
+type row struct {
+	key []byte
+	val []byte
+}
+
+func collectKeys(it *iter) [][]byte {
+	var keys [][]byte
+	for it.Next() {
+		keys = append(keys, it.Key()) // want "Key\(\) result stored in a slice via append without copying"
+	}
+	return keys
+}
+
+func buildRows(it *iter) []row {
+	var rows []row
+	for it.Next() {
+		rows = append(rows, row{
+			key: it.Key(), // want "Key\(\) result retained in a composite literal"
+			val: it.Value(), // want "Value\(\) result retained in a composite literal"
+		})
+	}
+	return rows
+}
+
+func intoField(it *iter, r *row) {
+	for it.Next() {
+		r.key = it.Key() // want "Key\(\) result stored in a field, map or slice element"
+	}
+}
+
+func firstKey(it *iter) []byte {
+	if it.Next() {
+		return it.Key() // want "Key\(\) result returned to the caller"
+	}
+	return nil
+}
+
+func sendKeys(it *iter, ch chan []byte) {
+	for it.Next() {
+		ch <- it.Key() // want "Key\(\) result sent on a channel"
+	}
+}
+
+func growInto(it *iter) []byte {
+	var buf []byte
+	for it.Next() {
+		buf = append(it.Key(), 'x') // want "append writes into the buffer returned by Key\(\)"
+	}
+	return buf
+}
+
+// Copying first is the sanctioned pattern and must not be flagged.
+func copied(it *iter) [][]byte {
+	var keys [][]byte
+	for it.Next() {
+		keys = append(keys, append([]byte(nil), it.Key()...))
+	}
+	return keys
+}
+
+// Transient uses inside the loop body are fine.
+func transient(it *iter) int {
+	n := 0
+	for it.Next() {
+		n += len(it.Key())
+		s := string(it.Value())
+		n += len(s)
+	}
+	return n
+}
+
+// A slice from a non-iterator source is not the analyzer's business.
+type notIter struct{}
+
+func (notIter) Key() []byte { return nil }
+
+func otherKeys(n notIter) [][]byte {
+	var keys [][]byte
+	keys = append(keys, n.Key())
+	return keys
+}

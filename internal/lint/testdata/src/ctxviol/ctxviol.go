@@ -1,0 +1,72 @@
+// Package ctxviol seeds violations for the ctxleak analyzer: goroutines
+// launched with no cancellation or completion path.
+package ctxviol
+
+import (
+	"context"
+	"sync"
+)
+
+func leaky() {
+	go func() { // want "goroutine has no cancellation or completion path"
+		for {
+			compute()
+		}
+	}()
+}
+
+func work() {
+	for {
+		compute()
+	}
+}
+
+func leakyNamed() {
+	go work() // want "goroutine work has no cancellation or completion path"
+}
+
+func compute() {}
+
+// A WaitGroup-scoped goroutine is accounted for.
+func waited() {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		compute()
+	}()
+	wg.Wait()
+}
+
+// A context-aware goroutine has a cancellation path.
+func cancellable(ctx context.Context) {
+	go func() {
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			default:
+				compute()
+			}
+		}
+	}()
+}
+
+// Sending a result on a channel is a completion signal.
+func resultChan() <-chan int {
+	out := make(chan int, 1)
+	go func() {
+		out <- 42
+	}()
+	return out
+}
+
+// A named callee whose body waits on a channel is resolved in-package.
+func drain(ch chan int) {
+	for range ch {
+	}
+}
+
+func namedWithSignal(ch chan int) {
+	go drain(ch)
+}

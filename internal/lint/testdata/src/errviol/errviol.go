@@ -1,0 +1,57 @@
+// Package errviol seeds violations for the errcheck analyzer: calls whose
+// error result is silently discarded.
+package errviol
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+)
+
+type closer struct{}
+
+func (closer) Close() error { return nil }
+
+func fails() error { return nil }
+
+func pair() (int, error) { return 0, nil }
+
+func dropped(w io.Writer) {
+	var c closer
+	c.Close()           // want "result of c.Close includes an error that is discarded"
+	fails()             // want "result of fails includes an error that is discarded"
+	pair()              // want "result of pair includes an error that is discarded"
+	fmt.Fprintf(w, "x") // want "result of fmt.Fprintf includes an error that is discarded"
+	io.WriteString(w, "x") // want "result of io.WriteString includes an error that is discarded"
+}
+
+func handled(w io.Writer) error {
+	var c closer
+	if err := c.Close(); err != nil {
+		return err
+	}
+	_ = fails()
+	_, err := pair()
+	return err
+}
+
+// fmt.Print* to the process streams and never-fail writers are exempt.
+func exempt() {
+	fmt.Println("hello")
+	fmt.Printf("%d\n", 1)
+	fmt.Fprintln(os.Stderr, "to stderr")
+	fmt.Fprintf(os.Stdout, "to stdout\n")
+	var buf bytes.Buffer
+	buf.WriteString("buffered")
+	var sb strings.Builder
+	sb.WriteByte('x')
+}
+
+// Calls with no error result are exempt.
+func pure() int { return 7 }
+
+func noError() {
+	pure()
+}

@@ -1,0 +1,36 @@
+// Package floatviol seeds violations for the floatcmp analyzer: exact
+// equality comparisons between floating-point values.
+package floatviol
+
+func eq(a, b float64) bool {
+	return a == b // want "compares floating-point values exactly"
+}
+
+func neq(a, b float32) bool {
+	return a != b // want "compares floating-point values exactly"
+}
+
+func mixed(a float64, n int) bool {
+	return a == float64(n) // want "compares floating-point values exactly"
+}
+
+// Constant folding is exempt: both sides are untyped constants.
+const third = 1.0 / 3.0
+
+var constOK = third == 0.3333333333333333
+
+// Ordered comparisons are exempt — only == and != are fragile.
+func ordered(a, b float64) bool {
+	return a < b || a >= b
+}
+
+// A justified suppression must silence the diagnostic.
+func suppressed(d float64) bool {
+	//lint:ignore floatcmp exact zero is a sound early exit in this fixture
+	return d == 0
+}
+
+// Integer equality is exempt.
+func ints(a, b int64) bool {
+	return a == b
+}

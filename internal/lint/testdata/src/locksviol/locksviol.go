@@ -1,0 +1,66 @@
+// Package locksviol seeds violations for the locks analyzer: lock-bearing
+// values copied by value and Lock() calls with no matching Unlock().
+package locksviol
+
+import "sync"
+
+type counter struct {
+	mu sync.Mutex
+	n  int
+}
+
+type rw struct {
+	mu sync.RWMutex
+	m  map[string]int
+}
+
+func byValueParam(c counter) int { // want "parameter copies a value containing a sync lock"
+	return c.n
+}
+
+func (c counter) get() int { // want "method receiver copies a value containing a sync lock"
+	return c.n
+}
+
+func copyAssign(c *counter) {
+	local := *c // want "assignment copies a value containing a sync lock"
+	_ = local
+}
+
+func rangeCopy(cs []counter) int {
+	total := 0
+	for _, c := range cs { // want "range value copies a value containing a sync lock"
+		total += c.n
+	}
+	return total
+}
+
+func lockNoUnlock(c *counter) { // this line intentionally clean
+	c.mu.Lock() // want "Lock\(\) with no .*Unlock"
+	c.n++
+}
+
+func rlockNoRUnlock(r *rw) int {
+	r.mu.RLock() // want "RLock\(\) with no .*RUnlock"
+	defer r.mu.Unlock()
+	return r.m["k"]
+}
+
+// Balanced usage must not be flagged.
+func balanced(c *counter) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.n++
+}
+
+func balancedRead(r *rw) int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.m["k"]
+}
+
+// Pointer plumbing must not be flagged.
+func viaPointer(c *counter) *counter {
+	p := c
+	return p
+}

@@ -187,6 +187,7 @@ type elemHeap []elemCand
 
 func (h elemHeap) Len() int { return len(h) }
 func (h elemHeap) Less(i, j int) bool {
+	//lint:ignore floatcmp exact equality is the heap tie-break; an epsilon would break the ordering's transitivity
 	if h[i].dist != h[j].dist {
 		return h[i].dist < h[j].dist
 	}

@@ -71,6 +71,7 @@ func (t *Tree) chooseLeaf(n *node, r geo.Rect) *node {
 		for i, c := range n.children {
 			u := c.rect.Union(r)
 			grow := u.Area() - c.rect.Area()
+			//lint:ignore floatcmp exact equality only breaks ties in a heuristic child choice; either child is correct
 			if grow < bestGrow || (grow == bestGrow && c.rect.Area() < bestArea) {
 				best, bestGrow, bestArea = i, grow, c.rect.Area()
 			}

@@ -120,7 +120,7 @@ func Open(cfg Config) (*Store, error) {
 	}
 	if cfg.Encoding == IntegerEncoding {
 		if err := s.recoverMeta(); err != nil {
-			cl.Close()
+			_ = cl.Close()
 			return nil, err
 		}
 	}

@@ -58,8 +58,11 @@ func DecodePoints(buf []byte) ([]geo.Point, error) {
 		return nil, errCorrupt
 	}
 	buf = buf[sz:]
-	if n > 1<<26 {
-		return nil, fmt.Errorf("traj: implausible point count %d", n)
+	// Bound the allocation by what the buffer can actually hold: each point
+	// is two varints of at least one byte each. A corrupt count would
+	// otherwise allocate gigabytes before the decode loop ever fails.
+	if n > 1<<26 || n > uint64(len(buf))/2 {
+		return nil, fmt.Errorf("traj: implausible point count %d for %d bytes", n, len(buf))
 	}
 	pts := make([]geo.Point, n)
 	var px, py int64
@@ -107,8 +110,9 @@ func DecodeFeatures(buf []byte) (*Features, error) {
 		return nil, errCorrupt
 	}
 	buf = buf[sz:]
-	if n > 1<<26 {
-		return nil, fmt.Errorf("traj: implausible feature count %d", n)
+	// Each index delta is at least one byte; cap the allocation accordingly.
+	if n > 1<<26 || n > uint64(len(buf)) {
+		return nil, fmt.Errorf("traj: implausible feature count %d for %d bytes", n, len(buf))
 	}
 	f := &Features{PointIdx: make([]int, n)}
 	prev := 0
@@ -126,8 +130,9 @@ func DecodeFeatures(buf []byte) (*Features, error) {
 		return nil, errCorrupt
 	}
 	buf = buf[sz:]
-	if m > 1<<26 {
-		return nil, fmt.Errorf("traj: implausible box count %d", m)
+	// Each box is four varints of at least one byte each.
+	if m > 1<<26 || m > uint64(len(buf))/4 {
+		return nil, fmt.Errorf("traj: implausible box count %d for %d bytes", m, len(buf))
 	}
 	f.Boxes = make([]geo.Rect, m)
 	for i := range f.Boxes {
@@ -185,8 +190,9 @@ func decodeTimes(buf []byte) ([]int64, error) {
 	if n == 0 {
 		return nil, nil
 	}
-	if n > 1<<26 {
-		return nil, fmt.Errorf("traj: implausible timestamp count %d", n)
+	// Each timestamp delta is at least one byte.
+	if n > 1<<26 || n > uint64(len(buf)) {
+		return nil, fmt.Errorf("traj: implausible timestamp count %d for %d bytes", n, len(buf))
 	}
 	out := make([]int64, n)
 	var prev int64

@@ -1,0 +1,124 @@
+package traj
+
+import (
+	"bytes"
+	"math"
+	"testing"
+
+	"repro/internal/geo"
+)
+
+// fuzzTol returns the acceptable coordinate drift after one
+// quantize/dequantize cycle: half a quantum plus float64 rounding that grows
+// with magnitude (fuzzed records may hold coordinates far outside [0,1)).
+func fuzzTol(x float64) float64 {
+	return 0.5/coordScale + math.Abs(x)*1e-9
+}
+
+func pointsClose(a, b []geo.Point) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if math.Abs(a[i].X-b[i].X) > fuzzTol(a[i].X) || math.Abs(a[i].Y-b[i].Y) > fuzzTol(a[i].Y) {
+			return false
+		}
+	}
+	return true
+}
+
+// FuzzTrajCodec feeds arbitrary bytes to the record decoder: it must never
+// panic or over-allocate, and anything it accepts must survive an
+// encode/decode round trip with identical structure.
+func FuzzTrajCodec(f *testing.F) {
+	rec := &Record{
+		ID:     "t-001",
+		Points: []geo.Point{{X: 0.1, Y: 0.2}, {X: 0.15, Y: 0.22}, {X: 0.3, Y: 0.1}},
+		Times:  []int64{1700000000, 1700000060, 1700000120},
+		Features: &Features{
+			PointIdx: []int{0, 2},
+			Boxes:    []geo.Rect{{Min: geo.Point{X: 0.1, Y: 0.1}, Max: geo.Point{X: 0.3, Y: 0.22}}},
+		},
+	}
+	f.Add(EncodeRecord(rec))
+	f.Add(EncodeRecord(&Record{ID: "", Points: nil, Features: &Features{}}))
+	f.Add([]byte{})
+	f.Add([]byte{0x00})
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0x01}) // huge uvarint count
+	f.Fuzz(func(t *testing.T, data []byte) {
+		rec, err := DecodeRecord(data)
+		if err != nil {
+			return // rejected input is fine; panics and OOMs are not
+		}
+		reenc := EncodeRecord(rec)
+		rec2, err := DecodeRecord(reenc)
+		if err != nil {
+			t.Fatalf("re-decode of a decoded record failed: %v", err)
+		}
+		if rec2.ID != rec.ID {
+			t.Fatalf("ID changed across round trip: %q -> %q", rec.ID, rec2.ID)
+		}
+		if !pointsClose(rec.Points, rec2.Points) {
+			t.Fatalf("points drifted across round trip:\n%v\n%v", rec.Points, rec2.Points)
+		}
+		if len(rec2.Times) != len(rec.Times) {
+			t.Fatalf("timestamp count changed: %d -> %d", len(rec.Times), len(rec2.Times))
+		}
+		for i := range rec.Times {
+			if rec.Times[i] != rec2.Times[i] {
+				t.Fatalf("timestamp %d changed: %d -> %d", i, rec.Times[i], rec2.Times[i])
+			}
+		}
+		if len(rec2.Features.PointIdx) != len(rec.Features.PointIdx) ||
+			len(rec2.Features.Boxes) != len(rec.Features.Boxes) {
+			t.Fatalf("feature shape changed: (%d,%d) -> (%d,%d)",
+				len(rec.Features.PointIdx), len(rec.Features.Boxes),
+				len(rec2.Features.PointIdx), len(rec2.Features.Boxes))
+		}
+		for i := range rec.Features.PointIdx {
+			if rec.Features.PointIdx[i] != rec2.Features.PointIdx[i] {
+				t.Fatalf("feature index %d changed: %d -> %d",
+					i, rec.Features.PointIdx[i], rec2.Features.PointIdx[i])
+			}
+		}
+		// Timestamps, when present, were validated against the point count.
+		if rec.Times != nil && len(rec.Times) != len(rec.Points) {
+			t.Fatalf("decoder accepted %d timestamps for %d points", len(rec.Times), len(rec.Points))
+		}
+
+		// A second encode must be byte-identical: dequantize/quantize is
+		// idempotent after the first cycle, so the format is canonical.
+		if !bytes.Equal(reenc, EncodeRecord(rec2)) {
+			t.Fatal("encoding is not canonical: re-encoding a round-tripped record changed bytes")
+		}
+	})
+}
+
+// FuzzPointsRoundTrip drives the structured point codec with in-domain
+// coordinates derived from the fuzz input: encode must be lossless up to one
+// quantum per coordinate.
+func FuzzPointsRoundTrip(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{1, 2, 3, 4, 5, 6, 7, 8})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var pts []geo.Point
+		for i := 0; i+4 <= len(data); i += 4 {
+			// Two 16-bit fixed-point coordinates per point, spanning [0,1).
+			x := float64(uint16(data[i])|uint16(data[i+1])<<8) / 65536
+			y := float64(uint16(data[i+2])|uint16(data[i+3])<<8) / 65536
+			pts = append(pts, geo.Point{X: x, Y: y})
+		}
+		dec, err := DecodePoints(EncodePoints(pts))
+		if err != nil {
+			t.Fatalf("decode of a fresh encoding failed: %v", err)
+		}
+		if len(dec) != len(pts) {
+			t.Fatalf("point count changed: %d -> %d", len(pts), len(dec))
+		}
+		for i := range pts {
+			if math.Abs(dec[i].X-pts[i].X) > 0.5/coordScale || math.Abs(dec[i].Y-pts[i].Y) > 0.5/coordScale {
+				t.Fatalf("point %d drifted: %v -> %v", i, pts[i], dec[i])
+			}
+		}
+	})
+}

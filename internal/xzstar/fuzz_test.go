@@ -1,0 +1,53 @@
+package xzstar
+
+import "testing"
+
+// FuzzXZStarCodeRoundTrip checks the bijectivity of the index-value encoding
+// (Section IV-C, Lemmas 3–4): every value in [0, 13·4^r − 12) decodes to
+// exactly one (sequence, position code) pair that encodes back to the same
+// value, and everything outside the domain is rejected rather than decoded.
+func FuzzXZStarCodeRoundTrip(f *testing.F) {
+	f.Add(int64(0), uint8(0))
+	f.Add(int64(1), uint8(3))
+	f.Add(int64(-1), uint8(15))
+	f.Add(int64(13*(1<<32)-13), uint8(15)) // last value at r=16
+	f.Add(int64(1<<62), uint8(7))
+	f.Fuzz(func(t *testing.T, v int64, resRaw uint8) {
+		res := int(resRaw)%16 + 1 // exercise r in [1,16]; 16 is the paper default
+		ix := MustNew(res)
+		total := ix.TotalIndexSpaces()
+
+		if v < 0 || v >= total {
+			if _, _, err := ix.Decode(v); err == nil {
+				t.Fatalf("r=%d: Decode(%d) accepted a value outside [0,%d)", res, v, total)
+			}
+			// Fold the input into the domain so every fuzz execution also
+			// exercises the round-trip, not just rejection.
+			v = ((v % total) + total) % total
+		}
+
+		s, p, err := ix.Decode(v)
+		if err != nil {
+			t.Fatalf("r=%d: Decode(%d) rejected an in-domain value: %v", res, v, err)
+		}
+		if l := s.Len(); l < 1 || l > res {
+			t.Fatalf("r=%d: Decode(%d) sequence resolution %d out of [1,%d]", res, v, l, res)
+		}
+		if p < 1 || p > 10 {
+			t.Fatalf("r=%d: Decode(%d) position code %d out of [1,10]", res, v, p)
+		}
+		if p == 10 && s.Len() != res {
+			t.Fatalf("r=%d: Decode(%d) gave code 10 at resolution %d != max", res, v, s.Len())
+		}
+
+		if got := ix.Value(s, p); got != v {
+			t.Fatalf("r=%d: Value(Decode(%d)) = %d; encoding is not bijective", res, v, got)
+		}
+
+		// The value must fall inside the contiguous range owned by its own
+		// sequence prefix (what global pruning's range scans rely on).
+		if rng := ix.PrefixRange(s); !rng.Contains(v) {
+			t.Fatalf("r=%d: value %d outside PrefixRange(%s) = [%d,%d)", res, v, s, rng.Lo, rng.Hi)
+		}
+	})
+}

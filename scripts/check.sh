@@ -1,0 +1,48 @@
+#!/usr/bin/env bash
+# check.sh — the full verification gate, runnable locally and in CI.
+#
+#   build      go build ./...
+#   vet        go vet ./...
+#   lint       trasslint ./...   (project-specific analyzers, internal/lint)
+#   test       go test -race ./...   (plain go test ./... with SHORT=1)
+#   fuzz       10s smoke run of every native fuzz target (skipped with SHORT=1)
+#
+# SHORT=1 trades the race detector and fuzz smoke for speed; CI always runs
+# the full gate.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+step() { printf '\n== %s ==\n' "$*"; }
+
+step build
+go build ./...
+
+step vet
+go vet ./...
+
+step trasslint
+go run ./cmd/trasslint ./...
+
+if [[ "${SHORT:-0}" == "1" ]]; then
+    step "test (short)"
+    go test -short ./...
+else
+    step "test (race)"
+    go test -race ./...
+
+    step "fuzz smoke (10s per target)"
+    # Enumerate fuzz targets package by package: go test allows only one
+    # -fuzz pattern per run.
+    for pkg in $(go list ./...); do
+        dir=$(go list -f '{{.Dir}}' "$pkg")
+        # `|| true`: most packages have no fuzz targets and grep exits
+        # nonzero, which set -o pipefail would otherwise turn fatal.
+        targets=$(grep -hEo 'func (Fuzz[A-Za-z0-9_]+)' "$dir"/*_test.go 2>/dev/null | awk '{print $2}' | sort -u || true)
+        for t in $targets; do
+            echo "-- $pkg $t"
+            go test -run=NONE -fuzz="^${t}\$" -fuzztime=10s "$pkg"
+        done
+    done
+fi
+
+printf '\nAll checks passed.\n'
