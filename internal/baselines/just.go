@@ -1,6 +1,7 @@
 package baselines
 
 import (
+	"context"
 	"encoding/binary"
 	"fmt"
 	"hash/fnv"
@@ -135,7 +136,7 @@ func (j *JUST) Threshold(q *traj.Trajectory, eps float64) ([]Result, *Stats, err
 		}
 		return true
 	}
-	res, err := j.cluster.Scan(cluster.ScanRequest{Ranges: keyRanges, Filter: filter})
+	res, err := j.cluster.Scan(context.Background(), cluster.ScanRequest{Ranges: keyRanges, Filter: filter})
 	if err != nil {
 		return nil, nil, err
 	}

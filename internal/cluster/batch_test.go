@@ -1,6 +1,7 @@
 package cluster
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"testing"
@@ -19,7 +20,7 @@ func TestPutBatchRoutesAcrossRegions(t *testing.T) {
 	if err := c.PutBatch(entries); err != nil {
 		t.Fatal(err)
 	}
-	res, err := c.Scan(ScanRequest{Ranges: []KeyRange{{}}})
+	res, err := c.Scan(context.Background(), ScanRequest{Ranges: []KeyRange{{}}})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -51,7 +52,7 @@ func TestPutBatchTriggersSplit(t *testing.T) {
 	if len(c.Regions()) < 2 {
 		t.Fatalf("expected auto-split after batch, regions = %d", len(c.Regions()))
 	}
-	res, err := c.Scan(ScanRequest{Ranges: []KeyRange{{}}})
+	res, err := c.Scan(context.Background(), ScanRequest{Ranges: []KeyRange{{}}})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -79,7 +80,7 @@ func TestScanBatchesRangesPerRegion(t *testing.T) {
 		end := fmt.Sprintf("row%05d", i*10+5)
 		ranges = append(ranges, KeyRange{Start: []byte(start), End: []byte(end)})
 	}
-	res, err := c.Scan(ScanRequest{Ranges: ranges})
+	res, err := c.Scan(context.Background(), ScanRequest{Ranges: ranges})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -117,7 +118,7 @@ func TestHandlerPoolSerializes(t *testing.T) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			if _, err := c.Scan(ScanRequest{Ranges: []KeyRange{{}}, Filter: filter}); err != nil {
+			if _, err := c.Scan(context.Background(), ScanRequest{Ranges: []KeyRange{{}}, Filter: filter}); err != nil {
 				t.Errorf("scan: %v", err)
 			}
 		}()

@@ -13,14 +13,15 @@ package cluster
 import (
 	"bytes"
 	"fmt"
-	"os"
 	"path/filepath"
 	"sort"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"repro/internal/kv"
+	"repro/internal/vfs"
 )
 
 // Config configures a cluster.
@@ -28,7 +29,8 @@ type Config struct {
 	// Dir is the root directory; each region gets a subdirectory.
 	Dir string
 	// SplitKeys pre-split the table: n keys create n+1 regions. TraSS
-	// pre-splits on the shard byte of its row keys.
+	// pre-splits on the shard byte of its row keys. Ignored when the
+	// directory already holds a MANIFEST: the recovered topology wins.
 	SplitKeys [][]byte
 	// Parallelism bounds concurrent region scans per request. Default: the
 	// number of regions.
@@ -42,8 +44,21 @@ type Config struct {
 	// SplitThresholdBytes auto-splits a region whose store has written more
 	// than this many bytes. Zero disables auto-splitting.
 	SplitThresholdBytes int64
-	// KV options applied to each region's store (Dir is overridden).
+	// KV options applied to each region's store (Dir is overridden; FS
+	// inherits Config.FS when unset).
 	KV kv.Options
+	// FS is the filesystem the cluster (and, unless overridden, each
+	// region's store) runs on. Default vfs.Default.
+	FS vfs.FS
+	// RetryAttempts is the number of times a failed region scan is retried
+	// when the error is transient (exposes a `Transient() bool` method).
+	// Default 3; negative disables retries.
+	RetryAttempts int
+	// RetryBaseDelay is the backoff before the first retry; it doubles per
+	// attempt, capped at RetryMaxDelay. Defaults 1ms / 50ms.
+	RetryBaseDelay time.Duration
+	// RetryMaxDelay caps the exponential backoff between retries.
+	RetryMaxDelay time.Duration
 }
 
 // Entry is one row to write, re-exported from the kv layer.
@@ -53,13 +68,16 @@ type Entry = kv.Entry
 // safe for concurrent use.
 type Cluster struct {
 	cfg Config
+	fs  vfs.FS
 
 	mu      sync.RWMutex
 	regions []*Region // sorted by start key
 	nextID  int
 	closed  bool
 
-	rpcs atomic.Int64
+	rpcs          atomic.Int64
+	retries       atomic.Int64 // region scan attempts beyond the first
+	splitFailures atomic.Int64
 }
 
 // Region is one key-range partition. start is inclusive, end exclusive; nil
@@ -82,11 +100,47 @@ func (r *Region) Start() []byte { return r.start }
 // End returns the region's exclusive end key (nil = unbounded).
 func (r *Region) End() []byte { return r.end }
 
-// Open creates a cluster in cfg.Dir with the configured pre-splits.
+// Open creates a cluster in cfg.Dir with the configured pre-splits, or — when
+// the directory holds a MANIFEST from an earlier run — recovers the recorded
+// topology, including every region created by auto-splitting. Region
+// directories the manifest does not reference (debris of uncommitted splits,
+// or split parents whose deletion never became durable) are removed.
 func Open(cfg Config) (*Cluster, error) {
 	if cfg.Dir == "" {
 		return nil, fmt.Errorf("cluster: Config.Dir is required")
 	}
+	fsys := cfg.FS
+	if fsys == nil {
+		fsys = vfs.Default
+	}
+	c := &Cluster{cfg: cfg, fs: fsys}
+	if err := fsys.MkdirAll(cfg.Dir); err != nil {
+		return nil, fmt.Errorf("cluster: create dir: %w", err)
+	}
+	names, err := fsys.List(cfg.Dir)
+	if err != nil {
+		return nil, fmt.Errorf("cluster: list dir: %w", err)
+	}
+	for _, name := range names {
+		if strings.HasSuffix(name, ".tmp") {
+			if err := fsys.Remove(filepath.Join(cfg.Dir, name)); err != nil {
+				return nil, fmt.Errorf("cluster: clean %s: %w", name, err)
+			}
+		}
+	}
+
+	m, haveManifest, err := readManifest(fsys, cfg.Dir)
+	if err != nil {
+		return nil, err
+	}
+	if haveManifest {
+		if err := c.recoverFromManifest(m, names); err != nil {
+			_ = c.Close()
+			return nil, err
+		}
+		return c, nil
+	}
+
 	splits := make([][]byte, len(cfg.SplitKeys))
 	copy(splits, cfg.SplitKeys)
 	sort.Slice(splits, func(i, j int) bool { return bytes.Compare(splits[i], splits[j]) < 0 })
@@ -95,8 +149,6 @@ func Open(cfg Config) (*Cluster, error) {
 			return nil, fmt.Errorf("cluster: duplicate split key %q", splits[i])
 		}
 	}
-
-	c := &Cluster{cfg: cfg}
 	bounds := make([][2][]byte, 0, len(splits)+1)
 	var prev []byte
 	for _, s := range splits {
@@ -113,15 +165,73 @@ func Open(cfg Config) (*Cluster, error) {
 		}
 		c.regions = append(c.regions, r)
 	}
+	if err := writeManifest(fsys, cfg.Dir, c.manifestLocked()); err != nil {
+		_ = c.Close()
+		return nil, err
+	}
 	return c, nil
 }
 
+// recoverFromManifest rebuilds the region set the manifest records and
+// deletes unreferenced region directories. names is the root directory
+// listing taken before the manifest was read.
+func (c *Cluster) recoverFromManifest(m *manifest, names []string) error {
+	referenced := make(map[string]bool, len(m.Regions))
+	recs := append([]manifestRegion(nil), m.Regions...)
+	sort.Slice(recs, func(i, j int) bool {
+		a, b := recs[i].Start, recs[j].Start
+		if a == nil || b == nil {
+			return a == nil && b != nil // nil start = unbounded = first
+		}
+		return bytes.Compare(a, b) < 0
+	})
+	c.nextID = m.NextID
+	for _, rec := range recs {
+		referenced[regionDirName(rec.ID)] = true
+		r, err := c.openRegion(rec.ID, rec.Start, rec.End)
+		if err != nil {
+			return err
+		}
+		c.regions = append(c.regions, r)
+		if rec.ID >= c.nextID {
+			c.nextID = rec.ID + 1
+		}
+	}
+	removed := false
+	for _, name := range names {
+		if !strings.HasPrefix(name, "region-") || referenced[name] {
+			continue
+		}
+		if err := c.fs.RemoveAll(filepath.Join(c.cfg.Dir, name)); err != nil {
+			return fmt.Errorf("cluster: clean stale region dir %s: %w", name, err)
+		}
+		removed = true
+	}
+	if removed {
+		// Best-effort durability for the cleanup; a crash just means the
+		// next Open removes the same debris again.
+		_ = c.fs.SyncDir(c.cfg.Dir)
+	}
+	return nil
+}
+
+func regionDirName(id int) string { return fmt.Sprintf("region-%04d", id) }
+
+// newRegion allocates the next region ID and opens its store.
 func (c *Cluster) newRegion(start, end []byte) (*Region, error) {
 	id := c.nextID
 	c.nextID++
-	dir := filepath.Join(c.cfg.Dir, fmt.Sprintf("region-%04d", id))
+	return c.openRegion(id, start, end)
+}
+
+// openRegion opens (or creates) the store for region id.
+func (c *Cluster) openRegion(id int, start, end []byte) (*Region, error) {
+	dir := filepath.Join(c.cfg.Dir, regionDirName(id))
 	opts := c.cfg.KV
 	opts.Dir = dir
+	if opts.FS == nil {
+		opts.FS = c.fs
+	}
 	db, err := kv.Open(opts)
 	if err != nil {
 		return nil, fmt.Errorf("cluster: open region %d: %w", id, err)
@@ -163,9 +273,12 @@ func (c *Cluster) Put(key, value []byte) error {
 		return err
 	}
 	if needSplit {
-		// Best effort: a failed split leaves the region oversized but intact.
+		// Best effort: a failed split leaves the region oversized but
+		// intact, and the row itself was already acknowledged — so the
+		// failure is counted, not surfaced, and the still-oversized region
+		// retries at the next write.
 		if serr := c.splitRegion(r); serr != nil {
-			return fmt.Errorf("cluster: split region %d: %w", r.id, serr)
+			c.splitFailures.Add(1)
 		}
 	}
 	return nil
@@ -203,8 +316,9 @@ func (c *Cluster) PutBatch(entries []kv.Entry) error {
 	}
 	c.mu.RUnlock()
 	for _, r := range oversized {
+		// Best effort, as in Put: the rows are already acknowledged.
 		if err := c.splitRegion(r); err != nil {
-			return fmt.Errorf("cluster: split region %d: %w", r.id, err)
+			c.splitFailures.Add(1)
 		}
 	}
 	return nil
@@ -234,9 +348,12 @@ func (c *Cluster) Delete(key []byte) error {
 func (c *Cluster) Flush() error {
 	c.mu.RLock()
 	defer c.mu.RUnlock()
+	if c.closed {
+		return kv.ErrClosed
+	}
 	for _, r := range c.regions {
 		if err := r.db.Flush(); err != nil {
-			return err
+			return fmt.Errorf("cluster: flush region %d: %w", r.id, err)
 		}
 	}
 	return nil
@@ -246,9 +363,12 @@ func (c *Cluster) Flush() error {
 func (c *Cluster) Compact() error {
 	c.mu.RLock()
 	defer c.mu.RUnlock()
+	if c.closed {
+		return kv.ErrClosed
+	}
 	for _, r := range c.regions {
 		if err := r.db.Compact(); err != nil {
-			return err
+			return fmt.Errorf("cluster: compact region %d: %w", r.id, err)
 		}
 	}
 	return nil
@@ -264,21 +384,33 @@ func (c *Cluster) Regions() []*Region {
 }
 
 // Stats aggregates the kv counters of every region; RPCs is the number of
-// region scan calls issued so far.
+// region scan calls issued so far, Retries the scan attempts beyond each
+// call's first, SplitFailures the auto-splits abandoned on error.
 type Stats struct {
-	KV   kv.StatsSnapshot
-	RPCs int64
+	KV            kv.StatsSnapshot
+	RPCs          int64
+	Retries       int64
+	SplitFailures int64
 }
 
-// Stats returns cluster-wide counters.
-func (c *Cluster) Stats() Stats {
+// Stats returns cluster-wide counters, or kv.ErrClosed on a closed cluster
+// (whose region stores can no longer be polled).
+func (c *Cluster) Stats() (Stats, error) {
 	c.mu.RLock()
 	defer c.mu.RUnlock()
+	if c.closed {
+		return Stats{}, kv.ErrClosed
+	}
 	var agg kv.StatsSnapshot
 	for _, r := range c.regions {
 		agg = agg.Add(r.db.Stats())
 	}
-	return Stats{KV: agg, RPCs: c.rpcs.Load()}
+	return Stats{
+		KV:            agg,
+		RPCs:          c.rpcs.Load(),
+		Retries:       c.retries.Load(),
+		SplitFailures: c.splitFailures.Load(),
+	}, nil
 }
 
 // Verify checks every SSTable block checksum in every region.
@@ -316,6 +448,17 @@ func (c *Cluster) Close() error {
 // splitRegion splits r at its median key into two fresh regions. Mirrors an
 // HBase region split (without the reference-file optimization: rows are
 // rewritten).
+//
+// Memory: the median is found by streaming — one pass counts the rows, a
+// second stops at the midpoint — so no key set is ever materialized.
+//
+// Crash safety: the children are fully built and flushed first, then the
+// manifest naming them (and dropping the parent) is committed atomically,
+// and only then is the parent deleted. A crash before the manifest commit
+// leaves the old region authoritative (child directories are unreferenced
+// debris, cleaned at Open); a crash after it leaves both children live (a
+// surviving parent directory is the unreferenced one). Either way, never
+// neither.
 func (c *Cluster) splitRegion(r *Region) error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -334,23 +477,38 @@ func (c *Cluster) splitRegion(r *Region) error {
 		return nil
 	}
 
-	// Find the median key.
-	var keys [][]byte
+	// Pass 1: count rows (and remember the first key) in O(1) memory.
+	count := 0
+	var firstKey []byte
 	it := r.db.Scan(nil, nil)
 	for it.Next() {
-		keys = append(keys, append([]byte(nil), it.Key()...))
+		if count == 0 {
+			firstKey = append([]byte(nil), it.Key()...)
+		}
+		count++
 	}
 	if err := it.Err(); err != nil {
 		_ = it.Close()
 		return err
 	}
 	_ = it.Close()
-	if len(keys) < 2 {
+	if count < 2 {
 		r.approxSize.Store(0) // nothing to split; stop re-triggering
 		return nil
 	}
-	mid := keys[len(keys)/2]
-	if bytes.Equal(mid, keys[0]) {
+	// Pass 2: re-scan to the midpoint for the median key.
+	var mid []byte
+	it = r.db.Scan(nil, nil)
+	for i := 0; i <= count/2 && it.Next(); i++ {
+		mid = it.Key()
+	}
+	mid = append([]byte(nil), mid...)
+	if err := it.Err(); err != nil {
+		_ = it.Close()
+		return err
+	}
+	_ = it.Close()
+	if bytes.Equal(mid, firstKey) {
 		r.approxSize.Store(0)
 		return nil
 	}
@@ -362,9 +520,16 @@ func (c *Cluster) splitRegion(r *Region) error {
 	right, err := c.newRegion(mid, r.end)
 	if err != nil {
 		_ = left.db.Close()
-		_ = os.RemoveAll(left.dir)
+		_ = c.fs.RemoveAll(left.dir)
 		return err
 	}
+	rollback := func() {
+		_ = left.db.Close()
+		_ = right.db.Close()
+		_ = c.fs.RemoveAll(left.dir)
+		_ = c.fs.RemoveAll(right.dir)
+	}
+	// Pass 3: stream the rows into the children.
 	it = r.db.Scan(nil, nil)
 	for it.Next() {
 		dst := left
@@ -373,32 +538,46 @@ func (c *Cluster) splitRegion(r *Region) error {
 		}
 		if err := dst.db.Put(it.Key(), it.Value()); err != nil {
 			_ = it.Close()
-			_ = left.db.Close()
-			_ = right.db.Close()
-			_ = os.RemoveAll(left.dir)
-			_ = os.RemoveAll(right.dir)
+			rollback()
 			return err
 		}
 		dst.approxSize.Add(int64(len(it.Key()) + len(it.Value())))
 	}
 	if err := it.Err(); err != nil {
 		_ = it.Close()
-		_ = left.db.Close()
-		_ = right.db.Close()
-		_ = os.RemoveAll(left.dir)
-		_ = os.RemoveAll(right.dir)
+		rollback()
 		return err
 	}
 	_ = it.Close()
 	if err := left.db.Flush(); err != nil {
+		rollback()
 		return err
 	}
 	if err := right.db.Flush(); err != nil {
+		rollback()
 		return err
 	}
 
-	c.regions = append(c.regions[:idx], append([]*Region{left, right}, c.regions[idx+1:]...)...)
+	// Commit point: the manifest swap replaces the parent with its children.
+	next := append([]*Region(nil), c.regions[:idx]...)
+	next = append(next, left, right)
+	next = append(next, c.regions[idx+1:]...)
+	m := &manifest{Version: 1, NextID: c.nextID}
+	for _, cur := range next {
+		m.Regions = append(m.Regions, manifestRegion{ID: cur.id, Start: cur.start, End: cur.end})
+	}
+	if err := writeManifest(c.fs, c.cfg.Dir, m); err != nil {
+		rollback()
+		return err
+	}
+	c.regions = next
+
+	// The parent is now unreferenced; delete it. Durability of the removal
+	// is best-effort — if the crash beats the SyncDir, Open deletes the
+	// resurrected directory as unreferenced debris.
 	_ = r.db.Close()
-	_ = os.RemoveAll(r.dir)
+	if err := c.fs.RemoveAll(r.dir); err == nil {
+		_ = c.fs.SyncDir(c.cfg.Dir)
+	}
 	return nil
 }

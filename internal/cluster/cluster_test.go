@@ -1,6 +1,7 @@
 package cluster
 
 import (
+	"context"
 	"bytes"
 	"fmt"
 	"math/rand"
@@ -101,7 +102,7 @@ func loadRows(t *testing.T, c *Cluster, n int) {
 func TestScanSingleRange(t *testing.T) {
 	c := newTestCluster(t, Config{SplitKeys: [][]byte{[]byte("row00300"), []byte("row00600")}})
 	loadRows(t, c, 1000)
-	res, err := c.Scan(ScanRequest{Ranges: []KeyRange{{Start: []byte("row00250"), End: []byte("row00350")}}})
+	res, err := c.Scan(context.Background(), ScanRequest{Ranges: []KeyRange{{Start: []byte("row00250"), End: []byte("row00350")}}})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -123,7 +124,7 @@ func TestScanSingleRange(t *testing.T) {
 func TestScanMultipleRanges(t *testing.T) {
 	c := newTestCluster(t, Config{SplitKeys: [][]byte{[]byte("row00500")}})
 	loadRows(t, c, 1000)
-	res, err := c.Scan(ScanRequest{Ranges: []KeyRange{
+	res, err := c.Scan(context.Background(), ScanRequest{Ranges: []KeyRange{
 		{Start: []byte("row00100"), End: []byte("row00110")},
 		{Start: []byte("row00700"), End: []byte("row00720")},
 	}})
@@ -138,7 +139,7 @@ func TestScanMultipleRanges(t *testing.T) {
 func TestScanServerSideFilter(t *testing.T) {
 	c := newTestCluster(t, Config{SplitKeys: [][]byte{[]byte("row00500")}})
 	loadRows(t, c, 1000)
-	res, err := c.Scan(ScanRequest{
+	res, err := c.Scan(context.Background(), ScanRequest{
 		Ranges: []KeyRange{{}},
 		Filter: func(key, value []byte) bool { return key[len(key)-1] == '0' },
 	})
@@ -167,7 +168,7 @@ func TestScanServerSideFilter(t *testing.T) {
 func TestScanLimit(t *testing.T) {
 	c := newTestCluster(t, Config{SplitKeys: [][]byte{[]byte("row00500")}})
 	loadRows(t, c, 1000)
-	res, err := c.Scan(ScanRequest{Ranges: []KeyRange{{}}, Limit: 37})
+	res, err := c.Scan(context.Background(), ScanRequest{Ranges: []KeyRange{{}}, Limit: 37})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -183,7 +184,7 @@ func TestScanLimit(t *testing.T) {
 func TestScanEmptyRangeList(t *testing.T) {
 	c := newTestCluster(t, Config{})
 	loadRows(t, c, 10)
-	res, err := c.Scan(ScanRequest{})
+	res, err := c.Scan(context.Background(), ScanRequest{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -211,7 +212,7 @@ func TestAutoSplit(t *testing.T) {
 		}
 	}
 	// No rows lost.
-	res, err := c.Scan(ScanRequest{Ranges: []KeyRange{{}}})
+	res, err := c.Scan(context.Background(), ScanRequest{Ranges: []KeyRange{{}}})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -229,14 +230,20 @@ func TestStatsAggregation(t *testing.T) {
 	c := newTestCluster(t, Config{SplitKeys: [][]byte{[]byte("row00500")}})
 	loadRows(t, c, 1000)
 	c.Flush()
-	before := c.Stats()
+	before, err := c.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
 	if before.KV.Puts != 1000 {
 		t.Fatalf("puts = %d", before.KV.Puts)
 	}
-	if _, err := c.Scan(ScanRequest{Ranges: []KeyRange{{}}}); err != nil {
+	if _, err := c.Scan(context.Background(), ScanRequest{Ranges: []KeyRange{{}}}); err != nil {
 		t.Fatal(err)
 	}
-	after := c.Stats()
+	after, err := c.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
 	if after.RPCs-before.RPCs != 2 {
 		t.Fatalf("rpc delta = %d, want 2", after.RPCs-before.RPCs)
 	}
@@ -269,7 +276,7 @@ func TestConcurrentPutsAndScans(t *testing.T) {
 		go func() {
 			defer wg.Done()
 			for i := 0; i < 20; i++ {
-				if _, err := c.Scan(ScanRequest{Ranges: []KeyRange{{}}}); err != nil {
+				if _, err := c.Scan(context.Background(), ScanRequest{Ranges: []KeyRange{{}}}); err != nil {
 					t.Errorf("scan: %v", err)
 					return
 				}
@@ -277,7 +284,7 @@ func TestConcurrentPutsAndScans(t *testing.T) {
 		}()
 	}
 	wg.Wait()
-	res, err := c.Scan(ScanRequest{Ranges: []KeyRange{{}}})
+	res, err := c.Scan(context.Background(), ScanRequest{Ranges: []KeyRange{{}}})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -303,7 +310,7 @@ func TestScanMatchesSortedLoad(t *testing.T) {
 			uniq = append(uniq, k)
 		}
 	}
-	res, err := c.Scan(ScanRequest{Ranges: []KeyRange{{}}})
+	res, err := c.Scan(context.Background(), ScanRequest{Ranges: []KeyRange{{}}})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -323,7 +330,7 @@ func TestClosedCluster(t *testing.T) {
 	if err := c.Put([]byte("k"), []byte("v")); err != kv.ErrClosed {
 		t.Errorf("Put after close: %v", err)
 	}
-	if _, err := c.Scan(ScanRequest{Ranges: []KeyRange{{}}}); err != kv.ErrClosed {
+	if _, err := c.Scan(context.Background(), ScanRequest{Ranges: []KeyRange{{}}}); err != kv.ErrClosed {
 		t.Errorf("Scan after close: %v", err)
 	}
 	if err := c.Close(); err != nil {
@@ -370,7 +377,7 @@ func BenchmarkClusterScan(b *testing.B) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		res, err := c.Scan(ScanRequest{Ranges: []KeyRange{
+		res, err := c.Scan(context.Background(), ScanRequest{Ranges: []KeyRange{
 			{Start: []byte("row04900"), End: []byte("row05100")},
 		}})
 		if err != nil || len(res.Entries) != 200 {

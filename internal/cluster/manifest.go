@@ -1,0 +1,102 @@
+package cluster
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io/fs"
+	"path/filepath"
+
+	"repro/internal/vfs"
+)
+
+// The cluster MANIFEST records the region topology — bounds, IDs, and the
+// next ID to allocate — so that a reopened cluster recovers regions created
+// by auto-splitting instead of rebuilding only the static pre-splits. It is
+// replaced atomically (tmp + sync + rename + directory fsync); a region
+// directory not referenced by the manifest is garbage from an uncommitted
+// split (or a committed split's deleted parent whose removal was not yet
+// durable) and is deleted at Open.
+
+const manifestName = "MANIFEST"
+
+type manifest struct {
+	Version int              `json:"version"`
+	NextID  int              `json:"next_id"`
+	Regions []manifestRegion `json:"regions"`
+}
+
+// manifestRegion is one region record. Start/End are the raw key bounds
+// (base64 in the JSON encoding); nil means unbounded.
+type manifestRegion struct {
+	ID    int    `json:"id"`
+	Start []byte `json:"start,omitempty"`
+	End   []byte `json:"end,omitempty"`
+}
+
+// readManifest loads dir's MANIFEST. ok=false when none exists (a fresh or
+// pre-manifest directory).
+func readManifest(fsys vfs.FS, dir string) (*manifest, bool, error) {
+	data, err := vfs.ReadFile(fsys, filepath.Join(dir, manifestName))
+	if errors.Is(err, fs.ErrNotExist) {
+		return nil, false, nil
+	}
+	if err != nil {
+		return nil, false, fmt.Errorf("cluster: read manifest: %w", err)
+	}
+	var m manifest
+	if err := json.Unmarshal(data, &m); err != nil {
+		return nil, false, fmt.Errorf("cluster: parse manifest: %w", err)
+	}
+	if m.Version != 1 {
+		return nil, false, fmt.Errorf("cluster: manifest version %d not supported", m.Version)
+	}
+	return &m, true, nil
+}
+
+// writeManifest atomically replaces dir's MANIFEST and makes it durable.
+// This is the commit point for topology changes: splitRegion writes the
+// post-split manifest before touching the parent region's files.
+func writeManifest(fsys vfs.FS, dir string, m *manifest) error {
+	data, err := json.Marshal(m)
+	if err != nil {
+		return fmt.Errorf("cluster: encode manifest: %w", err)
+	}
+	path := filepath.Join(dir, manifestName)
+	tmp := path + ".tmp"
+	f, err := fsys.Create(tmp)
+	if err != nil {
+		return fmt.Errorf("cluster: write manifest: %w", err)
+	}
+	if _, err := f.Write(append(data, '\n')); err != nil {
+		_ = f.Close()
+		_ = fsys.Remove(tmp)
+		return fmt.Errorf("cluster: write manifest: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		_ = f.Close()
+		_ = fsys.Remove(tmp)
+		return fmt.Errorf("cluster: sync manifest: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		_ = fsys.Remove(tmp)
+		return fmt.Errorf("cluster: close manifest: %w", err)
+	}
+	if err := fsys.Rename(tmp, path); err != nil {
+		_ = fsys.Remove(tmp)
+		return fmt.Errorf("cluster: commit manifest: %w", err)
+	}
+	if err := fsys.SyncDir(dir); err != nil {
+		return fmt.Errorf("cluster: commit manifest: %w", err)
+	}
+	return nil
+}
+
+// manifestLocked snapshots the current topology (caller holds c.mu).
+func (c *Cluster) manifestLocked() *manifest {
+	m := &manifest{Version: 1, NextID: c.nextID}
+	for _, r := range c.regions {
+		m.Regions = append(m.Regions, manifestRegion{ID: r.id, Start: r.start, End: r.end})
+	}
+	return m
+}

@@ -2,6 +2,9 @@ package cluster
 
 import (
 	"bytes"
+	"context"
+	"errors"
+	"fmt"
 	"sort"
 	"sync"
 	"time"
@@ -29,6 +32,34 @@ type ScanRequest struct {
 	// limit). With a limit the scan runs region-sequential so that "first
 	// rows" are deterministic in key order.
 	Limit int
+	// AllowPartial degrades instead of failing: when a region's scan cannot
+	// be completed (even after retries), its rows are omitted, the failure
+	// is recorded in ScanResult.RegionErrors, and the surviving regions'
+	// rows are returned. Without it the first region failure fails the scan.
+	AllowPartial bool
+}
+
+// RegionError records one region's scan failure: which region, covering
+// which key range, and why. It is the error type Scan returns (wrapped) in
+// strict mode and collects in ScanResult.RegionErrors in AllowPartial mode.
+type RegionError struct {
+	RegionID   int
+	Start, End []byte // the region's bounds; nil = unbounded
+	Err        error
+}
+
+func (e *RegionError) Error() string {
+	return fmt.Sprintf("cluster: region %d [%s, %s): %v",
+		e.RegionID, boundString(e.Start), boundString(e.End), e.Err)
+}
+
+func (e *RegionError) Unwrap() error { return e.Err }
+
+func boundString(b []byte) string {
+	if b == nil {
+		return "-inf"
+	}
+	return fmt.Sprintf("%q", b)
 }
 
 // ScanResult carries the shipped rows and the per-query I/O accounting that
@@ -39,7 +70,11 @@ type ScanResult struct {
 	RowsReturned int64 // rows shipped to the client
 	BytesShipped int64 // key+value bytes that crossed the "network"
 	RPCs         int64 // region calls issued (all ranges per region batch)
+	Retries      int64 // region call attempts beyond each call's first
 	Elapsed      time.Duration
+	// RegionErrors lists the regions whose rows are missing from Entries;
+	// only ever non-empty with ScanRequest.AllowPartial.
+	RegionErrors []*RegionError
 }
 
 // regionTask is all the work one region receives for a request: its clipped
@@ -54,7 +89,12 @@ type regionTask struct {
 // in the same region are batched into one region call. Without a limit,
 // region calls run in parallel (bounded by Config.Parallelism); results come
 // back sorted by key.
-func (c *Cluster) Scan(req ScanRequest) (*ScanResult, error) {
+//
+// Transient region errors (kv errors exposing `Transient() bool` = true) are
+// retried per region with capped exponential backoff before counting as
+// failures. ctx cancels the scan between rows; cancellation is returned as
+// ctx's error, never as a partial result.
+func (c *Cluster) Scan(ctx context.Context, req ScanRequest) (*ScanResult, error) {
 	start := time.Now()
 	c.mu.RLock()
 	if c.closed {
@@ -100,9 +140,17 @@ func (c *Cluster) Scan(req ScanRequest) (*ScanResult, error) {
 		// Regions are in key order and partition the key space, so scanning
 		// them sequentially yields the first Limit rows deterministically.
 		for _, t := range tasks {
-			part, err := c.scanRegion(t, req.Filter, req.Limit-len(res.Entries), rpcLatency)
+			part, err := c.scanRegionRetry(ctx, t, req.Filter, req.Limit-len(res.Entries), rpcLatency)
 			if err != nil {
-				return nil, err
+				if cerr := ctx.Err(); cerr != nil {
+					return nil, cerr
+				}
+				re := regionError(t.region, err)
+				if !req.AllowPartial {
+					return nil, re
+				}
+				res.RegionErrors = append(res.RegionErrors, re)
+				continue
 			}
 			res.merge(part)
 			if len(res.Entries) >= req.Limit {
@@ -123,17 +171,28 @@ func (c *Cluster) Scan(req ScanRequest) (*ScanResult, error) {
 			defer wg.Done()
 			sem <- struct{}{}
 			defer func() { <-sem }()
-			parts[i], errs[i] = c.scanRegion(t, req.Filter, 0, rpcLatency)
+			parts[i], errs[i] = c.scanRegionRetry(ctx, t, req.Filter, 0, rpcLatency)
 		}(i, t)
 	}
 	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return nil, err
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	for i, err := range errs {
+		if err == nil {
+			continue
 		}
+		re := regionError(tasks[i].region, err)
+		if !req.AllowPartial {
+			return nil, re
+		}
+		res.RegionErrors = append(res.RegionErrors, re)
+		parts[i] = nil
 	}
 	for _, p := range parts {
-		res.merge(p)
+		if p != nil {
+			res.merge(p)
+		}
 	}
 	sort.Slice(res.Entries, func(i, j int) bool {
 		return bytes.Compare(res.Entries[i].Key, res.Entries[j].Key) < 0
@@ -142,24 +201,89 @@ func (c *Cluster) Scan(req ScanRequest) (*ScanResult, error) {
 	return res, nil
 }
 
+func regionError(r *Region, err error) *RegionError {
+	return &RegionError{RegionID: r.id, Start: r.start, End: r.end, Err: err}
+}
+
 func (res *ScanResult) merge(p *ScanResult) {
 	res.Entries = append(res.Entries, p.Entries...)
 	res.RowsScanned += p.RowsScanned
 	res.RowsReturned += p.RowsReturned
 	res.BytesShipped += p.BytesShipped
 	res.RPCs += p.RPCs
+	res.Retries += p.Retries
+}
+
+// isTransient reports whether err (or anything it wraps) declares itself
+// transient — worth retrying.
+func isTransient(err error) bool {
+	var tr interface{ Transient() bool }
+	return errors.As(err, &tr) && tr.Transient()
+}
+
+// scanRegionRetry runs one region call, retrying transient failures with
+// capped exponential backoff. Permanent errors and exhausted budgets surface
+// to the caller; a retry that succeeds hides the transient entirely.
+func (c *Cluster) scanRegionRetry(ctx context.Context, t regionTask, filter Filter, limit int, rpcLatency time.Duration) (*ScanResult, error) {
+	attempts := c.cfg.RetryAttempts
+	if attempts == 0 {
+		attempts = 3
+	}
+	if attempts < 0 {
+		attempts = 0
+	}
+	delay := c.cfg.RetryBaseDelay
+	if delay <= 0 {
+		delay = time.Millisecond
+	}
+	maxDelay := c.cfg.RetryMaxDelay
+	if maxDelay <= 0 {
+		maxDelay = 50 * time.Millisecond
+	}
+	var retries int64
+	for attempt := 0; ; attempt++ {
+		res, err := c.scanRegion(ctx, t, filter, limit, rpcLatency)
+		if err == nil {
+			res.Retries = retries
+			return res, nil
+		}
+		if attempt >= attempts || !isTransient(err) {
+			return nil, err
+		}
+		select {
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		case <-time.After(delay):
+		}
+		if delay *= 2; delay > maxDelay {
+			delay = maxDelay
+		}
+		retries++
+		c.retries.Add(1)
+	}
 }
 
 // scanRegion is one region "RPC": scan every clipped range, apply the
-// server-side filter, ship accepted rows.
-func (c *Cluster) scanRegion(t regionTask, filter Filter, limit int, rpcLatency time.Duration) (*ScanResult, error) {
+// server-side filter, ship accepted rows. ctx is observed between rows.
+func (c *Cluster) scanRegion(ctx context.Context, t regionTask, filter Filter, limit int, rpcLatency time.Duration) (*ScanResult, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	if rpcLatency > 0 {
-		time.Sleep(rpcLatency)
+		select {
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		case <-time.After(rpcLatency):
+		}
 	}
 	if t.region.handlers != nil {
 		// A bounded handler pool serves each region: scans queue once the
 		// region is saturated, which is what makes too few shards hurt.
-		t.region.handlers <- struct{}{}
+		select {
+		case t.region.handlers <- struct{}{}:
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
 		defer func() { <-t.region.handlers }()
 	}
 	c.rpcs.Add(1)
@@ -167,6 +291,12 @@ func (c *Cluster) scanRegion(t regionTask, filter Filter, limit int, rpcLatency 
 	for _, rng := range t.ranges {
 		it := t.region.db.Scan(rng.Start, rng.End)
 		for it.Next() {
+			if res.RowsScanned%256 == 0 {
+				if err := ctx.Err(); err != nil {
+					_ = it.Close()
+					return nil, err
+				}
+			}
 			res.RowsScanned++
 			if filter != nil && !filter(it.Key(), it.Value()) {
 				continue

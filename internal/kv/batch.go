@@ -1,5 +1,7 @@
 package kv
 
+import "fmt"
+
 // Batch collects writes to apply atomically-in-order under one lock
 // acquisition and one WAL buffer flush — the bulk-load path. A Batch is not
 // safe for concurrent use; build it on one goroutine, then Apply it.
@@ -51,6 +53,13 @@ func (db *DB) Apply(b *Batch) error {
 	defer db.mu.Unlock()
 	if db.closed {
 		return ErrClosed
+	}
+	// See DB.write: a poisoned WAL is healed by flush + rotation before any
+	// new record is accepted.
+	if db.wal.poisoned() {
+		if err := db.flushLocked(); err != nil {
+			return fmt.Errorf("kv: wal unavailable: %w", err)
+		}
 	}
 	for _, e := range b.entries {
 		if len(e.key) == 0 {

@@ -1,0 +1,370 @@
+package kv
+
+import (
+	"errors"
+	"fmt"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/vfs"
+	"repro/internal/vfs/vfstest"
+)
+
+// Torture suite: run a deterministic put/delete/flush/compact workload on the
+// fault-injection filesystem, fail or crash at every mutating filesystem
+// operation in turn, reopen, and check the store against the
+// acknowledged-writes model — nothing acknowledged may be lost, nothing
+// never-written may appear, and Verify must pass.
+
+const tortureDir = "torture"
+
+func tortureOpts(fsys vfs.FS) Options {
+	return Options{
+		Dir:           tortureDir,
+		FS:            fsys,
+		SyncWrites:    true,
+		MemtableBytes: 2 << 10, // force several auto-flushes
+		CompactAt:     3,       // and automatic compactions
+	}
+}
+
+// tortureWorkload drives db deterministically, recording every op's
+// acknowledgement in model. It stops at the first simulated-crash error
+// (the "process" died); other errors are recorded and the workload carries
+// on, exercising the poisoned-WAL healing path.
+type tortureWorkload struct {
+	db      *DB
+	model   *vfstest.Model
+	crashed bool
+}
+
+func (w *tortureWorkload) sawCrash(err error) bool {
+	if errors.Is(err, vfs.ErrCrashed) {
+		w.crashed = true
+	}
+	return w.crashed
+}
+
+func (w *tortureWorkload) put(k, v string) {
+	if w.crashed {
+		return
+	}
+	err := w.db.Put([]byte(k), []byte(v))
+	w.model.Put(k, v, err == nil)
+	w.sawCrash(err)
+}
+
+func (w *tortureWorkload) del(k string) {
+	if w.crashed {
+		return
+	}
+	err := w.db.Delete([]byte(k))
+	w.model.Delete(k, err == nil)
+	w.sawCrash(err)
+}
+
+func (w *tortureWorkload) apply(b *Batch, keys, vals []string) {
+	if w.crashed {
+		return
+	}
+	err := w.db.Apply(b)
+	for i, k := range keys {
+		if vals[i] == "" {
+			w.model.Delete(k, err == nil)
+		} else {
+			w.model.Put(k, vals[i], err == nil)
+		}
+	}
+	w.sawCrash(err)
+}
+
+func (w *tortureWorkload) flush() {
+	if w.crashed {
+		return
+	}
+	w.sawCrash(w.db.Flush())
+}
+
+func (w *tortureWorkload) compact() {
+	if w.crashed {
+		return
+	}
+	w.sawCrash(w.db.Compact())
+}
+
+// run is the complete deterministic workload: enough volume for auto-flushes
+// and a tiered compaction, plus deletes, overwrites, a batch, and explicit
+// flush/compact calls.
+func (w *tortureWorkload) run() {
+	val := func(i, round int) string {
+		return fmt.Sprintf("value-%03d-%d-%s", i, round, "xxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxx")
+	}
+	for i := 0; i < 24; i++ {
+		w.put(fmt.Sprintf("k%03d", i), val(i, 0))
+	}
+	w.flush()
+	for i := 0; i < 24; i += 2 {
+		w.put(fmt.Sprintf("k%03d", i), val(i, 1))
+	}
+	for i := 1; i < 12; i += 3 {
+		w.del(fmt.Sprintf("k%03d", i))
+	}
+	w.flush()
+
+	var b Batch
+	var bkeys, bvals []string
+	for i := 24; i < 32; i++ {
+		k := fmt.Sprintf("k%03d", i)
+		v := val(i, 2)
+		b.Put([]byte(k), []byte(v))
+		bkeys = append(bkeys, k)
+		bvals = append(bvals, v)
+	}
+	b.Delete([]byte("k000"))
+	bkeys = append(bkeys, "k000")
+	bvals = append(bvals, "")
+	w.apply(&b, bkeys, bvals)
+
+	w.compact()
+	for i := 0; i < 16; i++ {
+		w.put(fmt.Sprintf("k%03d", i+32), val(i+32, 3))
+	}
+	w.del("k002")
+	w.flush()
+}
+
+// countFaultPoints runs the workload once with a recording hook and returns
+// the op numbers of every mutating filesystem operation.
+func countFaultPoints(t *testing.T) []int {
+	t.Helper()
+	fsys := vfs.NewFault()
+	var points []int
+	fsys.SetInject(func(op vfs.Op) vfs.Fault {
+		if op.Kind.Mutating() {
+			points = append(points, op.N)
+		}
+		return vfs.FaultNone
+	})
+	db, err := Open(tortureOpts(fsys))
+	if err != nil {
+		t.Fatalf("baseline open: %v", err)
+	}
+	w := &tortureWorkload{db: db, model: vfstest.NewModel()}
+	w.run()
+	if w.crashed {
+		t.Fatal("baseline run crashed without injection")
+	}
+	if err := db.Close(); err != nil {
+		t.Fatalf("baseline close: %v", err)
+	}
+	if len(points) < 50 {
+		t.Fatalf("workload produced only %d fault points; too small to be meaningful", len(points))
+	}
+	return points
+}
+
+// strided thins the fault-point list under -short so the suite stays quick;
+// full enumeration otherwise.
+func strided(t *testing.T, points []int) []int {
+	if !testing.Short() {
+		return points
+	}
+	stride := len(points)/40 + 1
+	var out []int
+	for i := 0; i < len(points); i += stride {
+		out = append(out, points[i])
+	}
+	return out
+}
+
+// checkRecovered reopens the store with injection disarmed and verifies the
+// recovered contents against the model.
+func checkRecovered(t *testing.T, fsys *vfs.FaultFS, model *vfstest.Model, point int) {
+	t.Helper()
+	fsys.SetInject(nil)
+	db, err := Open(tortureOpts(fsys))
+	if err != nil {
+		t.Fatalf("fault point %d: reopen: %v", point, err)
+	}
+	defer db.Close()
+	if err := db.Verify(); err != nil {
+		t.Fatalf("fault point %d: Verify: %v", point, err)
+	}
+	err = model.CheckAll(func(key string) (string, bool, error) {
+		v, err := db.Get([]byte(key))
+		if err == ErrNotFound {
+			return "", false, nil
+		}
+		if err != nil {
+			return "", false, err
+		}
+		return string(v), true, nil
+	})
+	if err != nil {
+		t.Fatalf("fault point %d: %v", point, err)
+	}
+	// A full scan must not surface anything the model never saw, and every
+	// surfaced value must be a legal (acked or in-flight) value for its key.
+	it := db.Scan(nil, nil)
+	defer it.Close()
+	for it.Next() {
+		if err := model.Check(string(it.Key()), string(it.Value()), true); err != nil {
+			t.Fatalf("fault point %d: scan: %v", point, err)
+		}
+	}
+	if err := it.Err(); err != nil {
+		t.Fatalf("fault point %d: scan: %v", point, err)
+	}
+}
+
+// TestKVCrashTorture simulates a power loss at every mutating filesystem
+// operation of the workload and checks recovery.
+func TestKVCrashTorture(t *testing.T) {
+	points := strided(t, countFaultPoints(t))
+	for _, p := range points {
+		point := p
+		fsys := vfs.NewFault()
+		fsys.SetInject(func(op vfs.Op) vfs.Fault {
+			if op.N == point {
+				return vfs.FaultCrash
+			}
+			return vfs.FaultNone
+		})
+		db, err := Open(tortureOpts(fsys))
+		model := vfstest.NewModel()
+		if err == nil {
+			w := &tortureWorkload{db: db, model: model}
+			w.run()
+		} else if !errors.Is(err, vfs.ErrCrashed) {
+			t.Fatalf("fault point %d: open failed non-crash: %v", point, err)
+		}
+		checkRecovered(t, fsys, model, point)
+	}
+}
+
+// TestKVErrorTorture injects a single permanent error, torn write, or
+// disk-full at every mutating operation in turn; the workload continues
+// best-effort (exercising poisoned-WAL healing and flush retry), then the
+// machine "loses power" and the store must recover everything acknowledged.
+func TestKVErrorTorture(t *testing.T) {
+	points := strided(t, countFaultPoints(t))
+	for _, kind := range []vfs.Fault{vfs.FaultErr, vfs.FaultTorn, vfs.FaultDiskFull} {
+		kind := kind
+		t.Run(fmt.Sprintf("fault%d", int(kind)), func(t *testing.T) {
+			for _, p := range points {
+				point := p
+				fsys := vfs.NewFault()
+				fsys.SetInject(func(op vfs.Op) vfs.Fault {
+					if op.N == point {
+						return kind
+					}
+					return vfs.FaultNone
+				})
+				model := vfstest.NewModel()
+				db, err := Open(tortureOpts(fsys))
+				if err == nil {
+					w := &tortureWorkload{db: db, model: model}
+					w.run()
+					if w.crashed {
+						t.Fatalf("fault point %d: error injection caused crash error", point)
+					}
+				}
+				// Power loss after the (possibly degraded) run: only
+				// acknowledged state may be counted on.
+				fsys.Crash()
+				checkRecovered(t, fsys, model, point)
+			}
+		})
+	}
+}
+
+// TestWALTornTailEveryOffset truncates a synced WAL at every byte offset and
+// asserts replay recovers exactly the records whose bytes fully survived —
+// the acknowledged prefix — and nothing after the tear.
+func TestWALTornTailEveryOffset(t *testing.T) {
+	// Build a WAL with known record boundaries.
+	fsys := vfs.NewFault()
+	opts := Options{Dir: tortureDir, FS: fsys, SyncWrites: true}
+	db, err := Open(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 12
+	boundaries := make([]int64, 0, n) // WAL size after each record
+	for i := 0; i < n; i++ {
+		if err := db.Put([]byte(fmt.Sprintf("k%02d", i)), []byte(fmt.Sprintf("value-%02d", i))); err != nil {
+			t.Fatal(err)
+		}
+		db.mu.Lock()
+		boundaries = append(boundaries, db.wal.size)
+		db.mu.Unlock()
+	}
+	walPath := filepath.Join(tortureDir, walName)
+	walBytes, err := vfs.ReadFile(fsys, walPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if int64(len(walBytes)) != boundaries[n-1] {
+		t.Fatalf("wal size %d != last boundary %d", len(walBytes), boundaries[n-1])
+	}
+
+	offsets := make([]int, 0, len(walBytes)+1)
+	if testing.Short() {
+		for off := 0; off <= len(walBytes); off += 7 {
+			offsets = append(offsets, off)
+		}
+		offsets = append(offsets, len(walBytes))
+	} else {
+		for off := 0; off <= len(walBytes); off++ {
+			offsets = append(offsets, off)
+		}
+	}
+	for _, off := range offsets {
+		// Rebuild a directory whose WAL is the truncated prefix.
+		tfs := vfs.NewFault()
+		if err := tfs.MkdirAll(tortureDir); err != nil {
+			t.Fatal(err)
+		}
+		f, err := tfs.Create(walPath)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := f.Write(walBytes[:off]); err != nil {
+			t.Fatal(err)
+		}
+		if err := f.Sync(); err != nil {
+			t.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			t.Fatal(err)
+		}
+		if err := tfs.SyncDir(tortureDir); err != nil {
+			t.Fatal(err)
+		}
+		// How many complete records fit in off bytes?
+		want := 0
+		for want < n && boundaries[want] <= int64(off) {
+			want++
+		}
+		db2, err := Open(Options{Dir: tortureDir, FS: tfs, SyncWrites: true})
+		if err != nil {
+			t.Fatalf("offset %d: reopen: %v", off, err)
+		}
+		for i := 0; i < n; i++ {
+			got, err := db2.Get([]byte(fmt.Sprintf("k%02d", i)))
+			if i < want {
+				if err != nil || string(got) != fmt.Sprintf("value-%02d", i) {
+					t.Fatalf("offset %d: record %d (intact prefix) lost: %q, %v", off, i, got, err)
+				}
+			} else if err != ErrNotFound {
+				t.Fatalf("offset %d: record %d beyond tear resurfaced: %q, %v", off, i, got, err)
+			}
+		}
+		if err := db2.Close(); err != nil {
+			t.Fatalf("offset %d: close: %v", off, err)
+		}
+	}
+}

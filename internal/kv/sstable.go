@@ -6,9 +6,11 @@ import (
 	"encoding/binary"
 	"fmt"
 	"hash/crc32"
-	"os"
+	"path/filepath"
 	"sort"
 	"sync/atomic"
+
+	"repro/internal/vfs"
 )
 
 // SSTable format:
@@ -19,16 +21,33 @@ import (
 // (varint lengths), cut at targetBlockSize. The index block holds one entry
 // per data block: first key, file offset, length and CRC. The footer is
 // fixed-size so a reader can find everything from the end of the file.
+//
+// Crash safety: the writer streams into `<name>.sst.tmp` and, at finish,
+// syncs the file, renames it to its final name and fsyncs the directory.
+// A crash mid-write leaves only a `.tmp` file, deleted at the next Open;
+// after finish returns, the table survives power loss.
 
 const (
 	targetBlockSize = 4 << 10
 	footerSize      = 48
 	tableMagic      = 0x7452615353746266 // "tRaSStbf"
+
+	sstSuffix = ".sst"
+	tmpSuffix = ".tmp"
 )
+
+// sstPath returns the final path of table seq inside dir.
+func sstPath(dir string, seq uint64) string {
+	return filepath.Join(dir, fmt.Sprintf("%012d%s", seq, sstSuffix))
+}
 
 // sstWriter streams sorted entries into an SSTable file.
 type sstWriter struct {
-	f       *os.File
+	fs      vfs.FS
+	f       vfs.File
+	dir     string
+	tmp     string
+	final   string
 	w       *bufio.Writer
 	off     int64
 	block   []byte
@@ -46,13 +65,19 @@ type indexEntry struct {
 	crc      uint32
 }
 
-func newSSTWriter(path string, expectedKeys int) (*sstWriter, error) {
-	f, err := os.Create(path)
+func newSSTWriter(fsys vfs.FS, dir string, seq uint64, expectedKeys int) (*sstWriter, error) {
+	final := sstPath(dir, seq)
+	tmp := final + tmpSuffix
+	f, err := fsys.Create(tmp)
 	if err != nil {
 		return nil, fmt.Errorf("kv: create sstable: %w", err)
 	}
 	return &sstWriter{
+		fs:    fsys,
 		f:     f,
+		dir:   dir,
+		tmp:   tmp,
+		final: final,
 		w:     bufio.NewWriterSize(f, 256<<10),
 		bloom: newBloomFilter(expectedKeys),
 		first: true,
@@ -102,11 +127,13 @@ func (sw *sstWriter) finishBlock() error {
 	return nil
 }
 
-// finish writes the index, bloom filter and footer and closes the file. It
-// returns the total file size.
+// finish writes the index, bloom filter and footer, syncs the file, renames
+// it from its .tmp name to the final one and fsyncs the directory, so the
+// finished table is atomically visible and durable. It returns the total
+// file size.
 func (sw *sstWriter) finish() (int64, error) {
 	if err := sw.finishBlock(); err != nil {
-		_ = sw.f.Close()
+		sw.abort()
 		return 0, err
 	}
 	indexOff := sw.off
@@ -119,13 +146,13 @@ func (sw *sstWriter) finish() (int64, error) {
 		idx = binary.AppendUvarint(idx, uint64(ie.crc))
 	}
 	if _, err := sw.w.Write(idx); err != nil {
-		_ = sw.f.Close()
+		sw.abort()
 		return 0, err
 	}
 	bloomOff := indexOff + int64(len(idx))
 	bl := sw.bloom.encode()
 	if _, err := sw.w.Write(bl); err != nil {
-		_ = sw.f.Close()
+		sw.abort()
 		return 0, err
 	}
 
@@ -137,25 +164,37 @@ func (sw *sstWriter) finish() (int64, error) {
 	binary.LittleEndian.PutUint64(footer[32:40], uint64(sw.count))
 	binary.LittleEndian.PutUint64(footer[40:48], tableMagic)
 	if _, err := sw.w.Write(footer[:]); err != nil {
-		_ = sw.f.Close()
+		sw.abort()
 		return 0, err
 	}
 	if err := sw.w.Flush(); err != nil {
-		_ = sw.f.Close()
+		sw.abort()
 		return 0, err
 	}
 	if err := sw.f.Sync(); err != nil {
-		_ = sw.f.Close()
+		sw.abort()
 		return 0, err
 	}
+	if err := sw.f.Close(); err != nil {
+		_ = sw.fs.Remove(sw.tmp)
+		return 0, err
+	}
+	if err := sw.fs.Rename(sw.tmp, sw.final); err != nil {
+		_ = sw.fs.Remove(sw.tmp)
+		return 0, fmt.Errorf("kv: commit sstable: %w", err)
+	}
+	if err := sw.fs.SyncDir(sw.dir); err != nil {
+		// The rename happened but is not durable; the caller must not treat
+		// the table as committed. Leave the file for Open-time cleanup.
+		return 0, fmt.Errorf("kv: commit sstable: %w", err)
+	}
 	size := bloomOff + int64(len(bl)) + footerSize
-	return size, sw.f.Close()
+	return size, nil
 }
 
 func (sw *sstWriter) abort() {
-	name := sw.f.Name()
 	_ = sw.f.Close()
-	_ = os.Remove(name)
+	_ = sw.fs.Remove(sw.tmp)
 }
 
 // sstReader serves point and range reads from one SSTable. The block index
@@ -163,7 +202,8 @@ func (sw *sstWriter) abort() {
 // are reference-counted: open scans retain them so a concurrent compaction
 // cannot close or delete the file out from under an iterator.
 type sstReader struct {
-	f        *os.File
+	fs       vfs.FS
+	f        vfs.File
 	path     string
 	seq      uint64 // file sequence number: larger = newer data
 	index    []indexEntry
@@ -185,26 +225,26 @@ func (sr *sstReader) release() {
 	}
 	_ = sr.f.Close()
 	if sr.obsolete.Load() {
-		_ = os.Remove(sr.path)
+		_ = sr.fs.Remove(sr.path)
 	}
 }
 
-func openSSTable(path string, seq uint64, stats *Stats, cache *blockCache) (*sstReader, error) {
-	f, err := os.Open(path)
+func openSSTable(fsys vfs.FS, path string, seq uint64, stats *Stats, cache *blockCache) (*sstReader, error) {
+	f, err := fsys.Open(path)
 	if err != nil {
 		return nil, fmt.Errorf("kv: open sstable: %w", err)
 	}
-	st, err := f.Stat()
+	size, err := f.Size()
 	if err != nil {
 		_ = f.Close()
 		return nil, err
 	}
-	if st.Size() < footerSize {
+	if size < footerSize {
 		_ = f.Close()
 		return nil, fmt.Errorf("kv: sstable %s too small", path)
 	}
 	var footer [footerSize]byte
-	if _, err := f.ReadAt(footer[:], st.Size()-footerSize); err != nil {
+	if _, err := f.ReadAt(footer[:], size-footerSize); err != nil {
 		_ = f.Close()
 		return nil, err
 	}
@@ -218,7 +258,7 @@ func openSSTable(path string, seq uint64, stats *Stats, cache *blockCache) (*sst
 	bloomLen := int64(binary.LittleEndian.Uint64(footer[24:32]))
 	count := int64(binary.LittleEndian.Uint64(footer[32:40]))
 	if indexOff < 0 || indexLen < 0 || bloomOff < 0 || bloomLen < 0 ||
-		indexOff+indexLen > st.Size() || bloomOff+bloomLen > st.Size() {
+		indexOff+indexLen > size || bloomOff+bloomLen > size {
 		_ = f.Close()
 		return nil, fmt.Errorf("kv: sstable %s has corrupt footer", path)
 	}
@@ -266,7 +306,7 @@ func openSSTable(path string, seq uint64, stats *Stats, cache *blockCache) (*sst
 		_ = f.Close()
 		return nil, fmt.Errorf("kv: sstable %s has corrupt bloom filter", path)
 	}
-	return &sstReader{f: f, path: path, seq: seq, index: index, bloom: bloom, count: count, stats: stats, cache: cache}, nil
+	return &sstReader{fs: fsys, f: f, path: path, seq: seq, index: index, bloom: bloom, count: count, stats: stats, cache: cache}, nil
 }
 
 func (sr *sstReader) close() error { return sr.f.Close() }

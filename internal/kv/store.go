@@ -1,13 +1,17 @@
 package kv
 
 import (
+	"bytes"
+	"errors"
 	"fmt"
-	"os"
+	"io/fs"
 	"path/filepath"
 	"sort"
 	"strconv"
 	"strings"
 	"sync"
+
+	"repro/internal/vfs"
 )
 
 // Options configure a store.
@@ -27,6 +31,9 @@ type Options struct {
 	// BlockCacheBytes sizes the per-store LRU block cache. Default 8 MiB;
 	// negative disables caching.
 	BlockCacheBytes int64
+	// FS is the filesystem the store runs on. Default vfs.Default (the real
+	// disk); tests substitute vfs.NewFault() to inject failures and crashes.
+	FS vfs.FS
 }
 
 func (o *Options) withDefaults() Options {
@@ -39,6 +46,9 @@ func (o *Options) withDefaults() Options {
 	}
 	if out.BlockCacheBytes == 0 {
 		out.BlockCacheBytes = 8 << 20
+	}
+	if out.FS == nil {
+		out.FS = vfs.Default
 	}
 	return out
 }
@@ -58,16 +68,28 @@ type DB struct {
 	stats Stats
 }
 
-const walName = "wal.log"
+const (
+	walName    = "wal.log"
+	tablesName = "TABLES"
+)
 
 // Open opens (or creates) a store in opts.Dir, replaying any WAL left behind
 // by an unclean shutdown.
+//
+// Recovery sequence: leftover .tmp files (from flushes or compactions that
+// never committed) are deleted; the TABLES manifest names the live SSTables,
+// and any .sst file not listed there is deleted too — it is either an
+// uncommitted flush (its records are still in the WAL) or a compaction
+// victim whose durable removal never happened (its records live in the
+// merged table that the manifest does list). Then the WAL replays into the
+// memtable.
 func Open(opts Options) (*DB, error) {
 	opts = opts.withDefaults()
 	if opts.Dir == "" {
 		return nil, fmt.Errorf("kv: Options.Dir is required")
 	}
-	if err := os.MkdirAll(opts.Dir, 0o755); err != nil {
+	fsys := opts.FS
+	if err := fsys.MkdirAll(opts.Dir); err != nil {
 		return nil, fmt.Errorf("kv: create dir: %w", err)
 	}
 	db := &DB{opts: opts, mem: newSkiplist(1), nextSeq: 1}
@@ -75,37 +97,62 @@ func Open(opts Options) (*DB, error) {
 		db.cache = newBlockCache(opts.BlockCacheBytes)
 	}
 
-	// Discover existing SSTables.
-	names, err := filepath.Glob(filepath.Join(opts.Dir, "*.sst"))
+	names, err := fsys.List(opts.Dir)
+	if err != nil {
+		return nil, fmt.Errorf("kv: list dir: %w", err)
+	}
+	// Uncommitted temp files never hold the only copy of anything: delete.
+	for _, name := range names {
+		if strings.HasSuffix(name, tmpSuffix) {
+			if err := fsys.Remove(filepath.Join(opts.Dir, name)); err != nil {
+				return nil, fmt.Errorf("kv: clean %s: %w", name, err)
+			}
+		}
+	}
+
+	live, haveManifest, err := readTables(fsys, opts.Dir)
 	if err != nil {
 		return nil, err
 	}
-	sort.Strings(names)
 	for _, name := range names {
-		base := strings.TrimSuffix(filepath.Base(name), ".sst")
-		seq, err := strconv.ParseUint(base, 10, 64)
-		if err != nil {
+		if strings.HasSuffix(name, tmpSuffix) || !strings.HasSuffix(name, sstSuffix) {
+			continue
+		}
+		seq, perr := strconv.ParseUint(strings.TrimSuffix(name, sstSuffix), 10, 64)
+		if perr != nil {
 			continue // not one of ours
 		}
-		sr, err := openSSTable(name, seq, &db.stats, db.cache)
-		if err != nil {
-			for _, t := range db.tables {
-				t.release()
+		path := filepath.Join(opts.Dir, name)
+		if haveManifest && !live[seq] {
+			// Stale: uncommitted flush or unremoved compaction victim.
+			if err := fsys.Remove(path); err != nil {
+				db.releaseAll()
+				return nil, fmt.Errorf("kv: clean stale sstable %s: %w", name, err)
 			}
+			continue
+		}
+		sr, err := openSSTable(fsys, path, seq, &db.stats, db.cache)
+		if err != nil {
+			db.releaseAll()
 			return nil, err
 		}
 		sr.retain()
 		db.tables = append(db.tables, sr)
+		delete(live, seq)
 		if seq >= db.nextSeq {
 			db.nextSeq = seq + 1
 		}
+	}
+	if haveManifest && len(live) > 0 {
+		db.releaseAll()
+		return nil, fmt.Errorf("kv: manifest lists %d missing sstable(s) in %s", len(live), opts.Dir)
 	}
 	// Newest first so the merge heap prefers fresher versions.
 	sort.Slice(db.tables, func(i, j int) bool { return db.tables[i].seq > db.tables[j].seq })
 
 	// Replay the WAL into the memtable.
 	walPath := filepath.Join(opts.Dir, walName)
-	if err := replayWAL(walPath, func(kind byte, key, value []byte) {
+	if err := replayWAL(fsys, walPath, func(kind byte, key, value []byte) {
 		k := append([]byte(nil), key...)
 		v := append([]byte(nil), value...)
 		db.mem.set(k, v, kind)
@@ -113,13 +160,100 @@ func Open(opts Options) (*DB, error) {
 		db.releaseAll()
 		return nil, err
 	}
-	w, err := openWAL(walPath)
+	w, err := openWAL(fsys, walPath)
 	if err != nil {
 		db.releaseAll()
 		return nil, err
 	}
 	db.wal = w
+	if !haveManifest {
+		// First open (or a pre-manifest directory): record the current table
+		// set so later crash cleanup has a baseline.
+		if err := db.writeTablesLocked(); err != nil {
+			_ = db.wal.close()
+			db.releaseAll()
+			return nil, err
+		}
+	}
+	// Make the (possibly new) WAL's directory entry durable: with SyncWrites
+	// a record is acknowledged as durable the moment the file syncs, which
+	// only holds if the file itself survives the crash.
+	if err := fsys.SyncDir(opts.Dir); err != nil {
+		_ = db.wal.close()
+		db.releaseAll()
+		return nil, fmt.Errorf("kv: sync dir: %w", err)
+	}
 	return db, nil
+}
+
+// readTables parses the TABLES manifest: a header line then one live table
+// sequence number per line. Returns haveManifest=false when the file does
+// not exist.
+func readTables(fsys vfs.FS, dir string) (map[uint64]bool, bool, error) {
+	data, err := vfs.ReadFile(fsys, filepath.Join(dir, tablesName))
+	if errors.Is(err, fs.ErrNotExist) {
+		return nil, false, nil
+	}
+	if err != nil {
+		return nil, false, fmt.Errorf("kv: read tables manifest: %w", err)
+	}
+	lines := strings.Split(strings.TrimRight(string(data), "\n"), "\n")
+	if len(lines) == 0 || lines[0] != "tables v1" {
+		return nil, false, fmt.Errorf("kv: tables manifest has bad header")
+	}
+	live := make(map[uint64]bool, len(lines)-1)
+	for _, ln := range lines[1:] {
+		if ln == "" {
+			continue
+		}
+		seq, err := strconv.ParseUint(ln, 10, 64)
+		if err != nil {
+			return nil, false, fmt.Errorf("kv: tables manifest has bad entry %q", ln)
+		}
+		live[seq] = true
+	}
+	return live, true, nil
+}
+
+// writeTablesLocked atomically replaces the TABLES manifest with the current
+// table set (tmp file + sync + rename + directory fsync). This is the commit
+// point for flushes and compactions: a table not listed here is deleted at
+// the next Open.
+func (db *DB) writeTablesLocked() error {
+	var buf bytes.Buffer
+	buf.WriteString("tables v1\n")
+	for _, t := range db.tables {
+		_, _ = fmt.Fprintf(&buf, "%d\n", t.seq)
+	}
+	fsys := db.opts.FS
+	path := filepath.Join(db.opts.Dir, tablesName)
+	tmp := path + tmpSuffix
+	f, err := fsys.Create(tmp)
+	if err != nil {
+		return fmt.Errorf("kv: write tables manifest: %w", err)
+	}
+	if _, err := f.Write(buf.Bytes()); err != nil {
+		_ = f.Close()
+		_ = fsys.Remove(tmp)
+		return fmt.Errorf("kv: write tables manifest: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		_ = f.Close()
+		_ = fsys.Remove(tmp)
+		return fmt.Errorf("kv: sync tables manifest: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		_ = fsys.Remove(tmp)
+		return fmt.Errorf("kv: close tables manifest: %w", err)
+	}
+	if err := fsys.Rename(tmp, path); err != nil {
+		_ = fsys.Remove(tmp)
+		return fmt.Errorf("kv: commit tables manifest: %w", err)
+	}
+	if err := fsys.SyncDir(db.opts.Dir); err != nil {
+		return fmt.Errorf("kv: commit tables manifest: %w", err)
+	}
+	return nil
 }
 
 func (db *DB) releaseAll() {
@@ -147,6 +281,14 @@ func (db *DB) write(kind byte, key, value []byte) error {
 	defer db.mu.Unlock()
 	if db.closed {
 		return ErrClosed
+	}
+	// A poisoned WAL (earlier append/sync failure, possibly torn bytes on
+	// disk) must be rotated before accepting new records; flushing first
+	// makes everything acknowledged so far durable in an SSTable.
+	if db.wal.poisoned() {
+		if err := db.flushLocked(); err != nil {
+			return fmt.Errorf("kv: wal unavailable: %w", err)
+		}
 	}
 	n, err := db.wal.append(kind, key, value)
 	if err != nil {
@@ -246,13 +388,25 @@ func (db *DB) Flush() error {
 	return db.flushLocked()
 }
 
+// flushLocked persists the memtable as an SSTable, commits it to the TABLES
+// manifest and rotates the WAL. Crash ordering: the table file is durable
+// before the manifest lists it, and the manifest lists it before the WAL
+// (whose records it supersedes) is deleted — a crash between any two steps
+// recovers every acknowledged record from either the table or the WAL.
+//
+// A flush also heals a poisoned WAL (see wal): once the memtable — which
+// holds every acknowledged record — is durable in a table, the torn log can
+// be rotated away. An empty memtable with a poisoned WAL rotates without
+// writing a table.
 func (db *DB) flushLocked() error {
 	if db.mem.length == 0 {
+		if db.wal.poisoned() {
+			return db.rotateWALLocked()
+		}
 		return nil
 	}
 	seq := db.nextSeq
-	path := filepath.Join(db.opts.Dir, fmt.Sprintf("%012d.sst", seq))
-	sw, err := newSSTWriter(path, db.mem.length)
+	sw, err := newSSTWriter(db.opts.FS, db.opts.Dir, seq, db.mem.length)
 	if err != nil {
 		return err
 	}
@@ -267,7 +421,7 @@ func (db *DB) flushLocked() error {
 	if err != nil {
 		return err
 	}
-	sr, err := openSSTable(path, seq, &db.stats, db.cache)
+	sr, err := openSSTable(db.opts.FS, sw.final, seq, &db.stats, db.cache)
 	if err != nil {
 		return err
 	}
@@ -278,23 +432,52 @@ func (db *DB) flushLocked() error {
 	db.tables = append([]*sstReader{sr}, db.tables...)
 	db.mem = newSkiplist(int64(seq))
 
-	// The WAL's contents are durable in the SSTable now.
-	if err := db.wal.close(); err != nil {
+	// Commit point: without this the new table is deleted at the next Open
+	// (and its records recovered from the still-intact WAL instead).
+	if err := db.writeTablesLocked(); err != nil {
 		return err
 	}
-	walPath := filepath.Join(db.opts.Dir, walName)
-	if err := os.Remove(walPath); err != nil && !os.IsNotExist(err) {
+
+	// The WAL's contents are durable in the committed SSTable now.
+	if err := db.rotateWALLocked(); err != nil {
 		return err
 	}
-	w, err := openWAL(walPath)
-	if err != nil {
-		return err
-	}
-	db.wal = w
 
 	if db.opts.CompactAt > 0 && len(db.tables) >= db.opts.CompactAt {
 		return db.compactTablesLocked(db.pickTierLocked())
 	}
+	return nil
+}
+
+// rotateWALLocked replaces the WAL with a fresh, empty one. Callers must
+// ensure every acknowledged record is durable elsewhere first. On failure
+// the store keeps a permanently-poisoned WAL so writes keep failing (and
+// keep retrying the rotation) rather than silently appending to a log in an
+// unknown state.
+func (db *DB) rotateWALLocked() error {
+	fsys := db.opts.FS
+	// Close errors are deliberately ignored: the file is about to be
+	// deleted, and a poisoned WAL cannot flush its buffer anyway.
+	_ = db.wal.close()
+	walPath := filepath.Join(db.opts.Dir, walName)
+	if err := fsys.Remove(walPath); err != nil && !errors.Is(err, fs.ErrNotExist) {
+		db.wal = brokenWAL(err)
+		return err
+	}
+	w, err := openWAL(fsys, walPath)
+	if err != nil {
+		db.wal = brokenWAL(err)
+		return err
+	}
+	// Make the new WAL's directory entry (and the old one's removal)
+	// durable; otherwise SyncWrites acknowledgements into a file that
+	// vanishes with the crash would be lies.
+	if err := fsys.SyncDir(db.opts.Dir); err != nil {
+		_ = w.close()
+		db.wal = brokenWAL(err)
+		return err
+	}
+	db.wal = w
 	return nil
 }
 
@@ -354,8 +537,7 @@ func (db *DB) compactTablesLocked(n int) error {
 		total += t.count
 	}
 	seq := db.nextSeq
-	path := filepath.Join(db.opts.Dir, fmt.Sprintf("%012d.sst", seq))
-	sw, err := newSSTWriter(path, int(total))
+	sw, err := newSSTWriter(db.opts.FS, db.opts.Dir, seq, int(total))
 	if err != nil {
 		return err
 	}
@@ -381,7 +563,7 @@ func (db *DB) compactTablesLocked(n int) error {
 	if err != nil {
 		return err
 	}
-	sr, err := openSSTable(path, seq, &db.stats, db.cache)
+	sr, err := openSSTable(db.opts.FS, sw.final, seq, &db.stats, db.cache)
 	if err != nil {
 		return err
 	}
@@ -391,6 +573,26 @@ func (db *DB) compactTablesLocked(n int) error {
 	db.stats.Compactions.Add(1)
 	remainder := db.tables[n:]
 	db.tables = append([]*sstReader{sr}, remainder...)
+
+	// Commit point: the manifest swap makes the merged table live and the
+	// victims stale in one atomic step. This is what keeps a full
+	// compaction's tombstone dropping crash-safe — if any victim file
+	// outlives a crash (its deletion below was not yet durable), Open sees
+	// it is unlisted and deletes it, so a dropped tombstone's shadowed
+	// versions cannot resurrect.
+	if err := db.writeTablesLocked(); err != nil {
+		// The merged table serves reads in this process but is stale on
+		// disk; at the next Open it is deleted and the still-listed victims
+		// (whose files remain, not marked obsolete) take over. Identical
+		// contents either way.
+		for _, t := range victims {
+			if db.cache != nil {
+				db.cache.dropTable(t.seq)
+			}
+			t.release()
+		}
+		return err
+	}
 	for _, t := range victims {
 		t.obsolete.Store(true)
 		if db.cache != nil {

@@ -3,10 +3,13 @@ package kv
 import (
 	"bufio"
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"hash/crc32"
 	"io"
-	"os"
+	"io/fs"
+
+	"repro/internal/vfs"
 )
 
 // Write-ahead log. Records are framed as
@@ -16,27 +19,52 @@ import (
 // where payload = kind byte | klen uvarint | key | vlen uvarint | value.
 // Replay stops silently at the first torn or corrupt record: everything
 // before it was acknowledged durable, everything after was not.
+//
+// A wal is poisoned by its first append/flush/sync failure: the error is
+// sticky and every later operation refuses to run. A failed write may have
+// left torn bytes in the file, and replay stops at the first tear — appending
+// more records after one would silently lose them even if their own writes
+// succeeded. The store clears the poison by rotating to a fresh WAL, which is
+// safe only once the memtable (which holds every acknowledged record) has
+// been flushed; see DB.flushLocked.
 
 type wal struct {
-	f    *os.File
+	f    vfs.File
 	w    *bufio.Writer
 	size int64
+	err  error // sticky poison; non-nil after any append/flush/sync failure
 }
 
-func openWAL(path string) (*wal, error) {
-	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+func openWAL(fsys vfs.FS, path string) (*wal, error) {
+	f, err := fsys.OpenAppend(path)
 	if err != nil {
 		return nil, fmt.Errorf("kv: open wal: %w", err)
 	}
-	st, err := f.Stat()
+	size, err := f.Size()
 	if err != nil {
 		_ = f.Close()
-		return nil, fmt.Errorf("kv: stat wal: %w", err)
+		return nil, fmt.Errorf("kv: size wal: %w", err)
 	}
-	return &wal{f: f, w: bufio.NewWriterSize(f, 64<<10), size: st.Size()}, nil
+	return &wal{f: f, w: bufio.NewWriterSize(f, 64<<10), size: size}, nil
+}
+
+// brokenWAL stands in for a WAL that could not be rotated: permanently
+// poisoned until the next successful rotation replaces it.
+func brokenWAL(err error) *wal { return &wal{err: err} }
+
+func (w *wal) poisoned() bool { return w.err != nil }
+
+func (w *wal) poison(err error) error {
+	if w.err == nil {
+		w.err = err
+	}
+	return err
 }
 
 func (w *wal) append(kind byte, key, value []byte) (int, error) {
+	if w.err != nil {
+		return 0, fmt.Errorf("kv: wal poisoned by earlier failure: %w", w.err)
+	}
 	payload := make([]byte, 0, 1+2*binary.MaxVarintLen32+len(key)+len(value))
 	payload = append(payload, kind)
 	payload = binary.AppendUvarint(payload, uint64(len(key)))
@@ -48,26 +76,43 @@ func (w *wal) append(kind byte, key, value []byte) (int, error) {
 	binary.LittleEndian.PutUint32(hdr[0:4], crc32.ChecksumIEEE(payload))
 	binary.LittleEndian.PutUint32(hdr[4:8], uint32(len(payload)))
 	if _, err := w.w.Write(hdr[:]); err != nil {
-		return 0, err
+		return 0, w.poison(err)
 	}
 	if _, err := w.w.Write(payload); err != nil {
-		return 0, err
+		return 0, w.poison(err)
 	}
 	n := len(hdr) + len(payload)
 	w.size += int64(n)
 	return n, nil
 }
 
-func (w *wal) flush() error { return w.w.Flush() }
-
-func (w *wal) sync() error {
-	if err := w.w.Flush(); err != nil {
-		return err
+func (w *wal) flush() error {
+	if w.err != nil {
+		return w.err
 	}
-	return w.f.Sync()
+	return w.poison(w.w.Flush())
 }
 
+func (w *wal) sync() error {
+	if w.err != nil {
+		return w.err
+	}
+	if err := w.w.Flush(); err != nil {
+		return w.poison(err)
+	}
+	return w.poison(w.f.Sync())
+}
+
+// close flushes and closes the file. A poisoned or rotation-failed wal closes
+// without flushing: its buffered bytes follow a tear and would be lost at
+// replay anyway.
 func (w *wal) close() error {
+	if w.f == nil {
+		return nil
+	}
+	if w.err != nil {
+		return w.f.Close()
+	}
 	if err := w.w.Flush(); err != nil {
 		_ = w.f.Close()
 		return err
@@ -77,9 +122,9 @@ func (w *wal) close() error {
 
 // replayWAL feeds every intact record to fn in order. A corrupt or truncated
 // tail ends replay without error.
-func replayWAL(path string, fn func(kind byte, key, value []byte)) error {
-	f, err := os.Open(path)
-	if os.IsNotExist(err) {
+func replayWAL(fsys vfs.FS, path string, fn func(kind byte, key, value []byte)) error {
+	f, err := fsys.Open(path)
+	if errors.Is(err, fs.ErrNotExist) {
 		return nil
 	}
 	if err != nil {

@@ -8,6 +8,7 @@ import (
 	"fmt"
 	"time"
 
+	"repro/internal/cluster"
 	"repro/internal/dist"
 	"repro/internal/geo"
 	"repro/internal/store"
@@ -72,8 +73,25 @@ type Stats struct {
 	Retrieved    int64 // rows that survived local filtering and were shipped
 	BytesShipped int64
 	RPCs         int64
-	Refined      int // full similarity computations performed
+	Retries      int64 // region scan attempts beyond each call's first
+	Refined      int   // full similarity computations performed
 	Results      int
+
+	// PartialErrors counts regions whose rows are missing from this answer
+	// because they failed even after retries. Only ever non-zero when the
+	// store runs with degraded scans enabled; a non-zero value means the
+	// result is a (sound but possibly incomplete) subset.
+	PartialErrors int
+}
+
+// absorbScan folds one storage scan's I/O accounting into the stats.
+func (s *Stats) absorbScan(res *cluster.ScanResult) {
+	s.RowsScanned += res.RowsScanned
+	s.Retrieved += res.RowsReturned
+	s.BytesShipped += res.BytesShipped
+	s.RPCs += res.RPCs
+	s.Retries += res.Retries
+	s.PartialErrors += len(res.RegionErrors)
 }
 
 // Candidates returns the number of candidate trajectories after pruning and

@@ -2,6 +2,7 @@ package query
 
 import (
 	"container/heap"
+	"context"
 	"math"
 	"time"
 
@@ -18,6 +19,12 @@ import (
 // index space's occupied quads, so the distance from p to that quad union
 // lower-bounds the trajectory's closest approach.
 func (e *Engine) NearestToPoint(p geo.Point, k int) ([]Result, *Stats, error) {
+	return e.NearestToPointContext(context.Background(), p, k)
+}
+
+// NearestToPointContext is NearestToPoint under a context: cancellation
+// aborts the storage scans between rows and surfaces ctx's error.
+func (e *Engine) NearestToPointContext(ctx context.Context, p geo.Point, k int) ([]Result, *Stats, error) {
 	stats := &Stats{}
 	if k <= 0 {
 		return nil, stats, nil
@@ -43,16 +50,13 @@ func (e *Engine) NearestToPoint(p geo.Point, k int) ([]Result, *Stats, error) {
 	scanSpace := func(sc spaceCand) error {
 		stats.Ranges++
 		t1 := time.Now()
-		res, err := e.store.ScanRanges(
+		res, err := e.store.ScanRanges(ctx,
 			[]xzstar.ValueRange{{Lo: sc.value, Hi: sc.value + 1}}, nil, 0)
 		if err != nil {
 			return err
 		}
 		stats.ScanTime += time.Since(t1)
-		stats.RowsScanned += res.RowsScanned
-		stats.Retrieved += res.RowsReturned
-		stats.BytesShipped += res.BytesShipped
-		stats.RPCs += res.RPCs
+		stats.absorbScan(res)
 
 		t2 := time.Now()
 		for _, entry := range res.Entries {

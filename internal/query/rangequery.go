@@ -1,6 +1,7 @@
 package query
 
 import (
+	"context"
 	"time"
 
 	"repro/internal/geo"
@@ -12,10 +13,16 @@ import (
 // miss the window; a pushed-down filter checks the DP feature boxes and then
 // the exact points before a row ships.
 func (e *Engine) Range(window geo.Rect) ([]Result, *Stats, error) {
-	return e.rangeQuery(window, TimeWindow{})
+	return e.rangeQuery(context.Background(), window, TimeWindow{})
 }
 
-func (e *Engine) rangeQuery(window geo.Rect, w TimeWindow) ([]Result, *Stats, error) {
+// RangeContext is Range under a context: cancellation aborts the storage
+// scans between rows and surfaces ctx's error.
+func (e *Engine) RangeContext(ctx context.Context, window geo.Rect) ([]Result, *Stats, error) {
+	return e.rangeQuery(ctx, window, TimeWindow{})
+}
+
+func (e *Engine) rangeQuery(ctx context.Context, window geo.Rect, w TimeWindow) ([]Result, *Stats, error) {
 	stats := &Stats{}
 	t0 := time.Now()
 	ranges, _ := e.store.Index().RangeCover(window, e.budget)
@@ -53,15 +60,12 @@ func (e *Engine) rangeQuery(window geo.Rect, w TimeWindow) ([]Result, *Stats, er
 	}
 
 	t1 := time.Now()
-	res, err := e.store.ScanRanges(ranges, wrapWithWindow(w, filter), 0)
+	res, err := e.store.ScanRanges(ctx, ranges, wrapWithWindow(w, filter), 0)
 	if err != nil {
 		return nil, nil, err
 	}
 	stats.ScanTime = time.Since(t1)
-	stats.RowsScanned = res.RowsScanned
-	stats.Retrieved = res.RowsReturned
-	stats.BytesShipped = res.BytesShipped
-	stats.RPCs = res.RPCs
+	stats.absorbScan(res)
 
 	out := make([]Result, 0, len(res.Entries))
 	for _, entry := range res.Entries {

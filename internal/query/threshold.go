@@ -1,6 +1,7 @@
 package query
 
 import (
+	"context"
 	"time"
 
 	"repro/internal/dist"
@@ -13,10 +14,16 @@ import (
 // pruning plans the key ranges, local filtering runs pushed down inside the
 // regions, and the survivors are refined with the full similarity measure.
 func (e *Engine) Threshold(q *traj.Trajectory, eps float64) ([]Result, *Stats, error) {
-	return e.threshold(q, eps, TimeWindow{})
+	return e.threshold(context.Background(), q, eps, TimeWindow{})
 }
 
-func (e *Engine) threshold(q *traj.Trajectory, eps float64, w TimeWindow) ([]Result, *Stats, error) {
+// ThresholdContext is Threshold under a context: cancellation aborts the
+// storage scans between rows and surfaces ctx's error.
+func (e *Engine) ThresholdContext(ctx context.Context, q *traj.Trajectory, eps float64) ([]Result, *Stats, error) {
+	return e.threshold(ctx, q, eps, TimeWindow{})
+}
+
+func (e *Engine) threshold(ctx context.Context, q *traj.Trajectory, eps float64, w TimeWindow) ([]Result, *Stats, error) {
 	qg, err := e.prepare(q)
 	if err != nil {
 		return nil, nil, err
@@ -33,15 +40,12 @@ func (e *Engine) threshold(q *traj.Trajectory, eps float64, w TimeWindow) ([]Res
 	}
 
 	t1 := time.Now()
-	res, err := e.store.ScanRanges(ranges, wrapWithWindow(w, e.buildFilter(qg, eps)), 0)
+	res, err := e.store.ScanRanges(ctx, ranges, wrapWithWindow(w, e.buildFilter(qg, eps)), 0)
 	if err != nil {
 		return nil, nil, err
 	}
 	stats.ScanTime = time.Since(t1)
-	stats.RowsScanned = res.RowsScanned
-	stats.Retrieved = res.RowsReturned
-	stats.BytesShipped = res.BytesShipped
-	stats.RPCs = res.RPCs
+	stats.absorbScan(res)
 
 	t2 := time.Now()
 	within := dist.WithinFor(e.measure)

@@ -1,6 +1,8 @@
 package query
 
 import (
+	"context"
+
 	"repro/internal/geo"
 	"repro/internal/traj"
 )
@@ -61,17 +63,17 @@ func wrapWithWindow(w TimeWindow, inner func(key, value []byte) bool) func(key, 
 // ThresholdWindow is Threshold restricted to trajectories overlapping the
 // time window.
 func (e *Engine) ThresholdWindow(q *traj.Trajectory, eps float64, w TimeWindow) ([]Result, *Stats, error) {
-	return e.threshold(q, eps, w)
+	return e.threshold(context.Background(), q, eps, w)
 }
 
 // TopKWindow is TopK restricted to trajectories overlapping the time window:
 // the k nearest among those observed in [Start, End].
 func (e *Engine) TopKWindow(q *traj.Trajectory, k int, w TimeWindow) ([]Result, *Stats, error) {
-	return e.topK(q, k, w)
+	return e.topK(context.Background(), q, k, w)
 }
 
 // RangeWindow is Range restricted to trajectories overlapping the time
 // window.
 func (e *Engine) RangeWindow(window geo.Rect, w TimeWindow) ([]Result, *Stats, error) {
-	return e.rangeQuery(window, w)
+	return e.rangeQuery(context.Background(), window, w)
 }

@@ -2,6 +2,7 @@ package query
 
 import (
 	"container/heap"
+	"context"
 	"math"
 	"time"
 
@@ -18,10 +19,16 @@ import (
 // working threshold, which prunes the remaining frontier exactly like the
 // threshold search's lemmas.
 func (e *Engine) TopK(q *traj.Trajectory, k int) ([]Result, *Stats, error) {
-	return e.topK(q, k, TimeWindow{})
+	return e.topK(context.Background(), q, k, TimeWindow{})
 }
 
-func (e *Engine) topK(q *traj.Trajectory, k int, w TimeWindow) ([]Result, *Stats, error) {
+// TopKContext is TopK under a context: cancellation aborts the storage scans
+// between rows and surfaces ctx's error.
+func (e *Engine) TopKContext(ctx context.Context, q *traj.Trajectory, k int) ([]Result, *Stats, error) {
+	return e.topK(ctx, q, k, TimeWindow{})
+}
+
+func (e *Engine) topK(ctx context.Context, q *traj.Trajectory, k int, w TimeWindow) ([]Result, *Stats, error) {
 	if k <= 0 {
 		return nil, &Stats{}, nil
 	}
@@ -59,17 +66,14 @@ func (e *Engine) topK(q *traj.Trajectory, k int, w TimeWindow) ([]Result, *Stats
 	scanSpace := func(sc spaceCand) error {
 		stats.Ranges++
 		t1 := time.Now()
-		res, err := e.store.ScanRanges(
+		res, err := e.store.ScanRanges(ctx,
 			[]xzstar.ValueRange{{Lo: sc.value, Hi: sc.value + 1}},
 			wrapWithWindow(w, serverFilter(qg, e.measure, epsOf())), 0)
 		if err != nil {
 			return err
 		}
 		stats.ScanTime += time.Since(t1)
-		stats.RowsScanned += res.RowsScanned
-		stats.Retrieved += res.RowsReturned
-		stats.BytesShipped += res.BytesShipped
-		stats.RPCs += res.RPCs
+		stats.absorbScan(res)
 
 		t2 := time.Now()
 		for _, entry := range res.Entries {

@@ -5,6 +5,7 @@
 package store
 
 import (
+	"context"
 	"encoding/binary"
 	"fmt"
 	"hash/fnv"
@@ -14,6 +15,7 @@ import (
 
 	"repro/internal/cluster"
 	"repro/internal/traj"
+	"repro/internal/vfs"
 	"repro/internal/xzstar"
 )
 
@@ -51,6 +53,16 @@ type Config struct {
 	Parallelism         int
 	HandlersPerRegion   int
 	SplitThresholdBytes int64
+	// FS is the filesystem the store runs on (default the real one). Tests
+	// use it to inject faults.
+	FS vfs.FS
+	// SyncWrites makes every acknowledged write durable (WAL fsync per
+	// write/batch) in each region's store.
+	SyncWrites bool
+	// DegradedScans lets queries return partial results when a region fails
+	// even after retries: surviving regions' rows are used and the failures
+	// are reported in the scan result instead of failing the query.
+	DegradedScans bool
 }
 
 func (c *Config) withDefaults() Config {
@@ -99,14 +111,17 @@ func Open(cfg Config) (*Store, error) {
 	for s := 1; s < cfg.Shards; s++ {
 		splits = append(splits, []byte{byte(s)})
 	}
-	cl, err := cluster.Open(cluster.Config{
+	clusterCfg := cluster.Config{
 		Dir:                 cfg.Dir,
 		SplitKeys:           splits,
 		Parallelism:         cfg.Parallelism,
 		RPCLatency:          cfg.RPCLatency,
 		HandlersPerRegion:   cfg.HandlersPerRegion,
 		SplitThresholdBytes: cfg.SplitThresholdBytes,
-	})
+		FS:                  cfg.FS,
+	}
+	clusterCfg.KV.SyncWrites = cfg.SyncWrites
+	cl, err := cluster.Open(clusterCfg)
 	if err != nil {
 		return nil, err
 	}
@@ -132,7 +147,7 @@ func Open(cfg Config) (*Store, error) {
 // row, so only keys are visited and nothing is shipped.
 func (s *Store) recoverMeta() error {
 	var mu sync.Mutex
-	_, err := s.cluster.Scan(cluster.ScanRequest{
+	_, err := s.cluster.Scan(context.Background(), cluster.ScanRequest{
 		Ranges: []cluster.KeyRange{{}},
 		Filter: func(key, _ []byte) bool {
 			if len(key) < 1+8+1 || key[0] >= idIndexPrefix {
@@ -357,8 +372,10 @@ func (s *Store) Selectivity() float64 {
 
 // ScanRanges scans the given index-value ranges across every shard with an
 // optional server-side filter pushed down into the regions. This is the
-// storage half of Algorithm 3.
-func (s *Store) ScanRanges(ranges []xzstar.ValueRange, filter cluster.Filter, limit int) (*cluster.ScanResult, error) {
+// storage half of Algorithm 3. ctx cancels the scan; with
+// Config.DegradedScans a region failure degrades the result (see
+// cluster.ScanRequest.AllowPartial) instead of failing it.
+func (s *Store) ScanRanges(ctx context.Context, ranges []xzstar.ValueRange, filter cluster.Filter, limit int) (*cluster.ScanResult, error) {
 	if s.cfg.Encoding != IntegerEncoding {
 		return nil, fmt.Errorf("store: range scans require IntegerEncoding")
 	}
@@ -371,7 +388,12 @@ func (s *Store) ScanRanges(ranges []xzstar.ValueRange, filter cluster.Filter, li
 			})
 		}
 	}
-	return s.cluster.Scan(cluster.ScanRequest{Ranges: keyRanges, Filter: filter, Limit: limit})
+	return s.cluster.Scan(ctx, cluster.ScanRequest{
+		Ranges:       keyRanges,
+		Filter:       filter,
+		Limit:        limit,
+		AllowPartial: s.cfg.DegradedScans,
+	})
 }
 
 // valueKey is the smallest row key with the given shard and index value.

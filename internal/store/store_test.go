@@ -1,6 +1,7 @@
 package store
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"testing"
@@ -69,7 +70,7 @@ func TestPutAndScanRoundTrip(t *testing.T) {
 		t.Fatalf("count = %d", s.Count())
 	}
 	// Scan everything back through the value domain.
-	res, err := s.ScanRanges([]xzstar.ValueRange{{Lo: 0, Hi: s.Index().TotalIndexSpaces()}}, nil, 0)
+	res, err := s.ScanRanges(context.Background(), []xzstar.ValueRange{{Lo: 0, Hi: s.Index().TotalIndexSpaces()}}, nil, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -108,7 +109,7 @@ func TestScanRangeSelectsByValue(t *testing.T) {
 	}
 	// Pick one trajectory's value and scan just it.
 	for id, v := range vals {
-		res, err := s.ScanRanges([]xzstar.ValueRange{{Lo: v, Hi: v + 1}}, nil, 0)
+		res, err := s.ScanRanges(context.Background(), []xzstar.ValueRange{{Lo: v, Hi: v + 1}}, nil, 0)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -138,6 +139,7 @@ func TestServerSideFilterPushdown(t *testing.T) {
 		}
 	}
 	res, err := s.ScanRanges(
+		context.Background(),
 		[]xzstar.ValueRange{{Lo: 0, Hi: s.Index().TotalIndexSpaces()}},
 		func(key, value []byte) bool {
 			rec, err := DecodeRow(value)
@@ -165,12 +167,15 @@ func TestShardingSpreadsData(t *testing.T) {
 	s.Flush()
 	// Every region must hold some rows (FNV over 400 ids across 8 shards).
 	for _, r := range s.Cluster().Regions() {
-		stats := s.Cluster().Stats()
+		stats, err := s.Cluster().Stats()
+		if err != nil {
+			t.Fatal(err)
+		}
 		_ = stats
 		_ = r
 	}
 	counts := make(map[int]int)
-	res, err := s.ScanRanges([]xzstar.ValueRange{{Lo: 0, Hi: s.Index().TotalIndexSpaces()}}, nil, 0)
+	res, err := s.ScanRanges(context.Background(), []xzstar.ValueRange{{Lo: 0, Hi: s.Index().TotalIndexSpaces()}}, nil, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -206,7 +211,7 @@ func TestStringEncoding(t *testing.T) {
 		t.Fatalf("integer keys (%.1f B) must beat string keys (%.1f B)", intB, strB)
 	}
 	// String-encoded stores cannot plan range scans.
-	if _, err := strStore.ScanRanges([]xzstar.ValueRange{{Lo: 0, Hi: 1}}, nil, 0); err == nil {
+	if _, err := strStore.ScanRanges(context.Background(), []xzstar.ValueRange{{Lo: 0, Hi: 1}}, nil, 0); err == nil {
 		t.Fatal("string encoding must reject range scans")
 	}
 }
@@ -309,11 +314,11 @@ func TestPutBatchEquivalentToPut(t *testing.T) {
 		}
 	}
 	full := []xzstar.ValueRange{{Lo: 0, Hi: single.Index().TotalIndexSpaces()}}
-	res1, err := single.ScanRanges(full, nil, 0)
+	res1, err := single.ScanRanges(context.Background(), full, nil, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
-	res2, err := batched.ScanRanges(full, nil, 0)
+	res2, err := batched.ScanRanges(context.Background(), full, nil, 0)
 	if err != nil {
 		t.Fatal(err)
 	}

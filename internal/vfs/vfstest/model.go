@@ -1,0 +1,135 @@
+// Package vfstest holds the acknowledged-writes model the torture suites
+// check recovered stores against.
+//
+// The model records, per key, the last *acknowledged* value (the write whose
+// Put/Delete returned nil with SyncWrites on) plus every value attempted
+// since then whose acknowledgement never arrived (the call returned an
+// error, or a crash was injected mid-call). After a crash and reopen, each
+// key must read as either its acknowledged value or one of the maybes —
+// acknowledged writes may never be lost, unacknowledged writes may land or
+// not, and nothing else may appear.
+package vfstest
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Model is the acknowledged-writes oracle. Not safe for concurrent use; the
+// torture workloads are single-writer by design (so the durable state is
+// always a prefix of the op log).
+type Model struct {
+	m map[string]*entry
+}
+
+type entry struct {
+	acked    *string // nil pointer = acked state is "absent"
+	hasAcked bool    // false until the key's first acknowledged write
+	maybe    []*string
+}
+
+// NewModel returns an empty model.
+func NewModel() *Model { return &Model{m: make(map[string]*entry)} }
+
+func (m *Model) get(key string) *entry {
+	e := m.m[key]
+	if e == nil {
+		e = &entry{}
+		m.m[key] = e
+	}
+	return e
+}
+
+// Put records a write attempt: acknowledged if ok, otherwise a maybe.
+func (m *Model) Put(key, value string, ok bool) {
+	v := value
+	m.record(key, &v, ok)
+}
+
+// Delete records a delete attempt: acknowledged if ok, otherwise a maybe.
+func (m *Model) Delete(key string, ok bool) {
+	m.record(key, nil, ok)
+}
+
+func (m *Model) record(key string, v *string, ok bool) {
+	e := m.get(key)
+	if ok {
+		e.acked = v
+		e.hasAcked = true
+		e.maybe = nil
+		return
+	}
+	e.maybe = append(e.maybe, v)
+}
+
+// Crashed resolves the uncertainty left by a crash pessimistically: every
+// maybe stays a maybe (it may or may not have reached the durable state).
+// Provided for symmetry/readability at crash points in workloads; the model
+// already treats unacknowledged writes this way.
+func (m *Model) Crashed() {}
+
+// Check verifies one recovered key/value observation. got is the recovered
+// value; present=false means the key was absent after reopen.
+func (m *Model) Check(key string, got string, present bool) error {
+	e := m.m[key]
+	if e == nil {
+		if present {
+			return fmt.Errorf("key %q: recovered %q but was never written", key, got)
+		}
+		return nil
+	}
+	if matches(e.acked, e.hasAcked, got, present) {
+		return nil
+	}
+	for _, mv := range e.maybe {
+		if matches(mv, true, got, present) {
+			return nil
+		}
+	}
+	return fmt.Errorf("key %q: recovered (present=%v, value=%q) matches neither acknowledged state %s nor any of %d in-flight writes",
+		key, present, got, describeAcked(e), len(e.maybe))
+}
+
+// matches reports whether a recovered observation equals one candidate
+// state. candidate==nil with has==true means "deleted/absent"; has==false
+// means the key never had an acknowledged write, so absence is the
+// acknowledged state.
+func matches(candidate *string, has bool, got string, present bool) bool {
+	if !has || candidate == nil {
+		return !present
+	}
+	return present && got == *candidate
+}
+
+func describeAcked(e *entry) string {
+	if !e.hasAcked || e.acked == nil {
+		return "(absent)"
+	}
+	return fmt.Sprintf("%q", *e.acked)
+}
+
+// Keys returns every key the model has seen, sorted, so a recovery check can
+// probe keys that should be absent as well as present.
+func (m *Model) Keys() []string {
+	keys := make([]string, 0, len(m.m))
+	for k := range m.m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// CheckAll verifies every key the model has seen against lookup, which must
+// return the recovered value and whether the key is present.
+func (m *Model) CheckAll(lookup func(key string) (string, bool, error)) error {
+	for _, k := range m.Keys() {
+		got, present, err := lookup(k)
+		if err != nil {
+			return fmt.Errorf("key %q: lookup: %w", k, err)
+		}
+		if err := m.Check(k, got, present); err != nil {
+			return err
+		}
+	}
+	return nil
+}

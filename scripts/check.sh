@@ -4,11 +4,13 @@
 #   build      go build ./...
 #   vet        go vet ./...
 #   lint       trasslint ./...   (project-specific analyzers, internal/lint)
+#   torture    deterministic crash/error-injection suites (kv + cluster);
+#              SHORT=1 runs the strided subset, otherwise every fault point
 #   test       go test -race ./...   (plain go test ./... with SHORT=1)
 #   fuzz       10s smoke run of every native fuzz target (skipped with SHORT=1)
 #
-# SHORT=1 trades the race detector and fuzz smoke for speed; CI always runs
-# the full gate.
+# SHORT=1 trades the race detector, full fault-point enumeration, and fuzz
+# smoke for speed; CI always runs the full gate.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -22,6 +24,17 @@ go vet ./...
 
 step trasslint
 go run ./cmd/trasslint ./...
+
+# Crash-safety torture: enumerate fault points and crash/fail at each one.
+# Deterministic (seeded workloads, FS-lock-ordered op numbering), so a
+# failure always names a reproducible fault point.
+if [[ "${SHORT:-0}" == "1" ]]; then
+    step "crash torture (strided subset)"
+    go test -short -count=1 -run 'Torture|TornTail' ./internal/kv ./internal/cluster
+else
+    step "crash torture (every fault point)"
+    go test -count=1 -run 'Torture|TornTail' ./internal/kv ./internal/cluster
+fi
 
 if [[ "${SHORT:-0}" == "1" ]]; then
     step "test (short)"

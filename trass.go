@@ -25,6 +25,7 @@
 package trass
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/dist"
@@ -121,6 +122,22 @@ func WithParallelism(n int) Option {
 	return func(sc *store.Config, _ *config) { sc.Parallelism = n }
 }
 
+// WithSyncWrites makes every acknowledged write durable before Put returns
+// (WAL fsync per write). Slower, but a crash — even a power loss — loses
+// nothing that was acknowledged. Without it, durability is at flush
+// granularity.
+func WithSyncWrites() Option {
+	return func(sc *store.Config, _ *config) { sc.SyncWrites = true }
+}
+
+// WithDegradedScans lets queries degrade instead of fail when part of the
+// storage layer is unavailable: rows from regions that fail even after
+// retries are omitted, and QueryStats.PartialErrors reports how many regions
+// are missing from the (sound but possibly incomplete) answer.
+func WithDegradedScans() Option {
+	return func(sc *store.Config, _ *config) { sc.DegradedScans = true }
+}
+
 // DB is an open trajectory store with its query engine.
 type DB struct {
 	store  *store.Store
@@ -174,10 +191,16 @@ func (db *DB) ThresholdSearch(q *Trajectory, eps float64) ([]Match, error) {
 
 // ThresholdSearchStats is ThresholdSearch plus per-query statistics.
 func (db *DB) ThresholdSearchStats(q *Trajectory, eps float64) ([]Match, *QueryStats, error) {
+	return db.ThresholdSearchContext(context.Background(), q, eps)
+}
+
+// ThresholdSearchContext is ThresholdSearchStats under a context:
+// cancellation aborts the storage scans and surfaces ctx's error.
+func (db *DB) ThresholdSearchContext(ctx context.Context, q *Trajectory, eps float64) ([]Match, *QueryStats, error) {
 	if eps < 0 {
 		return nil, nil, fmt.Errorf("trass: negative threshold %v", eps)
 	}
-	rs, stats, err := db.engine.Threshold(q, eps)
+	rs, stats, err := db.engine.ThresholdContext(ctx, q, eps)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -193,7 +216,13 @@ func (db *DB) TopKSearch(q *Trajectory, k int) ([]Match, error) {
 
 // TopKSearchStats is TopKSearch plus per-query statistics.
 func (db *DB) TopKSearchStats(q *Trajectory, k int) ([]Match, *QueryStats, error) {
-	rs, stats, err := db.engine.TopK(q, k)
+	return db.TopKSearchContext(context.Background(), q, k)
+}
+
+// TopKSearchContext is TopKSearchStats under a context: cancellation aborts
+// the storage scans and surfaces ctx's error.
+func (db *DB) TopKSearchContext(ctx context.Context, q *Trajectory, k int) ([]Match, *QueryStats, error) {
+	rs, stats, err := db.engine.TopKContext(ctx, q, k)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -212,6 +241,16 @@ func (db *DB) RangeSearch(window Rect) ([]Match, error) {
 		return nil, err
 	}
 	return toMatches(rs), nil
+}
+
+// RangeSearchContext is RangeSearch under a context, plus per-query
+// statistics: cancellation aborts the storage scans and surfaces ctx's error.
+func (db *DB) RangeSearchContext(ctx context.Context, window Rect) ([]Match, *QueryStats, error) {
+	rs, stats, err := db.engine.RangeContext(ctx, window)
+	if err != nil {
+		return nil, nil, err
+	}
+	return toMatches(rs), stats, nil
 }
 
 // ThresholdSearchWindow is ThresholdSearch restricted to trajectories

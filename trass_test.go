@@ -1,6 +1,8 @@
 package trass
 
 import (
+	"context"
+	"errors"
 	"math"
 	"math/rand"
 	"sort"
@@ -273,5 +275,64 @@ func TestGetByID(t *testing.T) {
 	}
 	if _, err := db.Get(data[7].ID); err != nil {
 		t.Fatalf("after flush: %v", err)
+	}
+}
+
+func TestDurabilityAndContextOptions(t *testing.T) {
+	dir := t.TempDir()
+	db, err := Open(dir, WithSyncWrites(), WithDegradedScans())
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := gen.TDrive(gen.TDriveOptions{Seed: 7, N: 60})
+	if err := db.PutBatch(data); err != nil {
+		t.Fatal(err)
+	}
+	q := data[10]
+	eps := gen.DegreesToNorm(0.01)
+
+	matches, stats, err := db.ThresholdSearchContext(context.Background(), q, eps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(matches) == 0 {
+		t.Fatal("no matches for the stored query itself")
+	}
+	if stats.PartialErrors != 0 {
+		t.Fatalf("healthy store reported %d partial errors", stats.PartialErrors)
+	}
+	if _, _, err := db.TopKSearchContext(context.Background(), q, 5); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := db.RangeSearchContext(context.Background(), q.MBR()); err != nil {
+		t.Fatal(err)
+	}
+
+	// A cancelled context must surface its error, not partial results.
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, _, err := db.ThresholdSearchContext(ctx, q, eps); !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled search returned %v, want context.Canceled", err)
+	}
+
+	// SyncWrites means everything acknowledged is on disk without a Flush:
+	// reopen (same dir) and the data must be back.
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+	db2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db2.Close()
+	if db2.Count() != 60 {
+		t.Fatalf("reopened count = %d, want 60", db2.Count())
+	}
+	got, err := db2.Get(q.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.ID != q.ID {
+		t.Fatalf("got id %q", got.ID)
 	}
 }
