@@ -1,22 +1,44 @@
 // Command trasslint runs the project's static-analysis suite (internal/lint)
 // over the module: stdlib-only analyzers for the invariants TraSS depends on
 // — lock discipline, float comparison hygiene, discarded errors, iterator
-// key aliasing, and goroutine lifecycle.
+// key aliasing, goroutine lifecycle, the vfs filesystem seam, the
+// write→Sync→Rename→SyncDir durability order, context observation in retry
+// loops, and loop/buffer retention.
 //
 // Usage:
 //
-//	trasslint [-tests] [-v] [packages]
+//	trasslint [-tests] [-v] [-format=text|json|github] [packages]
 //
 // where packages is ./... (the default) or one or more package directories.
-// Exit status: 0 clean, 1 diagnostics found, 2 load failure.
+//
+// Output formats:
+//
+//	text    one "file:line:col: [analyzer] message" line per finding (default)
+//	json    a JSON array of {file,line,col,analyzer,message} objects
+//	github  GitHub Actions ::error annotations, one per finding
+//
+// The default format can also be set with the TRASSLINT_FORMAT environment
+// variable; the -format flag wins when both are given.
+//
+// Exit status (the contract CI relies on):
+//
+//	0  every analyzed package is clean
+//	1  at least one diagnostic was reported
+//	2  the module or a requested package failed to load
+//
+// A summary timing line (packages, findings, elapsed) is always written to
+// stderr so CI logs show where lint time goes; it never pollutes stdout,
+// which carries only findings.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"path/filepath"
 	"strings"
+	"time"
 
 	"repro/internal/lint"
 )
@@ -25,8 +47,10 @@ func main() {
 	tests := flag.Bool("tests", false, "also analyze in-package _test.go files")
 	verbose := flag.Bool("v", false, "log each analyzed package")
 	list := flag.Bool("list", false, "list analyzers and exit")
+	format := flag.String("format", defaultFormat(), "output format: text, json, or github")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: trasslint [-tests] [-v] [./... | dirs]\n\nAnalyzers:\n")
+		fmt.Fprintf(os.Stderr, "usage: trasslint [-tests] [-v] [-format=text|json|github] [./... | dirs]\n")
+		fmt.Fprintf(os.Stderr, "exit status: 0 clean, 1 findings, 2 load error\n\nAnalyzers:\n")
 		for _, a := range lint.All() {
 			fmt.Fprintf(os.Stderr, "  %-10s %s\n", a.Name, a.Doc)
 		}
@@ -40,7 +64,14 @@ func main() {
 		}
 		return
 	}
+	switch *format {
+	case "text", "json", "github":
+	default:
+		fmt.Fprintf(os.Stderr, "trasslint: unknown -format %q (want text, json, or github)\n", *format)
+		os.Exit(2)
+	}
 
+	start := time.Now()
 	cwd, err := os.Getwd()
 	if err != nil {
 		fatal(err)
@@ -87,8 +118,8 @@ func main() {
 		}
 	}
 
-	exit := 0
 	analyzers := lint.All()
+	var diags []lint.Diagnostic
 	for _, pkg := range pkgs {
 		if *verbose {
 			fmt.Fprintf(os.Stderr, "trasslint: %s\n", pkg.Path)
@@ -97,19 +128,84 @@ func main() {
 			fmt.Fprintf(os.Stderr, "trasslint: warning: %s: %v\n", pkg.Path, terr)
 		}
 		for _, d := range lint.Run(pkg, analyzers) {
-			fmt.Println(rel(cwd, d))
-			exit = 1
+			if r, err := filepath.Rel(cwd, d.Pos.Filename); err == nil && !strings.HasPrefix(r, "..") {
+				d.Pos.Filename = r
+			}
+			diags = append(diags, d)
 		}
 	}
-	os.Exit(exit)
+
+	emit(*format, diags)
+	fmt.Fprintf(os.Stderr, "trasslint: %d packages, %d findings, %s elapsed\n",
+		len(pkgs), len(diags), time.Since(start).Round(time.Millisecond))
+	if len(diags) > 0 {
+		os.Exit(1)
+	}
 }
 
-// rel shortens the diagnostic's file path relative to the working directory.
-func rel(cwd string, d lint.Diagnostic) string {
-	if r, err := filepath.Rel(cwd, d.Pos.Filename); err == nil && !strings.HasPrefix(r, "..") {
-		d.Pos.Filename = r
+// defaultFormat resolves the format default from TRASSLINT_FORMAT so CI can
+// flip the whole gate to annotations without touching flag plumbing.
+func defaultFormat() string {
+	if f := os.Getenv("TRASSLINT_FORMAT"); f != "" {
+		return f
 	}
-	return d.String()
+	return "text"
+}
+
+// jsonDiag is the machine-readable finding shape: flat, stable field names.
+type jsonDiag struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+}
+
+func emit(format string, diags []lint.Diagnostic) {
+	switch format {
+	case "text":
+		for _, d := range diags {
+			fmt.Println(d.String())
+		}
+	case "json":
+		out := make([]jsonDiag, 0, len(diags))
+		for _, d := range diags {
+			out = append(out, jsonDiag{
+				File:     d.Pos.Filename,
+				Line:     d.Pos.Line,
+				Col:      d.Pos.Column,
+				Analyzer: d.Analyzer,
+				Message:  d.Message,
+			})
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(out); err != nil {
+			fatal(err)
+		}
+	case "github":
+		for _, d := range diags {
+			fmt.Printf("::error file=%s,line=%d,col=%d,title=trasslint(%s)::%s\n",
+				escapeProperty(d.Pos.Filename), d.Pos.Line, d.Pos.Column,
+				escapeProperty(d.Analyzer), escapeData(d.Message))
+		}
+	}
+}
+
+// escapeData encodes an annotation message per the workflow-command rules.
+func escapeData(s string) string {
+	s = strings.ReplaceAll(s, "%", "%25")
+	s = strings.ReplaceAll(s, "\r", "%0D")
+	s = strings.ReplaceAll(s, "\n", "%0A")
+	return s
+}
+
+// escapeProperty encodes an annotation property value (additionally , and :).
+func escapeProperty(s string) string {
+	s = escapeData(s)
+	s = strings.ReplaceAll(s, ":", "%3A")
+	s = strings.ReplaceAll(s, ",", "%2C")
+	return s
 }
 
 func fatal(err error) {

@@ -21,6 +21,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	//lint:ignore vfsseam example scaffolding: demos remove their own temp dir; not a persistence path under fault injection
 	defer os.RemoveAll(base)
 
 	// One dataset of 20,000 lorry routes, loaded once per measure (a store

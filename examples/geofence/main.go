@@ -20,6 +20,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	//lint:ignore vfsseam example scaffolding: demos remove their own temp dir; not a persistence path under fault injection
 	defer os.RemoveAll(dir)
 
 	db, err := trass.Open(dir)

@@ -26,6 +26,7 @@ import (
 	"repro/internal/query"
 	"repro/internal/store"
 	"repro/internal/traj"
+	"repro/internal/vfs"
 )
 
 // Config sizes an experiment run. The zero value plus WithDefaults gives a
@@ -394,7 +395,7 @@ func Run(name string, cfg Config, w io.Writer) error {
 		if err != nil {
 			return err
 		}
-		defer os.RemoveAll(dir)
+		defer vfs.Default.RemoveAll(dir)
 		cfg.Dir = dir
 	}
 	for _, r := range Runners {

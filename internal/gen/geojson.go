@@ -3,10 +3,10 @@ package gen
 import (
 	"encoding/json"
 	"io"
-	"os"
 
 	"repro/internal/geo"
 	"repro/internal/traj"
+	"repro/internal/vfs"
 )
 
 // GeoJSON export: trajectories as a FeatureCollection of LineStrings in
@@ -49,9 +49,10 @@ func WriteGeoJSON(w io.Writer, trajs []*traj.Trajectory) error {
 	return enc.Encode(fc)
 }
 
-// WriteGeoJSONFile writes trajectories to a GeoJSON file.
+// WriteGeoJSONFile writes trajectories to a GeoJSON file through the vfs
+// seam.
 func WriteGeoJSONFile(path string, trajs []*traj.Trajectory) error {
-	f, err := os.Create(path)
+	f, err := vfs.Default.Create(path)
 	if err != nil {
 		return err
 	}

@@ -4,12 +4,12 @@ import (
 	"bufio"
 	"fmt"
 	"io"
-	"os"
 	"strconv"
 	"strings"
 
 	"repro/internal/geo"
 	"repro/internal/traj"
+	"repro/internal/vfs"
 )
 
 // Trajectory text format, one trajectory per line:
@@ -41,9 +41,10 @@ func Write(w io.Writer, trajs []*traj.Trajectory) error {
 	return bw.Flush()
 }
 
-// WriteFile writes trajectories to a file.
+// WriteFile writes trajectories to a file through the vfs seam, so dataset
+// exports are covered by the same fault-injection machinery as the store.
 func WriteFile(path string, trajs []*traj.Trajectory) error {
-	f, err := os.Create(path)
+	f, err := vfs.Default.Create(path)
 	if err != nil {
 		return err
 	}
@@ -91,9 +92,9 @@ func Read(r io.Reader) ([]*traj.Trajectory, error) {
 	return out, nil
 }
 
-// ReadFile reads trajectories from a file.
+// ReadFile reads trajectories from a file through the vfs seam.
 func ReadFile(path string) ([]*traj.Trajectory, error) {
-	f, err := os.Open(path)
+	f, err := vfs.Default.Open(path)
 	if err != nil {
 		return nil, err
 	}

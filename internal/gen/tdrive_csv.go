@@ -4,7 +4,6 @@ import (
 	"encoding/csv"
 	"fmt"
 	"io"
-	"os"
 	"path/filepath"
 	"sort"
 	"strconv"
@@ -12,6 +11,7 @@ import (
 
 	"repro/internal/geo"
 	"repro/internal/traj"
+	"repro/internal/vfs"
 )
 
 // Support for the real T-Drive release (if a user has it): one text file per
@@ -67,7 +67,7 @@ func LoadTDriveDir(dir string) ([]*traj.Trajectory, error) {
 	sort.Strings(names)
 	out := make([]*traj.Trajectory, 0, len(names))
 	for _, name := range names {
-		f, err := os.Open(name)
+		f, err := vfs.Default.Open(name)
 		if err != nil {
 			return nil, err
 		}

@@ -1,0 +1,418 @@
+// Package flow is the intraprocedural control-flow and dataflow engine under
+// trasslint's flow-aware analyzers. It builds a control-flow graph from one
+// function body (go/ast only — no type information is needed at this layer),
+// computes dominators and natural loops on it, and runs small forward
+// gen/kill dataflow problems to a fixpoint.
+//
+// The engine exists because the durability invariants PR 2 introduced are
+// *ordering* properties — "the file Sync must have happened on every path
+// reaching the Rename", "the loop must observe its context on each
+// iteration" — which a purely syntactic walk cannot check. The layering
+// mirrors golang.org/x/tools/go/cfg in miniature, kept stdlib-only per the
+// project constraint.
+//
+// Deliberate approximations, shared by every client:
+//
+//   - function literals are opaque: their bodies are separate functions and
+//     get their own graphs; a FuncLit inside a block is just an expression;
+//   - panic(...) terminates its path (edge to Exit), like return;
+//   - select case arms are all considered reachable, as are all switch cases;
+//   - defer is an ordinary node — clients reason about defer themselves.
+package flow
+
+import "go/ast"
+
+// Block is one basic block: a straight-line run of AST nodes (statements and
+// the control expressions that guard the block's successors), with edges to
+// the blocks that may execute next.
+type Block struct {
+	// Index is the block's position in Graph.Blocks, usable for dense
+	// side tables.
+	Index int
+	// Comment tags the block's origin ("if.then", "for.head", ...) for
+	// debugging and tests.
+	Comment string
+	// Nodes holds the block's statements and control expressions in
+	// execution order. Condition expressions of if/for/switch live in the
+	// block that evaluates them.
+	Nodes []ast.Node
+	Succs []*Block
+	Preds []*Block
+}
+
+// Graph is the control-flow graph of one function body.
+type Graph struct {
+	Entry  *Block
+	Exit   *Block // single exit; returns, panics and falling off the end join here
+	Blocks []*Block
+}
+
+// New builds the control-flow graph of body.
+func New(body *ast.BlockStmt) *Graph {
+	g := &Graph{}
+	b := &builder{g: g, labels: map[string]*Block{}}
+	g.Entry = b.newBlock("entry")
+	g.Exit = b.newBlock("exit")
+	b.cur = g.Entry
+	b.stmt(body)
+	b.jump(g.Exit) // fall off the end of the function
+	return g
+}
+
+// builder carries the under-construction graph and the branch-target context.
+type builder struct {
+	g   *Graph
+	cur *Block // nil only transiently; unreachable code gets a fresh predecessor-less block
+
+	// targets is the innermost enclosing break/continue context.
+	targets *targets
+	// labels maps label names to their target blocks (goto and labeled
+	// statements share the map; forward gotos create the block early).
+	labels map[string]*Block
+	// pendingLabel is the label wrapping the next loop/switch/select, so
+	// labeled break/continue can find it.
+	pendingLabel string
+	// fallTarget is the next case clause's body, for fallthrough.
+	fallTarget *Block
+}
+
+// targets is one level of break/continue context.
+type targets struct {
+	outer     *targets
+	label     string
+	brk, cont *Block // cont is nil for switch/select
+}
+
+func (b *builder) newBlock(comment string) *Block {
+	blk := &Block{Index: len(b.g.Blocks), Comment: comment}
+	b.g.Blocks = append(b.g.Blocks, blk)
+	return blk
+}
+
+func edge(from, to *Block) {
+	from.Succs = append(from.Succs, to)
+	to.Preds = append(to.Preds, from)
+}
+
+// jump adds an edge from the current block to to; a nil current block (just
+// after a terminator) means the jump source is unreachable and is dropped.
+func (b *builder) jump(to *Block) {
+	if b.cur != nil {
+		edge(b.cur, to)
+	}
+}
+
+// add appends a node to the current block, materializing an unreachable block
+// for code after a terminator so every statement appears in exactly one block.
+func (b *builder) add(n ast.Node) {
+	if b.cur == nil {
+		b.cur = b.newBlock("unreachable")
+	}
+	b.cur.Nodes = append(b.cur.Nodes, n)
+}
+
+// takeLabel consumes the pending label for the construct being built.
+func (b *builder) takeLabel() string {
+	l := b.pendingLabel
+	b.pendingLabel = ""
+	return l
+}
+
+// labelBlock returns (creating on demand) the block a label names, shared by
+// goto references and the labeled statement itself.
+func (b *builder) labelBlock(name string) *Block {
+	if blk, ok := b.labels[name]; ok {
+		return blk
+	}
+	blk := b.newBlock("label." + name)
+	b.labels[name] = blk
+	return blk
+}
+
+func (b *builder) stmt(s ast.Stmt) {
+	switch s := s.(type) {
+	case nil:
+	case *ast.BlockStmt:
+		for _, st := range s.List {
+			b.stmt(st)
+		}
+	case *ast.EmptyStmt:
+	case *ast.LabeledStmt:
+		lb := b.labelBlock(s.Label.Name)
+		b.jump(lb)
+		b.cur = lb
+		b.pendingLabel = s.Label.Name
+		b.stmt(s.Stmt)
+		b.pendingLabel = ""
+	case *ast.ReturnStmt:
+		b.add(s)
+		b.jump(b.g.Exit)
+		b.cur = nil
+	case *ast.BranchStmt:
+		b.branch(s)
+	case *ast.IfStmt:
+		b.ifStmt(s)
+	case *ast.ForStmt:
+		b.forStmt(s)
+	case *ast.RangeStmt:
+		b.rangeStmt(s)
+	case *ast.SwitchStmt:
+		b.takeLabelled(func(label string) { b.switchStmt(s, label) })
+	case *ast.TypeSwitchStmt:
+		b.takeLabelled(func(label string) { b.typeSwitchStmt(s, label) })
+	case *ast.SelectStmt:
+		b.takeLabelled(func(label string) { b.selectStmt(s, label) })
+	case *ast.ExprStmt:
+		b.add(s)
+		if isPanicCall(s.X) {
+			b.jump(b.g.Exit)
+			b.cur = nil
+		}
+	default:
+		// Assign, Decl, IncDec, Send, Defer, Go, Bad: straight-line nodes.
+		b.add(s)
+	}
+}
+
+// takeLabelled hands the pending label to a switch/select builder (loops
+// consume it themselves).
+func (b *builder) takeLabelled(build func(label string)) {
+	build(b.takeLabel())
+}
+
+func isPanicCall(e ast.Expr) bool {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	id, ok := call.Fun.(*ast.Ident)
+	return ok && id.Name == "panic"
+}
+
+func (b *builder) branch(s *ast.BranchStmt) {
+	var to *Block
+	switch s.Tok.String() {
+	case "break":
+		for t := b.targets; t != nil; t = t.outer {
+			if s.Label == nil || t.label == s.Label.Name {
+				to = t.brk
+				break
+			}
+		}
+	case "continue":
+		for t := b.targets; t != nil; t = t.outer {
+			if t.cont == nil {
+				continue // switch/select: continue binds the enclosing loop
+			}
+			if s.Label == nil || t.label == s.Label.Name {
+				to = t.cont
+				break
+			}
+		}
+	case "goto":
+		to = b.labelBlock(s.Label.Name)
+	case "fallthrough":
+		to = b.fallTarget
+	}
+	b.add(s)
+	if to != nil {
+		b.jump(to)
+	}
+	b.cur = nil
+}
+
+func (b *builder) ifStmt(s *ast.IfStmt) {
+	if s.Init != nil {
+		b.stmt(s.Init)
+	}
+	b.add(s.Cond)
+	cond := b.cur
+	then := b.newBlock("if.then")
+	done := b.newBlock("if.done")
+	alt := done
+	if s.Else != nil {
+		alt = b.newBlock("if.else")
+	}
+	if cond != nil {
+		edge(cond, then)
+		edge(cond, alt)
+	}
+	b.cur = then
+	b.stmt(s.Body)
+	b.jump(done)
+	if s.Else != nil {
+		b.cur = alt
+		b.stmt(s.Else)
+		b.jump(done)
+	}
+	b.cur = done
+}
+
+func (b *builder) forStmt(s *ast.ForStmt) {
+	label := b.takeLabel()
+	if s.Init != nil {
+		b.stmt(s.Init)
+	}
+	head := b.newBlock("for.head")
+	b.jump(head)
+	b.cur = head
+	if s.Cond != nil {
+		b.add(s.Cond)
+	}
+	body := b.newBlock("for.body")
+	done := b.newBlock("for.done")
+	post := head
+	if s.Post != nil {
+		post = b.newBlock("for.post")
+	}
+	edge(head, body)
+	if s.Cond != nil {
+		edge(head, done)
+	}
+	b.targets = &targets{outer: b.targets, label: label, brk: done, cont: post}
+	b.cur = body
+	b.stmt(s.Body)
+	b.targets = b.targets.outer
+	b.jump(post)
+	if s.Post != nil {
+		b.cur = post
+		b.stmt(s.Post)
+		b.jump(head)
+	}
+	b.cur = done
+}
+
+func (b *builder) rangeStmt(s *ast.RangeStmt) {
+	label := b.takeLabel()
+	head := b.newBlock("range.head")
+	b.add(s.X)
+	b.jump(head)
+	b.cur = head
+	body := b.newBlock("range.body")
+	done := b.newBlock("range.done")
+	edge(head, body)
+	edge(head, done)
+	b.targets = &targets{outer: b.targets, label: label, brk: done, cont: head}
+	b.cur = body
+	b.stmt(s.Body)
+	b.targets = b.targets.outer
+	b.jump(head)
+	b.cur = done
+}
+
+func (b *builder) switchStmt(s *ast.SwitchStmt, label string) {
+	if s.Init != nil {
+		b.stmt(s.Init)
+	}
+	if s.Tag != nil {
+		b.add(s.Tag)
+	}
+	b.caseClauses(s.Body, label, func(cc *ast.CaseClause) ([]ast.Stmt, []ast.Expr, bool) {
+		return cc.Body, cc.List, cc.List == nil
+	})
+}
+
+func (b *builder) typeSwitchStmt(s *ast.TypeSwitchStmt, label string) {
+	if s.Init != nil {
+		b.stmt(s.Init)
+	}
+	b.stmt(s.Assign)
+	b.caseClauses(s.Body, label, func(cc *ast.CaseClause) ([]ast.Stmt, []ast.Expr, bool) {
+		return cc.Body, cc.List, cc.List == nil
+	})
+}
+
+// caseClauses wires a (type-)switch body: the dispatching block branches to
+// every clause; a missing default adds a fall-past edge; fallthrough chains
+// clause bodies.
+func (b *builder) caseClauses(body *ast.BlockStmt, label string, parts func(*ast.CaseClause) ([]ast.Stmt, []ast.Expr, bool)) {
+	head := b.cur
+	done := b.newBlock("switch.done")
+	var clauses []*ast.CaseClause
+	for _, st := range body.List {
+		if cc, ok := st.(*ast.CaseClause); ok {
+			clauses = append(clauses, cc)
+		}
+	}
+	bodies := make([]*Block, len(clauses))
+	hasDefault := false
+	for i, cc := range clauses {
+		bodies[i] = b.newBlock("case.body")
+		_, list, isDefault := parts(cc)
+		if head != nil {
+			for _, e := range list {
+				head.Nodes = append(head.Nodes, e)
+			}
+			edge(head, bodies[i])
+		}
+		if isDefault {
+			hasDefault = true
+		}
+	}
+	if head != nil && !hasDefault {
+		edge(head, done)
+	}
+	b.targets = &targets{outer: b.targets, label: label, brk: done}
+	savedFall := b.fallTarget
+	for i, cc := range clauses {
+		stmts, _, _ := parts(cc)
+		b.fallTarget = nil
+		if i+1 < len(bodies) {
+			b.fallTarget = bodies[i+1]
+		}
+		b.cur = bodies[i]
+		for _, st := range stmts {
+			b.stmt(st)
+		}
+		b.jump(done)
+	}
+	b.fallTarget = savedFall
+	b.targets = b.targets.outer
+	b.cur = done
+}
+
+func (b *builder) selectStmt(s *ast.SelectStmt, label string) {
+	head := b.cur
+	done := b.newBlock("select.done")
+	b.targets = &targets{outer: b.targets, label: label, brk: done}
+	for _, st := range s.Body.List {
+		cc, ok := st.(*ast.CommClause)
+		if !ok {
+			continue
+		}
+		// The comm statement lives in the head block: a select evaluates
+		// every channel operand before blocking, whichever arm later runs.
+		if cc.Comm != nil && head != nil {
+			head.Nodes = append(head.Nodes, cc.Comm)
+		}
+		cb := b.newBlock("select.body")
+		if head != nil {
+			edge(head, cb)
+		}
+		b.cur = cb
+		for _, bs := range cc.Body {
+			b.stmt(bs)
+		}
+		b.jump(done)
+	}
+	b.targets = b.targets.outer
+	b.cur = done
+}
+
+// Reachable returns the set of blocks reachable from `from` by following
+// successor edges, excluding `from` itself unless it sits on a cycle.
+func (g *Graph) Reachable(from *Block) map[*Block]bool {
+	seen := map[*Block]bool{}
+	var stack []*Block
+	stack = append(stack, from.Succs...)
+	for len(stack) > 0 {
+		b := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if seen[b] {
+			continue
+		}
+		seen[b] = true
+		stack = append(stack, b.Succs...)
+	}
+	return seen
+}

@@ -1,0 +1,407 @@
+package flow_test
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"testing"
+
+	"repro/internal/lint/flow"
+)
+
+// parseBody wraps a statement list in a function and parses it.
+func parseBody(t *testing.T, body string) *ast.BlockStmt {
+	t.Helper()
+	src := "package p\nfunc f() {\n" + body + "\n}"
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "t.go", src, 0)
+	if err != nil {
+		t.Fatalf("parse: %v\n%s", err, src)
+	}
+	return f.Decls[0].(*ast.FuncDecl).Body
+}
+
+// blockOfCall finds the block and node holding the call to name.
+func blockOfCall(t *testing.T, g *flow.Graph, name string) (*flow.Block, ast.Node) {
+	t.Helper()
+	for _, b := range g.Blocks {
+		for _, n := range b.Nodes {
+			var found ast.Node
+			ast.Inspect(n, func(x ast.Node) bool {
+				if call, ok := x.(*ast.CallExpr); ok {
+					if id, ok := call.Fun.(*ast.Ident); ok && id.Name == name {
+						found = n
+						return false
+					}
+				}
+				return true
+			})
+			if found != nil {
+				return b, found
+			}
+		}
+	}
+	t.Fatalf("no call to %s in any block", name)
+	return nil, nil
+}
+
+// isCall reports whether node n contains a call to name.
+func isCall(n ast.Node, name string) bool {
+	found := false
+	ast.Inspect(n, func(x ast.Node) bool {
+		if call, ok := x.(*ast.CallExpr); ok {
+			if id, ok := call.Fun.(*ast.Ident); ok && id.Name == name {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+func TestIfElseShape(t *testing.T) {
+	g := flow.New(parseBody(t, `
+if c {
+	a()
+} else {
+	b()
+}
+d()`))
+	ab, _ := blockOfCall(t, g, "a")
+	bb, _ := blockOfCall(t, g, "b")
+	db, _ := blockOfCall(t, g, "d")
+	if ab == bb {
+		t.Fatal("then and else share a block")
+	}
+	d := g.Dominators()
+	if !d.Dominates(g.Entry, db) {
+		t.Error("entry must dominate the merge block")
+	}
+	if d.Dominates(ab, db) || d.Dominates(bb, db) {
+		t.Error("a branch arm must not dominate the merge block")
+	}
+	if len(d.NaturalLoops()) != 0 {
+		t.Error("if/else has no loops")
+	}
+}
+
+func TestForLoop(t *testing.T) {
+	g := flow.New(parseBody(t, `
+for i := 0; i < 10; i++ {
+	work()
+}
+after()`))
+	d := g.Dominators()
+	loops := d.NaturalLoops()
+	if len(loops) != 1 {
+		t.Fatalf("got %d loops, want 1", len(loops))
+	}
+	wb, _ := blockOfCall(t, g, "work")
+	if !loops[0].Body[wb] {
+		t.Error("loop body must contain the work() block")
+	}
+	ab, _ := blockOfCall(t, g, "after")
+	if loops[0].Body[ab] {
+		t.Error("after() is not part of the loop")
+	}
+	if !d.Dominates(loops[0].Head, wb) {
+		t.Error("loop header must dominate the body")
+	}
+}
+
+func TestRangeLoop(t *testing.T) {
+	g := flow.New(parseBody(t, `
+for _, v := range xs {
+	use(v)
+}`))
+	if n := len(g.Dominators().NaturalLoops()); n != 1 {
+		t.Fatalf("got %d loops, want 1", n)
+	}
+}
+
+func TestNestedLoopsAndLabeledBreak(t *testing.T) {
+	g := flow.New(parseBody(t, `
+outer:
+for {
+	for c {
+		if q {
+			break outer
+		}
+		inner()
+	}
+}
+done()`))
+	d := g.Dominators()
+	loops := d.NaturalLoops()
+	if len(loops) != 2 {
+		t.Fatalf("got %d loops, want 2", len(loops))
+	}
+	db, _ := blockOfCall(t, g, "done")
+	if !d.Reachable(db) {
+		t.Error("break outer must make done() reachable")
+	}
+	for _, l := range loops {
+		if l.Body[db] {
+			t.Error("done() must be outside both loops")
+		}
+	}
+}
+
+func TestGotoLoop(t *testing.T) {
+	g := flow.New(parseBody(t, `
+i := 0
+again:
+i++
+if i < 10 {
+	goto again
+}
+done()`))
+	d := g.Dominators()
+	loops := d.NaturalLoops()
+	if len(loops) != 1 {
+		t.Fatalf("goto loop not detected: got %d loops, want 1", len(loops))
+	}
+	db, _ := blockOfCall(t, g, "done")
+	if loops[0].Body[db] {
+		t.Error("done() must be outside the goto loop")
+	}
+}
+
+func TestSwitchFallthrough(t *testing.T) {
+	g := flow.New(parseBody(t, `
+switch x {
+case 1:
+	a()
+	fallthrough
+case 2:
+	b()
+default:
+	c()
+}
+after()`))
+	ab, _ := blockOfCall(t, g, "a")
+	bb, _ := blockOfCall(t, g, "b")
+	// fallthrough must connect a's path to b's block.
+	found := false
+	for _, s := range ab.Succs {
+		if s == bb {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("fallthrough edge from case 1 to case 2 missing")
+	}
+	d := g.Dominators()
+	afterb, _ := blockOfCall(t, g, "after")
+	if !d.Reachable(afterb) {
+		t.Error("code after switch must be reachable")
+	}
+	if len(d.NaturalLoops()) != 0 {
+		t.Error("switch has no loops")
+	}
+}
+
+func TestSelectArms(t *testing.T) {
+	g := flow.New(parseBody(t, `
+select {
+case <-a:
+	x()
+case <-b:
+	y()
+}
+z()`))
+	d := g.Dominators()
+	xb, _ := blockOfCall(t, g, "x")
+	yb, _ := blockOfCall(t, g, "y")
+	zb, _ := blockOfCall(t, g, "z")
+	if xb == yb {
+		t.Error("select arms share a block")
+	}
+	if !d.Reachable(zb) {
+		t.Error("code after select must be reachable")
+	}
+	if d.Dominates(xb, zb) || d.Dominates(yb, zb) {
+		t.Error("one select arm must not dominate the join")
+	}
+}
+
+func TestReturnMakesCodeUnreachable(t *testing.T) {
+	g := flow.New(parseBody(t, `
+return
+dead()`))
+	d := g.Dominators()
+	db, _ := blockOfCall(t, g, "dead")
+	if d.Reachable(db) {
+		t.Error("code after return must be unreachable")
+	}
+}
+
+func TestPanicTerminatesPath(t *testing.T) {
+	g := flow.New(parseBody(t, `
+if c {
+	panic("boom")
+}
+d()`))
+	dm := g.Dominators()
+	db, _ := blockOfCall(t, g, "d")
+	if !dm.Reachable(db) {
+		t.Error("d() reachable through the non-panicking path")
+	}
+	pb, _ := blockOfCall(t, g, "panic")
+	for _, s := range pb.Succs {
+		if s == db {
+			t.Error("panic must not fall through to d()")
+		}
+	}
+}
+
+func TestDeferNodeInLoopBody(t *testing.T) {
+	g := flow.New(parseBody(t, `
+for _, f := range files {
+	defer f.Close()
+}`))
+	d := g.Dominators()
+	loops := d.NaturalLoops()
+	if len(loops) != 1 {
+		t.Fatalf("got %d loops, want 1", len(loops))
+	}
+	found := false
+	for b := range loops[0].Body {
+		for _, n := range b.Nodes {
+			if _, ok := n.(*ast.DeferStmt); ok {
+				found = true
+			}
+		}
+	}
+	if !found {
+		t.Error("defer statement must be a node of the loop body")
+	}
+}
+
+// genKill is the test transfer function: gen() sets bit 0, kill() clears it.
+func genKill(n ast.Node, in flow.Facts) flow.Facts {
+	if isCall(n, "gen") {
+		return in | 1
+	}
+	if isCall(n, "kill") {
+		return in &^ 1
+	}
+	return in
+}
+
+func TestForwardMustVsMay(t *testing.T) {
+	g := flow.New(parseBody(t, `
+if c {
+	gen()
+}
+use()`))
+	ub, _ := blockOfCall(t, g, "use")
+	must := g.Forward(0, flow.Must, genKill)
+	may := g.Forward(0, flow.May, genKill)
+	if must[ub.Index]&1 != 0 {
+		t.Error("must: fact generated on only one path must not reach the join")
+	}
+	if may[ub.Index]&1 == 0 {
+		t.Error("may: fact generated on some path must reach the join")
+	}
+}
+
+func TestForwardMustBothArms(t *testing.T) {
+	g := flow.New(parseBody(t, `
+if c {
+	gen()
+} else {
+	gen()
+}
+use()`))
+	ub, _ := blockOfCall(t, g, "use")
+	must := g.Forward(0, flow.Must, genKill)
+	if must[ub.Index]&1 == 0 {
+		t.Error("must: fact generated on every path must reach the join")
+	}
+}
+
+func TestForwardLoopZeroIterations(t *testing.T) {
+	g := flow.New(parseBody(t, `
+for c {
+	gen()
+}
+use()`))
+	ub, _ := blockOfCall(t, g, "use")
+	must := g.Forward(0, flow.Must, genKill)
+	if must[ub.Index]&1 != 0 {
+		t.Error("must: a loop body may run zero times; its facts must not survive the loop")
+	}
+}
+
+func TestFactsBeforeWithinBlock(t *testing.T) {
+	g := flow.New(parseBody(t, `
+gen()
+use()
+kill()
+use2()`))
+	in := g.Forward(0, flow.Must, genKill)
+	b1, n1 := blockOfCall(t, g, "use")
+	b2, n2 := blockOfCall(t, g, "use2")
+	if b1 != b2 {
+		t.Fatal("straight-line statements must share a block")
+	}
+	if f := flow.FactsBefore(in[b1.Index], b1, n1, genKill); f&1 == 0 {
+		t.Error("fact must hold between gen() and kill()")
+	}
+	if f := flow.FactsBefore(in[b2.Index], b2, n2, genKill); f&1 != 0 {
+		t.Error("fact must be killed before use2()")
+	}
+}
+
+func TestReachableAfter(t *testing.T) {
+	g := flow.New(parseBody(t, `
+a()
+if c {
+	return
+}
+b()`))
+	ab, _ := blockOfCall(t, g, "a")
+	bb, _ := blockOfCall(t, g, "b")
+	reach := g.Reachable(ab)
+	if !reach[bb] {
+		t.Error("b() must be reachable from a()'s block")
+	}
+	if !reach[g.Exit] {
+		t.Error("exit must be reachable from a()'s block")
+	}
+	if g.Reachable(bb)[ab] {
+		t.Error("a() must not be reachable from b() (no cycle)")
+	}
+}
+
+func TestEveryStmtInExactlyOneBlock(t *testing.T) {
+	body := parseBody(t, `
+x := 0
+for i := 0; i < 3; i++ {
+	switch {
+	case i == 0:
+		x++
+	default:
+		x--
+	}
+}
+if x > 0 {
+	goto out
+}
+x = 9
+out:
+use(x)`)
+	g := flow.New(body)
+	count := map[ast.Node]int{}
+	for _, b := range g.Blocks {
+		for _, n := range b.Nodes {
+			count[n]++
+		}
+	}
+	for n, c := range count {
+		if c != 1 {
+			t.Errorf("node %T appears in %d blocks, want 1", n, c)
+		}
+	}
+}

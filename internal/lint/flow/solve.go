@@ -1,0 +1,105 @@
+package flow
+
+import "go/ast"
+
+// The dataflow layer: a forward gen/kill solver over a Graph. Facts are bits
+// in a 64-bit set — every problem the analyzers pose ("a File.Sync has
+// definitely happened", "the context has been observed") needs a handful of
+// facts, so a fixed-width set keeps the solver allocation-free and the meet
+// operator a single instruction.
+
+// Facts is a bitset of problem-defined dataflow facts.
+type Facts uint64
+
+// AllFacts is the ⊤ element for must-analyses (start optimistic, intersect
+// away).
+const AllFacts = ^Facts(0)
+
+// Transfer folds one block node (a statement or control expression) over the
+// incoming fact set, returning the outgoing one. Implementations typically
+// set bits at generating calls and clear them at killing ones; nodes are
+// visited in execution order.
+type Transfer func(n ast.Node, in Facts) Facts
+
+// Meet selects the confluence operator.
+type Meet int
+
+const (
+	// Must intersects facts at joins: a fact holds only if it holds on
+	// every incoming path. Use for "definitely happened" questions.
+	Must Meet = iota
+	// May unions facts at joins: a fact holds if it holds on any path.
+	May
+)
+
+// Forward runs the forward dataflow problem to a fixpoint and returns the
+// fact set at the *entry* of each block, indexed by Block.Index. entryIn
+// seeds the graph entry. Unreachable blocks keep the initial value (⊤ for
+// Must, ∅ for May) — callers should gate on reachability.
+func (g *Graph) Forward(entryIn Facts, meet Meet, tf Transfer) []Facts {
+	top := Facts(0)
+	if meet == Must {
+		top = AllFacts
+	}
+	in := make([]Facts, len(g.Blocks))
+	out := make([]Facts, len(g.Blocks))
+	for i := range in {
+		in[i] = top
+		out[i] = top
+	}
+	in[g.Entry.Index] = entryIn
+	out[g.Entry.Index] = foldBlock(g.Entry, entryIn, tf)
+
+	d := g.Dominators() // for RPO iteration order; also gives reachability
+	for changed := true; changed; {
+		changed = false
+		for _, b := range d.rpo {
+			if b != g.Entry {
+				acc := top
+				seenPred := false
+				for _, p := range b.Preds {
+					if !d.Reachable(p) {
+						continue
+					}
+					seenPred = true
+					if meet == Must {
+						acc &= out[p.Index]
+					} else {
+						acc |= out[p.Index]
+					}
+				}
+				if seenPred {
+					in[b.Index] = acc
+				}
+			}
+			newOut := foldBlock(b, in[b.Index], tf)
+			if newOut != out[b.Index] {
+				out[b.Index] = newOut
+				changed = true
+			}
+		}
+	}
+	return in
+}
+
+func foldBlock(b *Block, facts Facts, tf Transfer) Facts {
+	for _, n := range b.Nodes {
+		facts = tf(n, facts)
+	}
+	return facts
+}
+
+// FactsBefore replays the transfer function over b's nodes starting from the
+// block-entry facts `in`, stopping just before the node that contains target
+// (by source position). It answers "what held when control reached this call"
+// at sub-block granularity.
+func FactsBefore(in Facts, b *Block, target ast.Node, tf Transfer) Facts {
+	facts := in
+	for _, n := range b.Nodes {
+		if n.Pos() <= target.Pos() && target.End() <= n.End() {
+			return facts
+		}
+		facts = tf(n, facts)
+	}
+	return facts
+}

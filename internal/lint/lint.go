@@ -36,7 +36,9 @@ type Analyzer struct {
 	Run func(pass *Pass)
 }
 
-// All returns the full analyzer suite in stable order.
+// All returns the full analyzer suite in stable order: the five syntactic
+// analyzers from PR 1 followed by the four flow-aware ones built on
+// internal/lint/flow.
 func All() []*Analyzer {
 	return []*Analyzer{
 		LocksAnalyzer,
@@ -44,6 +46,10 @@ func All() []*Analyzer {
 		ErrCheckAnalyzer,
 		KeyAliasAnalyzer,
 		CtxLeakAnalyzer,
+		VFSSeamAnalyzer,
+		SyncRenameAnalyzer,
+		CtxLoopAnalyzer,
+		LoopRetainAnalyzer,
 	}
 }
 
@@ -217,4 +223,41 @@ func funcsOf(file *ast.File, fn func(name string, body *ast.BlockStmt)) {
 		}
 		fn(fd.Name.Name, fd.Body)
 	}
+}
+
+// allFuncs yields every function body in the file — declarations and nested
+// function literals — with its signature and a printable name. Flow-aware
+// analyzers use this so each body gets its own control-flow graph.
+func allFuncs(file *ast.File, fn func(name string, ft *ast.FuncType, body *ast.BlockStmt)) {
+	var enclosing string
+	ast.Inspect(file, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncDecl:
+			if n.Body != nil {
+				enclosing = n.Name.Name
+				fn(n.Name.Name, n.Type, n.Body)
+			}
+		case *ast.FuncLit:
+			name := "function literal"
+			if enclosing != "" {
+				name = "function literal in " + enclosing
+			}
+			fn(name, n.Type, n.Body)
+		}
+		return true
+	})
+}
+
+// inspectNoLit walks n in source order without descending into function
+// literals: their bodies are separate functions with their own graphs.
+func inspectNoLit(n ast.Node, fn func(ast.Node) bool) {
+	ast.Inspect(n, func(x ast.Node) bool {
+		if x == nil {
+			return true
+		}
+		if _, ok := x.(*ast.FuncLit); ok && x != n {
+			return false
+		}
+		return fn(x)
+	})
 }

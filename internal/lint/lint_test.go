@@ -1,6 +1,10 @@
 package lint_test
 
 import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
 	"path/filepath"
 	"regexp"
 	"sort"
@@ -119,12 +123,21 @@ func TestErrcheckFixture(t *testing.T) { checkFixture(t, "errviol", analyzerByNa
 func TestKeyaliasFixture(t *testing.T) { checkFixture(t, "aliasviol", analyzerByName(t, "keyalias")) }
 func TestCtxleakFixture(t *testing.T)  { checkFixture(t, "ctxviol", analyzerByName(t, "ctxleak")) }
 
-// TestAllAnalyzers pins the analyzer roster: five analyzers, distinct
+func TestVfsseamFixture(t *testing.T) { checkFixture(t, "seamviol", analyzerByName(t, "vfsseam")) }
+func TestSyncrenameFixture(t *testing.T) {
+	checkFixture(t, "syncviol", analyzerByName(t, "syncrename"))
+}
+func TestCtxloopFixture(t *testing.T) { checkFixture(t, "loopviol", analyzerByName(t, "ctxloop")) }
+func TestLoopretainFixture(t *testing.T) {
+	checkFixture(t, "retainviol", analyzerByName(t, "loopretain"))
+}
+
+// TestAllAnalyzers pins the analyzer roster: nine analyzers, distinct
 // non-empty names, each with documentation.
 func TestAllAnalyzers(t *testing.T) {
 	all := lint.All()
-	if len(all) != 5 {
-		t.Fatalf("All() returned %d analyzers, want 5", len(all))
+	if len(all) != 9 {
+		t.Fatalf("All() returned %d analyzers, want 9", len(all))
 	}
 	seen := map[string]bool{}
 	for _, az := range all {
@@ -147,6 +160,132 @@ func TestIgnoreDirectiveRequiresReason(t *testing.T) {
 		if strings.Contains(d.Message, "malformed") {
 			t.Errorf("well-formed fixture reported malformed directive: %s", d.Message)
 		}
+	}
+}
+
+// TestSyncRenameCatchesReorder is the durability-contract acceptance test:
+// copy internal/kv into a scratch package under testdata, verify the pristine
+// copy is clean under syncrename, then swap the Sync and Rename steps of
+// sstWriter.finish and verify the analyzer catches the reordering.
+func TestSyncRenameCatchesReorder(t *testing.T) {
+	az := analyzerByName(t, "syncrename")
+	scratch, err := filepath.Abs(filepath.Join("testdata", "scratch_syncrename"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.MkdirAll(scratch, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { os.RemoveAll(scratch) })
+
+	// The scratch copy lives inside the module so repro/internal/vfs imports
+	// resolve; _test.go files are skipped (the copy only needs to type-check).
+	entries, err := os.ReadDir(filepath.Join("..", "kv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		name := e.Name()
+		if !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		data, err := os.ReadFile(filepath.Join("..", "kv", name))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(filepath.Join(scratch, name), data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	runScratch := func() []lint.Diagnostic {
+		t.Helper()
+		loader, err := lint.NewLoader(scratch)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pkg, err := loader.LoadDir(scratch)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(pkg.TypeErrors) > 0 {
+			t.Fatalf("scratch kv copy has type errors: %v", pkg.TypeErrors)
+		}
+		return lint.Run(pkg, []*lint.Analyzer{az})
+	}
+
+	if diags := runScratch(); len(diags) != 0 {
+		t.Fatalf("pristine kv copy is not clean under syncrename: %v", diags)
+	}
+
+	// Swap the Sync if-statement and the Rename if-statement of finish by
+	// their source ranges; the result is valid Go with the commit steps
+	// reordered.
+	path := filepath.Join(scratch, "sstable.go")
+	src, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fset := token.NewFileSet()
+	parsed, err := parser.ParseFile(fset, path, src, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var syncStmt, renameStmt ast.Stmt
+	for _, decl := range parsed.Decls {
+		fd, ok := decl.(*ast.FuncDecl)
+		if !ok || fd.Name.Name != "finish" || fd.Body == nil {
+			continue
+		}
+		for _, stmt := range fd.Body.List {
+			stmt := stmt
+			ast.Inspect(stmt, func(x ast.Node) bool {
+				sel, ok := x.(*ast.SelectorExpr)
+				if !ok {
+					return true
+				}
+				switch sel.Sel.Name {
+				case "Sync":
+					if syncStmt == nil {
+						syncStmt = stmt
+					}
+				case "Rename":
+					if renameStmt == nil {
+						renameStmt = stmt
+					}
+				}
+				return true
+			})
+		}
+	}
+	if syncStmt == nil || renameStmt == nil {
+		t.Fatal("could not locate the Sync and Rename statements in sstWriter.finish")
+	}
+	off := func(p token.Pos) int { return fset.Position(p).Offset }
+	sa, sb := off(syncStmt.Pos()), off(syncStmt.End())
+	ra, rb := off(renameStmt.Pos()), off(renameStmt.End())
+	if sb > ra {
+		t.Fatalf("expected Sync (ends %d) before Rename (starts %d) in finish", sb, ra)
+	}
+	var mutated []byte
+	mutated = append(mutated, src[:sa]...)
+	mutated = append(mutated, src[ra:rb]...)
+	mutated = append(mutated, src[sb:ra]...)
+	mutated = append(mutated, src[sa:sb]...)
+	mutated = append(mutated, src[rb:]...)
+	if err := os.WriteFile(path, mutated, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	re := regexp.MustCompile(`not preceded by a completed File\.Sync`)
+	found := false
+	for _, d := range runScratch() {
+		if filepath.Base(d.Pos.Filename) == "sstable.go" && re.MatchString(d.Message) {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("reordered Sync/Rename in sstable.go was not caught by syncrename")
 	}
 }
 

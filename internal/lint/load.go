@@ -71,6 +71,7 @@ func findModule(dir string) (modDir, modPath string, err error) {
 		return "", "", err
 	}
 	for {
+		//lint:ignore vfsseam the lint loader reads module metadata from the real filesystem; it is tooling, not a persistence path
 		data, rerr := os.ReadFile(filepath.Join(dir, "go.mod"))
 		if rerr == nil {
 			for _, line := range strings.Split(string(data), "\n") {
@@ -131,6 +132,7 @@ func (l *Loader) LoadAll() ([]*Package, error) {
 }
 
 func hasGoFiles(dir string) bool {
+	//lint:ignore vfsseam the lint loader enumerates Go source from the real filesystem; it is tooling, not a persistence path
 	ents, err := os.ReadDir(dir)
 	if err != nil {
 		return false
@@ -196,6 +198,7 @@ func (l *Loader) load(path, dir string) (*Package, error) {
 	l.loading[path] = true
 	defer delete(l.loading, path)
 
+	//lint:ignore vfsseam the lint loader reads Go source from the real filesystem; it is tooling, not a persistence path
 	ents, err := os.ReadDir(dir)
 	if err != nil {
 		return nil, err

@@ -1,0 +1,203 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+
+	"repro/internal/lint/flow"
+)
+
+// SyncRenameAnalyzer mechanically checks the PR 2 commit-point idiom on every
+// persistence path: a freshly written file becomes durable only through
+//
+//	write → File.Sync → FS.Rename(tmp, final) → FS.SyncDir(dir)
+//
+// Reordering any pair silently reintroduces the crash-safety bugs the
+// fault-injection suite exists to prevent: renaming before the sync can leave
+// the final name pointing at unsynced (possibly torn) data after power loss,
+// and a rename whose directory is never synced is simply not durable.
+//
+// The check is intraprocedural and flow-aware, per function containing an
+// FS.Rename call:
+//
+//  1. if the function also creates or syncs a vfs.File, a File.Sync must
+//     have happened on *every* path reaching the Rename (forward
+//     must-analysis; File.Write/Create kill the synced fact);
+//  2. some FS.SyncDir call must be reachable after the Rename — the
+//     directory fsync that makes the new entry durable.
+//
+// Known approximations: a single "synced" fact covers all files in the
+// function (one commit per function is the codebase idiom), and a function
+// that renames files written elsewhere (no Create/Sync in scope) is only held
+// to rule 2.
+var SyncRenameAnalyzer = &Analyzer{
+	Name: "syncrename",
+	Doc:  "FS.Rename not preceded by File.Sync on every path, or not followed by a reachable FS.SyncDir",
+	Run:  runSyncRename,
+}
+
+// vfsOp classifies a call against the vfs seam surface.
+type vfsOp int
+
+const (
+	opNone vfsOp = iota
+	opRename
+	opSyncDir
+	opCreate
+	opFileSync
+	opFileWrite
+)
+
+// vfsCallOp classifies call when its receiver is a type declared in
+// internal/vfs (the FS and File interfaces, or a concrete implementation).
+func vfsCallOp(pass *Pass, call *ast.CallExpr) vfsOp {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return opNone
+	}
+	if !typeFromVFS(pass.TypeOf(sel.X)) {
+		return opNone
+	}
+	switch sel.Sel.Name {
+	case "Rename":
+		return opRename
+	case "SyncDir":
+		return opSyncDir
+	case "Create", "OpenAppend":
+		return opCreate
+	case "Sync":
+		return opFileSync
+	case "Write", "WriteString", "ReadFrom":
+		return opFileWrite
+	}
+	return opNone
+}
+
+// typeFromVFS reports whether t (after deref) is a named type or interface
+// declared in the internal/vfs package.
+func typeFromVFS(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj != nil && obj.Pkg() != nil && isVFSPackage(obj.Pkg().Path())
+}
+
+const factSynced flow.Facts = 1
+
+func runSyncRename(pass *Pass) {
+	for _, file := range pass.Files {
+		allFuncs(file, func(name string, _ *ast.FuncType, body *ast.BlockStmt) {
+			checkSyncRename(pass, name, body)
+		})
+	}
+}
+
+func checkSyncRename(pass *Pass, name string, body *ast.BlockStmt) {
+	// Cheap pre-scan: most functions rename nothing.
+	var renames []*ast.CallExpr
+	hasSync, hasCreate := false, false
+	inspectNoLit(body, func(n ast.Node) bool {
+		if call, ok := n.(*ast.CallExpr); ok {
+			switch vfsCallOp(pass, call) {
+			case opRename:
+				renames = append(renames, call)
+			case opFileSync:
+				hasSync = true
+			case opCreate:
+				hasCreate = true
+			}
+		}
+		return true
+	})
+	if len(renames) == 0 {
+		return
+	}
+
+	g := flow.New(body)
+	tf := func(n ast.Node, in flow.Facts) flow.Facts {
+		inspectNoLit(n, func(x ast.Node) bool {
+			if call, ok := x.(*ast.CallExpr); ok {
+				switch vfsCallOp(pass, call) {
+				case opFileSync:
+					in |= factSynced
+				case opFileWrite, opCreate:
+					in &^= factSynced
+				}
+			}
+			return true
+		})
+		return in
+	}
+	in := g.Forward(0, flow.Must, tf)
+
+	for _, rn := range renames {
+		b, node := blockContaining(g, rn)
+		if b == nil {
+			continue
+		}
+		switch {
+		case !hasSync && hasCreate:
+			pass.Reportf(rn.Pos(), "%s renames a file it created without any File.Sync; after a crash the renamed entry can point at unsynced data", name)
+		case hasSync:
+			if flow.FactsBefore(in[b.Index], b, node, tf)&factSynced == 0 {
+				pass.Reportf(rn.Pos(), "%s: this FS.Rename is not preceded by a completed File.Sync on every path; required order is write, Sync, Rename, SyncDir", name)
+			}
+		}
+		if !syncDirAfter(pass, g, b, node) {
+			pass.Reportf(rn.Pos(), "%s: no FS.SyncDir reachable after this FS.Rename; the renamed directory entry is not durable until its directory is synced", name)
+		}
+	}
+}
+
+// blockContaining locates the graph block and block-node holding target.
+func blockContaining(g *flow.Graph, target ast.Node) (*flow.Block, ast.Node) {
+	for _, b := range g.Blocks {
+		for _, n := range b.Nodes {
+			if n.Pos() <= target.Pos() && target.End() <= n.End() {
+				return b, n
+			}
+		}
+	}
+	return nil, nil
+}
+
+// syncDirAfter reports whether an FS.SyncDir call appears after `node` in its
+// own block or anywhere reachable from b.
+func syncDirAfter(pass *Pass, g *flow.Graph, b *flow.Block, node ast.Node) bool {
+	hasSyncDir := func(n ast.Node) bool {
+		found := false
+		inspectNoLit(n, func(x ast.Node) bool {
+			if call, ok := x.(*ast.CallExpr); ok && vfsCallOp(pass, call) == opSyncDir {
+				found = true
+			}
+			return !found
+		})
+		return found
+	}
+	past := false
+	for _, n := range b.Nodes {
+		if n == node {
+			past = true
+			continue
+		}
+		if past && hasSyncDir(n) {
+			return true
+		}
+	}
+	for blk := range g.Reachable(b) {
+		for _, n := range blk.Nodes {
+			if hasSyncDir(n) {
+				return true
+			}
+		}
+	}
+	return false
+}

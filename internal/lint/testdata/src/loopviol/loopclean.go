@@ -1,0 +1,48 @@
+package loopviol
+
+import (
+	"context"
+	"time"
+)
+
+// backoffObserves is the clean backoff idiom: the select races the timer
+// against ctx.Done(), so cancellation interrupts the wait.
+func backoffObserves(ctx context.Context) error {
+	delay := time.Millisecond
+	for {
+		if try() {
+			return nil
+		}
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-time.After(delay):
+		}
+		delay *= 2
+	}
+}
+
+// propagates hands the caller's ctx to the callee, delegating the
+// observation.
+func propagates(ctx context.Context, addrs []string) {
+	for _, a := range addrs {
+		rpc(ctx, a)
+	}
+}
+
+// amortized checks ctx.Err() every 256 rows; an amortized check inside the
+// loop still counts as observing the context.
+func amortized(ctx context.Context, rows []int) error {
+	for i := range rows {
+		if i%256 == 0 {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+		}
+		work(rows[i])
+		time.Sleep(time.Microsecond)
+	}
+	return nil
+}
+
+func work(row int) {}

@@ -1,0 +1,43 @@
+// Package loopviol seeds violations for the ctxloop analyzer: retry/backoff
+// loops that never observe their context, and loops that feed callees a fresh
+// Background context while a real one is in scope.
+package loopviol
+
+import (
+	"context"
+	"time"
+)
+
+// retryNoCheck backs off between attempts but never looks at ctx inside the
+// loop; the Err check after the loop does not interrupt the backoff.
+func retryNoCheck(ctx context.Context) error {
+	for i := 0; i < 3; i++ {
+		if try() {
+			return nil
+		}
+		time.Sleep(time.Millisecond) // want "loop blocks in time.Sleep without observing ctx"
+	}
+	return ctx.Err()
+}
+
+// retryNoCtx has no context at all to observe.
+func retryNoCtx() {
+	for {
+		if try() {
+			return
+		}
+		time.Sleep(time.Millisecond) // want "retry/backoff loop has no context to observe"
+	}
+}
+
+// freshPerCall passes context.Background() to an RPC-shaped call on every
+// iteration while the caller's ctx sits unused.
+func freshPerCall(ctx context.Context, addrs []string) {
+	for _, a := range addrs {
+		rpc(context.Background(), a) // want "fresh Background/TODO context while a ctx is in scope"
+	}
+}
+
+func rpc(ctx context.Context, addr string) {}
+
+func try() bool { return false }

@@ -1,0 +1,46 @@
+package retainviol
+
+// deferPerIteration hoists the body into a function literal: each literal
+// runs its own defers when it returns, so nothing accumulates.
+func deferPerIteration(names []string) {
+	for _, n := range names {
+		func() {
+			f := open(n)
+			defer f.Close()
+		}()
+	}
+}
+
+// deferAtTop is an ordinary function-scoped defer, not in any loop.
+func deferAtTop(name string) {
+	f := open(name)
+	defer f.Close()
+	for i := 0; i < 3; i++ {
+		_ = i
+	}
+}
+
+// PayloadCopy is the clean way to expose a reused buffer: copy it.
+func (d *decoder) PayloadCopy() []byte {
+	return append([]byte(nil), d.buf[1:]...)
+}
+
+// iter is iterator-shaped (has Next() bool), so its aliasing contract is
+// deliberate; keyalias guards the call sites instead.
+type iter struct {
+	key []byte
+}
+
+func (it *iter) Next() bool {
+	it.key = append(it.key[:0], 'k')
+	return false
+}
+
+func (it *iter) Key() []byte { return it.key }
+
+// holder never reuses data in place, so returning it is fine.
+type holder struct {
+	data []byte
+}
+
+func (h *holder) Data() []byte { return h.data }

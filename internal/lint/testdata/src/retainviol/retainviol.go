@@ -1,0 +1,49 @@
+// Package retainviol seeds violations for the loopretain analyzer: defer
+// accumulation inside loops (for/range and goto-formed) and methods handing
+// out sub-slices of buffers the package reuses in place.
+package retainviol
+
+type handle struct{}
+
+func (handle) Close() error { return nil }
+
+func open(name string) handle { return handle{} }
+
+// deferInLoop holds every handle until the function returns.
+func deferInLoop(names []string) {
+	for _, n := range names {
+		f := open(n)
+		defer f.Close() // want "defer inside a loop"
+	}
+}
+
+// deferInGotoLoop is the same bug spelled with goto; natural-loop detection
+// on the CFG catches it even though there is no for statement.
+func deferInGotoLoop(n int) {
+	i := 0
+again:
+	f := open("x")
+	defer f.Close() // want "defer inside a loop"
+	i++
+	if i < n {
+		goto again
+	}
+}
+
+// decoder reuses buf across fills, so handing out sub-slices of it aliases
+// memory the next fill overwrites.
+type decoder struct {
+	buf []byte
+}
+
+func (d *decoder) fill(src []byte) {
+	d.buf = append(d.buf[:0], src...)
+}
+
+func (d *decoder) Payload() []byte {
+	return d.buf[1:] // want "a buffer this package reuses in place"
+}
+
+func (d *decoder) Raw() []byte {
+	return d.buf // want "a buffer this package reuses in place"
+}

@@ -1,0 +1,35 @@
+package seamviol
+
+import (
+	"os"
+
+	"repro/internal/vfs"
+)
+
+// throughSeam is the clean idiom: all file I/O flows through an injected
+// vfs.FS, so FaultFS can fail every operation in torture tests.
+func throughSeam(fsys vfs.FS, path string, data []byte) error {
+	f, err := fsys.Create(path)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		_ = f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		_ = f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// scaffolding shows the os surface that stays allowed: process plumbing and
+// temp-dir naming are not persistence paths.
+func scaffolding() string {
+	dir, err := os.MkdirTemp("", "demo-*")
+	if err != nil {
+		os.Exit(1)
+	}
+	return dir
+}

@@ -1,0 +1,30 @@
+// Package seamviol seeds violations for the vfsseam analyzer: direct os
+// filesystem calls and raw *os.File handles that bypass the fault-injection
+// seam.
+package seamviol
+
+import "os"
+
+func createDirect(path string) error {
+	f, err := os.Create(path) // want "os.Create bypasses the vfs seam"
+	if err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+func writeDirect(path string, data []byte) error {
+	return os.WriteFile(path, data, 0o644) // want "os.WriteFile bypasses the vfs seam"
+}
+
+func renameDirect(oldPath, newPath string) error {
+	return os.Rename(oldPath, newPath) // want "os.Rename bypasses the vfs seam"
+}
+
+func removeDirect(path string) error {
+	return os.Remove(path) // want "os.Remove bypasses the vfs seam"
+}
+
+func rawHandle(f *os.File) error { // want "\\*os.File bypasses the vfs seam"
+	return f.Sync()
+}

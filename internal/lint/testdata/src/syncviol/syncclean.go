@@ -1,0 +1,41 @@
+package syncviol
+
+import "repro/internal/vfs"
+
+// commit is the PR 2 commit-point idiom, exactly as internal/kv and
+// internal/cluster write SSTables and manifests: write, Sync, Rename,
+// SyncDir, with every error path aborting before the next step.
+func commit(fsys vfs.FS, dir, tmp, final string, data []byte) error {
+	f, err := fsys.Create(tmp)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		_ = f.Close()
+		_ = fsys.Remove(tmp)
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		_ = f.Close()
+		_ = fsys.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		_ = fsys.Remove(tmp)
+		return err
+	}
+	if err := fsys.Rename(tmp, final); err != nil {
+		_ = fsys.Remove(tmp)
+		return err
+	}
+	return fsys.SyncDir(dir)
+}
+
+// moveAside renames a file written elsewhere (no Create or Sync in scope):
+// only the directory-durability rule applies.
+func moveAside(fsys vfs.FS, dir, from, to string) error {
+	if err := fsys.Rename(from, to); err != nil {
+		return err
+	}
+	return fsys.SyncDir(dir)
+}

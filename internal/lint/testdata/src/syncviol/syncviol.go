@@ -1,0 +1,96 @@
+// Package syncviol seeds violations for the syncrename analyzer: the
+// write → Sync → Rename → SyncDir commit-point idiom with steps reordered or
+// missing.
+package syncviol
+
+import "repro/internal/vfs"
+
+// renameBeforeSync renames first and syncs after: a crash between the two
+// leaves the final name pointing at unsynced data.
+func renameBeforeSync(fsys vfs.FS, dir, tmp, final string) error {
+	f, err := fsys.Create(tmp)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write([]byte("payload")); err != nil {
+		return err
+	}
+	if err := fsys.Rename(tmp, final); err != nil { // want "not preceded by a completed File.Sync on every path"
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		return err
+	}
+	return fsys.SyncDir(dir)
+}
+
+// neverSynced commits a freshly created file without any File.Sync at all.
+func neverSynced(fsys vfs.FS, dir, tmp, final string) error {
+	f, err := fsys.Create(tmp)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write([]byte("payload")); err != nil {
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	if err := fsys.Rename(tmp, final); err != nil { // want "renames a file it created without any File.Sync"
+		return err
+	}
+	return fsys.SyncDir(dir)
+}
+
+// noDirSync does everything right except the directory fsync: the rename
+// itself is not durable.
+func noDirSync(fsys vfs.FS, tmp, final string) error {
+	f, err := fsys.Create(tmp)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write([]byte("payload")); err != nil {
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		return err
+	}
+	return fsys.Rename(tmp, final) // want "no FS.SyncDir reachable after this FS.Rename"
+}
+
+// conditionalSync syncs on only one branch; the skip path reaches the rename
+// unsynced.
+func conditionalSync(fsys vfs.FS, dir, tmp, final string, flush bool) error {
+	f, err := fsys.Create(tmp)
+	if err != nil {
+		return err
+	}
+	if flush {
+		if err := f.Sync(); err != nil {
+			return err
+		}
+	}
+	if err := fsys.Rename(tmp, final); err != nil { // want "not preceded by a completed File.Sync on every path"
+		return err
+	}
+	return fsys.SyncDir(dir)
+}
+
+// writeAfterSync re-dirties the file after its Sync: the tail written after
+// the sync is not covered by it.
+func writeAfterSync(fsys vfs.FS, dir, tmp, final string) error {
+	f, err := fsys.Create(tmp)
+	if err != nil {
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		return err
+	}
+	if _, err := f.Write([]byte("tail")); err != nil {
+		return err
+	}
+	if err := fsys.Rename(tmp, final); err != nil { // want "not preceded by a completed File.Sync on every path"
+		return err
+	}
+	return fsys.SyncDir(dir)
+}

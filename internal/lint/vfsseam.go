@@ -1,0 +1,69 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// VFSSeamAnalyzer enforces the filesystem seam PR 2 carved out: every
+// persistence path goes through vfs.FS / vfs.File so the fault-injecting
+// filesystem can prove it crash-safe. A direct os.Create/Rename/... call (or
+// an *os.File flowing around) bypasses the seam — the code works, but no
+// torture test can ever fail it, which is how untested durability bugs ship.
+//
+// Only the filesystem-mutating and file-handle surface of package os is
+// banned; process plumbing (os.Exit, os.Getenv, os.Stdout, os.Getwd) and
+// temp-dir scaffolding (os.MkdirTemp, which has no seam equivalent and only
+// names a directory) stay allowed. Package internal/vfs itself — the seam's
+// one legitimate os user — is exempt, as are its subpackages.
+var VFSSeamAnalyzer = &Analyzer{
+	Name: "vfsseam",
+	Doc:  "direct os filesystem call or *os.File outside internal/vfs; route I/O through the vfs.FS seam",
+	Run:  runVFSSeam,
+}
+
+// seamBannedOS is the os surface that must stay behind the seam.
+var seamBannedOS = map[string]bool{
+	"Create": true, "Open": true, "OpenFile": true, "NewFile": true,
+	"Rename": true, "Remove": true, "RemoveAll": true,
+	"WriteFile": true, "ReadFile": true, "ReadDir": true,
+	"Mkdir": true, "MkdirAll": true, "Truncate": true,
+	"Link": true, "Symlink": true, "Chtimes": true,
+}
+
+// isVFSPackage reports whether path is the seam package or one of its
+// subpackages (matched by suffix so fixtures and forks keep working whatever
+// the module is called).
+func isVFSPackage(path string) bool {
+	return strings.HasSuffix(path, "internal/vfs") || strings.Contains(path, "internal/vfs/")
+}
+
+func runVFSSeam(pass *Pass) {
+	if pass.Pkg != nil && isVFSPackage(pass.Pkg.Path()) {
+		return
+	}
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			obj := pass.Info.Uses[sel.Sel]
+			if !objInPkg(obj, "os") {
+				return true
+			}
+			switch obj := obj.(type) {
+			case *types.Func:
+				if seamBannedOS[obj.Name()] {
+					pass.Reportf(sel.Pos(), "os.%s bypasses the vfs seam; use a vfs.FS so fault injection covers this path", obj.Name())
+				}
+			case *types.TypeName:
+				if obj.Name() == "File" {
+					pass.Reportf(sel.Pos(), "*os.File bypasses the vfs seam; use vfs.File so fault injection covers this handle")
+				}
+			}
+			return true
+		})
+	}
+}

@@ -274,6 +274,7 @@ func (s *Store) sortedValuesLocked() []int64 {
 		sort.Slice(s.sortedValues, func(i, j int) bool { return s.sortedValues[i] < s.sortedValues[j] })
 		s.valuesDirty = false
 	}
+	//lint:ignore loopretain the Locked suffix is the contract: callers hold s.mu and consume the slice before releasing it
 	return s.sortedValues
 }
 

@@ -3,14 +3,25 @@
 #
 #   build      go build ./...
 #   vet        go vet ./...
-#   lint       trasslint ./...   (project-specific analyzers, internal/lint)
+#   lint       trasslint ./...   (project-specific analyzers, internal/lint,
+#              including the flow-aware durability/concurrency checks), plus
+#              an explicit self-host pass over internal/lint and cmd/trasslint
 #   torture    deterministic crash/error-injection suites (kv + cluster);
 #              SHORT=1 runs the strided subset, otherwise every fault point
 #   test       go test -race ./...   (plain go test ./... with SHORT=1)
 #   fuzz       10s smoke run of every native fuzz target (skipped with SHORT=1)
 #
 # SHORT=1 trades the race detector, full fault-point enumeration, and fuzz
-# smoke for speed; CI always runs the full gate.
+# smoke for speed; CI always runs the full gate. The lint step is NOT trimmed
+# by SHORT=1 — it takes seconds and the whole point of a static gate is that
+# it never gets skipped. (The lint package's own module-wide test does honor
+# -short and skips there, because the lint binary run below covers it.)
+#
+# TRASSLINT_FORMAT selects trasslint's output format (text locally; CI sets
+# github for inline PR annotations). trasslint prints a one-line timing
+# summary (packages, findings, elapsed) to stderr and follows the exit-code
+# contract 0 clean / 1 findings / 2 load error, so a load regression fails
+# the gate just as loudly as a finding.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -23,7 +34,14 @@ step vet
 go vet ./...
 
 step trasslint
-go run ./cmd/trasslint ./...
+go run ./cmd/trasslint -format="${TRASSLINT_FORMAT:-text}" ./...
+
+# Self-hosting: the analyzers, the flow engine, and the driver are linted
+# like any other package. The ./... walk above already covers them; this
+# explicit pass keeps the self-host guarantee visible and loud even if the
+# walk ever learns to skip tool packages.
+step "trasslint self-host"
+go run ./cmd/trasslint -format="${TRASSLINT_FORMAT:-text}" ./internal/lint ./internal/lint/flow ./cmd/trasslint
 
 # Crash-safety torture: enumerate fault points and crash/fail at each one.
 # Deterministic (seeded workloads, FS-lock-ordered op numbering), so a
