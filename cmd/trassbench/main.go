@@ -3,17 +3,23 @@
 //	trassbench -list
 //	trassbench -exp fig9
 //	trassbench -exp all -tdrive 20000 -lorry 20000 -queries 30
+//	trassbench -exp refine -format=json -outdir artifacts
 //
 // Each experiment prints one or more tables matching a figure of the paper;
-// EXPERIMENTS.md records the expected shapes.
+// EXPERIMENTS.md records the expected shapes. With -format=json each
+// experiment additionally writes BENCH_<exp>.json — the same rows plus run
+// metadata (config, git SHA, wall time) — which CI uploads as an artifact.
+// The git SHA is read from TRASSBENCH_GIT_SHA, falling back to GITHUB_SHA.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 
 	"repro/internal/bench"
+	"repro/internal/vfs"
 )
 
 func main() {
@@ -24,18 +30,24 @@ func main() {
 	queries := flag.Int("queries", 0, "queries per data point (default 15)")
 	seed := flag.Int64("seed", 1, "random seed")
 	dir := flag.String("dir", "", "scratch directory (default: temp)")
+	format := flag.String("format", "text", "output format: text, or json to also write BENCH_<exp>.json")
+	outdir := flag.String("outdir", ".", "directory for BENCH_<exp>.json files (with -format=json)")
 	verbose := flag.Bool("v", false, "print progress")
 	flag.Parse()
 
 	if *list || *exp == "" {
 		fmt.Println("experiments:")
 		for _, r := range bench.Runners {
-			fmt.Printf("  %-7s %s\n", r.Name, r.Desc)
+			fmt.Printf("  %-8s %s\n", r.Name, r.Desc)
 		}
 		if *exp == "" && !*list {
 			os.Exit(2)
 		}
 		return
+	}
+	if *format != "text" && *format != "json" {
+		fmt.Fprintf(os.Stderr, "trassbench: unknown format %q (want text or json)\n", *format)
+		os.Exit(2)
 	}
 
 	cfg := bench.Config{
@@ -50,7 +62,13 @@ func main() {
 	}
 
 	run := func(name string) {
-		if err := bench.Run(name, cfg, os.Stdout); err != nil {
+		var err error
+		if *format == "json" {
+			err = runJSON(name, cfg, *outdir)
+		} else {
+			err = bench.Run(name, cfg, os.Stdout)
+		}
+		if err != nil {
 			fmt.Fprintf(os.Stderr, "trassbench: %s: %v\n", name, err)
 			os.Exit(1)
 		}
@@ -62,4 +80,41 @@ func main() {
 		return
 	}
 	run(*exp)
+}
+
+// runJSON executes one experiment, prints its text tables as usual, and
+// persists BENCH_<name>.json under outdir.
+func runJSON(name string, cfg bench.Config, outdir string) error {
+	sha := os.Getenv("TRASSBENCH_GIT_SHA")
+	if sha == "" {
+		sha = os.Getenv("GITHUB_SHA")
+	}
+	rep, err := bench.RunReport(name, cfg, sha)
+	if err != nil {
+		return err
+	}
+	for _, t := range rep.Tables {
+		tab := &bench.Table{Title: t.Title, Columns: t.Columns, Rows: t.Rows}
+		if err := tab.Write(os.Stdout); err != nil {
+			return err
+		}
+		fmt.Println()
+	}
+	if err := vfs.Default.MkdirAll(outdir); err != nil {
+		return err
+	}
+	path := filepath.Join(outdir, "BENCH_"+name+".json")
+	f, err := vfs.Default.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := rep.WriteJSON(f); err != nil {
+		_ = f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "wrote %s\n", path)
+	return nil
 }

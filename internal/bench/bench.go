@@ -385,36 +385,52 @@ var Runners = []struct {
 	{"fig20", "other measures: Hausdorff and DTW", Fig20},
 	{"io", "I/O reduction of XZ* global pruning vs XZ-Ordering", FigIO},
 	{"ablation", "contribution of each TraSS design choice", Ablation},
+	{"refine", "parallel refinement executor: sequential vs 4-worker refine wall-clock per measure", Refine},
 }
 
-// Run executes one experiment by id and writes its tables to w.
-func Run(name string, cfg Config, w io.Writer) error {
+// Describe returns the one-line description of an experiment, or "".
+func Describe(name string) string {
+	for _, r := range Runners {
+		if r.Name == name {
+			return r.Desc
+		}
+	}
+	return ""
+}
+
+// RunTables executes one experiment by id and returns its tables. A blank
+// cfg.Dir gets temporary scratch space, removed before returning.
+func RunTables(name string, cfg Config) ([]*Table, error) {
 	cfg = cfg.withDefaults()
 	if cfg.Dir == "" {
 		dir, err := os.MkdirTemp("", "trassbench-*")
 		if err != nil {
-			return err
+			return nil, err
 		}
 		defer vfs.Default.RemoveAll(dir)
 		cfg.Dir = dir
 	}
 	for _, r := range Runners {
-		if r.Name != name {
-			continue
+		if r.Name == name {
+			return r.Run(cfg)
 		}
-		tables, err := r.Run(cfg)
-		if err != nil {
+	}
+	return nil, fmt.Errorf("bench: unknown experiment %q", name)
+}
+
+// Run executes one experiment by id and writes its tables to w.
+func Run(name string, cfg Config, w io.Writer) error {
+	tables, err := RunTables(name, cfg)
+	if err != nil {
+		return err
+	}
+	for _, t := range tables {
+		if err := t.Write(w); err != nil {
 			return err
 		}
-		for _, t := range tables {
-			if err := t.Write(w); err != nil {
-				return err
-			}
-			if _, err := fmt.Fprintln(w); err != nil {
-				return err
-			}
+		if _, err := fmt.Fprintln(w); err != nil {
+			return err
 		}
-		return nil
 	}
-	return fmt.Errorf("bench: unknown experiment %q", name)
+	return nil
 }

@@ -1,0 +1,74 @@
+package bench
+
+import (
+	"encoding/json"
+	"io"
+	"time"
+)
+
+// Report is the machine-readable form of one experiment run — the payload
+// cmd/trassbench writes to BENCH_<experiment>.json with -format=json, so CI
+// can archive benchmark trajectories per commit and diff them across runs.
+type Report struct {
+	Experiment  string `json:"experiment"`
+	Description string `json:"description,omitempty"`
+	// GitSHA identifies the commit the numbers belong to. cmd/trassbench
+	// fills it from TRASSBENCH_GIT_SHA (or GITHUB_SHA in CI); empty when
+	// neither is set.
+	GitSHA    string        `json:"git_sha,omitempty"`
+	StartedAt string        `json:"started_at"`
+	WallMS    int64         `json:"wall_ms"`
+	Config    ReportConfig  `json:"config"`
+	Tables    []ReportTable `json:"tables"`
+}
+
+// ReportConfig echoes the Config knobs that determine the numbers.
+type ReportConfig struct {
+	TDriveN int   `json:"tdrive_n"`
+	LorryN  int   `json:"lorry_n"`
+	Queries int   `json:"queries"`
+	Seed    int64 `json:"seed"`
+}
+
+// ReportTable is one figure's rows, cells pre-formatted exactly as the text
+// tables print them.
+type ReportTable struct {
+	Title   string     `json:"title"`
+	Columns []string   `json:"columns"`
+	Rows    [][]string `json:"rows"`
+}
+
+// RunReport executes one experiment and packages its tables plus run
+// metadata. gitSHA may be empty.
+func RunReport(name string, cfg Config, gitSHA string) (*Report, error) {
+	cfg = cfg.withDefaults()
+	started := time.Now()
+	tables, err := RunTables(name, cfg)
+	if err != nil {
+		return nil, err
+	}
+	rep := &Report{
+		Experiment:  name,
+		Description: Describe(name),
+		GitSHA:      gitSHA,
+		StartedAt:   started.UTC().Format(time.RFC3339),
+		WallMS:      time.Since(started).Milliseconds(),
+		Config: ReportConfig{
+			TDriveN: cfg.TDriveN,
+			LorryN:  cfg.LorryN,
+			Queries: cfg.Queries,
+			Seed:    cfg.Seed,
+		},
+	}
+	for _, t := range tables {
+		rep.Tables = append(rep.Tables, ReportTable{Title: t.Title, Columns: t.Columns, Rows: t.Rows})
+	}
+	return rep, nil
+}
+
+// WriteJSON renders the report as indented JSON.
+func (r *Report) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}

@@ -18,10 +18,11 @@ import (
 
 // Engine executes similarity searches against a trajectory store.
 type Engine struct {
-	store   *store.Store
-	measure dist.Measure
-	budget  int // global-pruning element budget (0 = default)
-	tuning  Tuning
+	store         *store.Store
+	measure       dist.Measure
+	budget        int // global-pruning element budget (0 = default)
+	refineWorkers int // refinement pool size (0 = default, see refineParallelism)
+	tuning        Tuning
 }
 
 // Tuning disables individual pruning stages; the ablation experiment uses it
@@ -46,6 +47,17 @@ func (e *Engine) SetTuning(t Tuning) { e.tuning = t }
 // stay exact because truncation only widens the scan.
 func (e *Engine) SetBudget(n int) { e.budget = n }
 
+// SetRefineParallelism bounds the refinement worker pool — the stage that
+// decodes shipped rows and runs full similarity computations (0 restores the
+// default: the store's scan parallelism, else GOMAXPROCS). Results are
+// identical for any value; only the wall-clock changes.
+func (e *Engine) SetRefineParallelism(n int) {
+	if n < 0 {
+		n = 0
+	}
+	e.refineWorkers = n
+}
+
 // New builds an engine over st using the given similarity measure.
 func New(st *store.Store, measure dist.Measure) *Engine {
 	return &Engine{store: st, measure: measure}
@@ -64,9 +76,20 @@ type Result struct {
 // Stats describes what one query did; the Fig. 9-11 experiments report
 // these numbers.
 type Stats struct {
-	PruneTime  time.Duration // global pruning (index-space planning)
-	ScanTime   time.Duration // storage scans incl. push-down filtering
-	RefineTime time.Duration // full similarity computations
+	PruneTime time.Duration // global pruning (index-space planning)
+	ScanTime  time.Duration // storage scans incl. push-down filtering
+	// RefineTime is the refinement stage's wall-clock: decoding shipped rows
+	// plus full similarity computations, accumulated across batches (top-k
+	// refines once per scanned index space). With parallel refinement this
+	// is elapsed time, not work done — see RefineCPUTime for that.
+	RefineTime time.Duration
+	// RefineCPUTime is the cumulative busy time across refinement workers
+	// (decode + distance per candidate, summed). RefineCPUTime/RefineTime
+	// approximates the refinement speedup actually realized.
+	RefineCPUTime time.Duration
+	// RefineWorkers is the largest worker-pool size the query's refinement
+	// used (1 = sequential; batches smaller than the pool clamp it).
+	RefineWorkers int
 
 	Ranges       int   // key ranges scanned (after merging)
 	RowsScanned  int64 // rows visited inside regions

@@ -8,6 +8,7 @@ import (
 
 	"repro/internal/geo"
 	"repro/internal/store"
+	"repro/internal/traj"
 	"repro/internal/xzstar"
 )
 
@@ -58,23 +59,26 @@ func (e *Engine) NearestToPointContext(ctx context.Context, p geo.Point, k int) 
 		stats.ScanTime += time.Since(t1)
 		stats.absorbScan(res)
 
-		t2 := time.Now()
-		for _, entry := range res.Entries {
-			rec, err := store.DecodeRow(entry.Value)
-			if err != nil {
-				return err
-			}
-			stats.Refined++
-			d := closestApproach(p, rec.Points, rec.Features.Boxes, epsOf())
-			if results.Len() < k {
-				heap.Push(results, Result{ID: rec.ID, Distance: d, Points: rec.Points})
-			} else if d < (*results)[0].Distance {
-				(*results)[0] = Result{ID: rec.ID, Distance: d, Points: rec.Points}
-				heap.Fix(results, 0)
-			}
-		}
-		stats.RefineTime += time.Since(t2)
-		return nil
+		// closestApproach's feature-box shortcut reads the shared kth bound:
+		// a stale (looser) value just means a shortcut missed. The value it
+		// returns under the shortcut is a lower bound that already exceeds
+		// the merge-time kth distance, so the exact comparison below makes
+		// the same decision the sequential path made.
+		bound := newRefineBound(epsOf())
+		return e.refine(ctx, res.Entries, stats,
+			func(rec *traj.Record) refineOutcome {
+				d := closestApproach(p, rec.Points, rec.Features.Boxes, bound.get())
+				return refineOutcome{rec: rec, dist: d, keep: true}
+			},
+			func(o refineOutcome) {
+				if results.Len() < k {
+					heap.Push(results, Result{ID: o.rec.ID, Distance: o.dist, Points: o.rec.Points})
+				} else if o.dist < (*results)[0].Distance {
+					(*results)[0] = Result{ID: o.rec.ID, Distance: o.dist, Points: o.rec.Points}
+					heap.Fix(results, 0)
+				}
+				bound.set(epsOf())
+			})
 	}
 
 	for eq.Len() > 0 || iq.Len() > 0 {

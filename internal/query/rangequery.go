@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/geo"
 	"repro/internal/store"
+	"repro/internal/traj"
 )
 
 // Range runs a spatial range query: every stored trajectory with at least
@@ -67,13 +68,19 @@ func (e *Engine) rangeQuery(ctx context.Context, window geo.Rect, w TimeWindow) 
 	stats.ScanTime = time.Since(t1)
 	stats.absorbScan(res)
 
+	// Range results carry no distance; refinement here is the client-side
+	// decode of every shipped row, which still profits from the pool on
+	// large windows.
 	out := make([]Result, 0, len(res.Entries))
-	for _, entry := range res.Entries {
-		rec, err := store.DecodeRow(entry.Value)
-		if err != nil {
-			return nil, nil, err
-		}
-		out = append(out, Result{ID: rec.ID, Points: rec.Points})
+	err = e.refine(ctx, res.Entries, stats,
+		func(rec *traj.Record) refineOutcome {
+			return refineOutcome{rec: rec, keep: true}
+		},
+		func(o refineOutcome) {
+			out = append(out, Result{ID: o.rec.ID, Points: o.rec.Points})
+		})
+	if err != nil {
+		return nil, nil, err
 	}
 	stats.Results = len(out)
 	return out, stats, nil

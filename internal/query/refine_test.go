@@ -1,0 +1,261 @@
+package query
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"reflect"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/dist"
+	"repro/internal/geo"
+	"repro/internal/store"
+	"repro/internal/traj"
+	"repro/internal/xzstar"
+)
+
+// refineFixture builds a store of n near-duplicates of one base trajectory
+// (pts points each), so a threshold query over the cluster refines every
+// stored row — the refinement-dominated workload the executor exists for.
+func refineFixture(t testing.TB, n, pts int, seed int64) (*fixture, *traj.Trajectory) {
+	t.Helper()
+	st, err := store.Open(store.Config{Dir: t.TempDir(), Shards: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { st.Close() })
+	rng := rand.New(rand.NewSource(seed))
+	base := walk(rng, "base", pts, 0.001)
+	var trajs []*traj.Trajectory
+	for i := 0; i < n; i++ {
+		tr := nearWalk(rng, base, fmt.Sprintf("n%05d", i), 0.002)
+		trajs = append(trajs, tr)
+		if err := st.Put(tr); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := st.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	return &fixture{store: st, trajs: trajs, engine: New(st, dist.DTW)}, base
+}
+
+// The executor's contract: results are byte-identical to the sequential path
+// for any worker count, on every query type (the merge loop replays the
+// sequential order; the shared bound only loosens prefilters, never
+// decisions).
+func TestRefineDeterminismAcrossWorkers(t *testing.T) {
+	for _, measure := range []dist.Measure{dist.Frechet, dist.DTW} {
+		measure := measure
+		t.Run(measure.String(), func(t *testing.T) {
+			f := newFixture(t, measure, 200, 71)
+			rng := rand.New(rand.NewSource(72))
+			q := nearWalk(rng, f.trajs[3], "q", 0.002)
+			eps := 0.01
+			if measure == dist.DTW {
+				eps = 0.1
+			}
+			window := geo.Rect{Min: geo.Point{X: 0.1, Y: 0.1}, Max: geo.Point{X: 0.9, Y: 0.9}}
+			point := geo.Point{X: 0.5, Y: 0.5}
+
+			type run struct {
+				threshold, topk, rng, knn []Result
+			}
+			var runs []run
+			for _, workers := range []int{1, 2, 8} {
+				f.engine.SetRefineParallelism(workers)
+				var r run
+				var err error
+				if r.threshold, _, err = f.engine.Threshold(q, eps); err != nil {
+					t.Fatal(err)
+				}
+				if r.topk, _, err = f.engine.TopK(q, 25); err != nil {
+					t.Fatal(err)
+				}
+				if r.rng, _, err = f.engine.Range(window); err != nil {
+					t.Fatal(err)
+				}
+				if r.knn, _, err = f.engine.NearestToPoint(point, 25); err != nil {
+					t.Fatal(err)
+				}
+				runs = append(runs, r)
+			}
+			for i := 1; i < len(runs); i++ {
+				if !reflect.DeepEqual(runs[0].threshold, runs[i].threshold) {
+					t.Errorf("threshold results differ between workers=1 and run %d", i)
+				}
+				if !reflect.DeepEqual(runs[0].topk, runs[i].topk) {
+					t.Errorf("topk results differ between workers=1 and run %d", i)
+				}
+				if !reflect.DeepEqual(runs[0].rng, runs[i].rng) {
+					t.Errorf("range results differ between workers=1 and run %d", i)
+				}
+				if !reflect.DeepEqual(runs[0].knn, runs[i].knn) {
+					t.Errorf("point-kNN results differ between workers=1 and run %d", i)
+				}
+			}
+		})
+	}
+}
+
+// The time-window variants share the same refinement path; spot-check their
+// determinism too.
+func TestRefineDeterminismWindowVariants(t *testing.T) {
+	f := newFixture(t, dist.Frechet, 150, 73)
+	rng := rand.New(rand.NewSource(74))
+	q := nearWalk(rng, f.trajs[1], "q", 0.002)
+	w := TimeWindow{} // unbounded: exercises the shared code path
+	var prev []Result
+	for i, workers := range []int{1, 8} {
+		f.engine.SetRefineParallelism(workers)
+		got, _, err := f.engine.ThresholdWindow(q, 0.01, w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if i > 0 && !reflect.DeepEqual(prev, got) {
+			t.Errorf("windowed threshold differs between workers=1 and workers=%d", workers)
+		}
+		prev = got
+	}
+}
+
+// A context cancelled mid-refinement must stop the executor promptly with
+// ctx's error: no new candidates are claimed once ctx is done, so at most
+// one in-flight candidate per worker completes after the cancel. The cancel
+// fires deterministically from inside the worker-side work function, so this
+// does not depend on wall-clock timing.
+func TestRefineCancellationMidRefine(t *testing.T) {
+	f, _ := refineFixture(t, 200, 40, 75)
+	const workers = 4
+	f.engine.SetRefineParallelism(workers)
+
+	// Fetch every stored row raw, bypassing the query pipeline: the test
+	// drives the executor directly.
+	res, err := f.store.ScanRanges(context.Background(),
+		[]xzstar.ValueRange{{Lo: 0, Hi: math.MaxInt64}}, nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Entries) < 100 {
+		t.Fatalf("fixture too small: %d entries", len(res.Entries))
+	}
+
+	const cancelAfter = 5
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var processed atomic.Int64
+	stats := &Stats{}
+	err = f.engine.refine(ctx, res.Entries, stats,
+		func(rec *traj.Record) refineOutcome {
+			if processed.Add(1) == cancelAfter {
+				cancel()
+			}
+			return refineOutcome{rec: rec, keep: true}
+		},
+		func(o refineOutcome) {})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("refine returned %v, want context.Canceled", err)
+	}
+	// Each worker may have had one candidate in flight when the cancel hit,
+	// plus the scheduler can let a worker claim one more before it observes
+	// ctx; anything near the full entry count means cancellation leaked.
+	if got := processed.Load(); got > cancelAfter+2*workers {
+		t.Errorf("workers processed %d candidates after cancel at %d (workers=%d); cancellation is not prompt", got, cancelAfter, workers)
+	}
+	if stats.Refined >= len(res.Entries) {
+		t.Errorf("merge consumed all %d entries despite cancellation", stats.Refined)
+	}
+}
+
+// End to end, a deadline that expires mid-query surfaces ctx's error from
+// whatever stage notices it first (scan or refine); it must never be
+// swallowed into a partial result.
+func TestRefineCancellationEndToEnd(t *testing.T) {
+	f, base := refineFixture(t, 200, 80, 79)
+	f.engine.SetRefineParallelism(2)
+	eps := 0.5 // admits every near-duplicate under DTW
+
+	t0 := time.Now()
+	res, stats, err := f.engine.ThresholdContext(context.Background(), base, eps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	full := time.Since(t0)
+	if stats.Refined < 200 || len(res) != 200 {
+		t.Fatalf("fixture must refine and match all 200 rows; refined %d, matched %d", stats.Refined, len(res))
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), full/20)
+	defer cancel()
+	ms, st, err := f.engine.ThresholdContext(ctx, base, eps)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("cancelled query returned (%d results, %v, %v), want context.DeadlineExceeded", len(ms), st, err)
+	}
+}
+
+// A context cancelled before the query starts must not return results.
+func TestRefinePreCancelled(t *testing.T) {
+	f := newFixture(t, dist.Frechet, 50, 76)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, _, err := f.engine.ThresholdContext(ctx, f.trajs[0], 0.01); !errors.Is(err, context.Canceled) {
+		t.Fatalf("pre-cancelled query returned %v, want context.Canceled", err)
+	}
+}
+
+// Stats contract: RefineTime is stage wall-clock, RefineCPUTime the summed
+// worker busy time, RefineWorkers the pool size actually used, and Refined
+// still mirrors the shipped candidate count on threshold queries.
+func TestRefineStatsAccounting(t *testing.T) {
+	f, base := refineFixture(t, 300, 60, 77)
+	f.engine.SetRefineParallelism(4)
+	_, stats, err := f.engine.Threshold(base, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.RefineWorkers != 4 {
+		t.Errorf("RefineWorkers = %d, want 4", stats.RefineWorkers)
+	}
+	if stats.Refined == 0 || int64(stats.Refined) != stats.Retrieved {
+		t.Errorf("Refined = %d, Retrieved = %d; refinement must cover every shipped row", stats.Refined, stats.Retrieved)
+	}
+	if stats.RefineCPUTime <= 0 {
+		t.Errorf("RefineCPUTime = %v, want > 0", stats.RefineCPUTime)
+	}
+	if stats.RefineTime <= 0 {
+		t.Errorf("RefineTime = %v, want > 0", stats.RefineTime)
+	}
+
+	// Sequential: cumulative busy time and wall-clock measure the same loop,
+	// so CPU time cannot exceed wall-clock by more than timer noise.
+	f.engine.SetRefineParallelism(1)
+	_, stats, err = f.engine.Threshold(base, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.RefineWorkers != 1 {
+		t.Errorf("sequential RefineWorkers = %d, want 1", stats.RefineWorkers)
+	}
+	if stats.RefineCPUTime > stats.RefineTime+stats.RefineTime/4+time.Millisecond {
+		t.Errorf("sequential RefineCPUTime %v exceeds wall-clock %v", stats.RefineCPUTime, stats.RefineTime)
+	}
+}
+
+// SetRefineParallelism(0) restores the default (store parallelism, else
+// GOMAXPROCS) and negative values are treated as the default, never a hang.
+func TestRefineParallelismKnob(t *testing.T) {
+	f := newFixture(t, dist.Frechet, 30, 78)
+	for _, n := range []int{0, -3} {
+		f.engine.SetRefineParallelism(n)
+		if got := f.engine.refineParallelism(); got < 1 {
+			t.Fatalf("SetRefineParallelism(%d): resolved pool %d < 1", n, got)
+		}
+		if _, _, err := f.engine.Threshold(f.trajs[0], 0.01); err != nil {
+			t.Fatal(err)
+		}
+	}
+}

@@ -5,7 +5,6 @@ import (
 	"time"
 
 	"repro/internal/dist"
-	"repro/internal/store"
 	"repro/internal/traj"
 	"repro/internal/xzstar"
 )
@@ -47,26 +46,25 @@ func (e *Engine) threshold(ctx context.Context, q *traj.Trajectory, eps float64,
 	stats.ScanTime = time.Since(t1)
 	stats.absorbScan(res)
 
-	t2 := time.Now()
 	within := dist.WithinFor(e.measure)
 	full := dist.For(e.measure)
 	var out []Result
-	for _, entry := range res.Entries {
-		rec, err := store.DecodeRow(entry.Value)
-		if err != nil {
-			return nil, nil, err
-		}
-		stats.Refined++
-		if !within(qg.points, rec.Points, eps) {
-			continue
-		}
-		out = append(out, Result{
-			ID:       rec.ID,
-			Distance: full(qg.points, rec.Points),
-			Points:   rec.Points,
+	err = e.refine(ctx, res.Entries, stats,
+		func(rec *traj.Record) refineOutcome {
+			if !within(qg.points, rec.Points, eps) {
+				return refineOutcome{}
+			}
+			return refineOutcome{rec: rec, dist: full(qg.points, rec.Points), keep: true}
+		},
+		func(o refineOutcome) {
+			if !o.keep {
+				return
+			}
+			out = append(out, Result{ID: o.rec.ID, Distance: o.dist, Points: o.rec.Points})
 		})
+	if err != nil {
+		return nil, nil, err
 	}
-	stats.RefineTime = time.Since(t2)
 	stats.Results = len(out)
 	return out, stats, nil
 }

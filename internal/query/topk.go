@@ -75,27 +75,31 @@ func (e *Engine) topK(ctx context.Context, q *traj.Trajectory, k int, w TimeWind
 		stats.ScanTime += time.Since(t1)
 		stats.absorbScan(res)
 
-		t2 := time.Now()
-		for _, entry := range res.Entries {
-			rec, err := store.DecodeRow(entry.Value)
-			if err != nil {
-				return err
-			}
-			stats.Refined++
-			bound := epsOf()
-			if !math.IsInf(bound, 1) && !within(qg.points, rec.Points, bound) {
-				continue
-			}
-			d := full(qg.points, rec.Points)
-			if results.Len() < k {
-				heap.Push(results, Result{ID: rec.ID, Distance: d, Points: rec.Points})
-			} else if d < (*results)[0].Distance {
-				(*results)[0] = Result{ID: rec.ID, Distance: d, Points: rec.Points}
-				heap.Fix(results, 0)
-			}
-		}
-		stats.RefineTime += time.Since(t2)
-		return nil
+		// Workers prefilter against the shared kth-distance bound; the merge
+		// loop inserts in entry order and tightens the bound after each
+		// insertion, so a stale (looser) read only costs a wasted full
+		// computation — the exact comparison below decides membership.
+		bound := newRefineBound(epsOf())
+		return e.refine(ctx, res.Entries, stats,
+			func(rec *traj.Record) refineOutcome {
+				b := bound.get()
+				if !math.IsInf(b, 1) && !within(qg.points, rec.Points, b) {
+					return refineOutcome{}
+				}
+				return refineOutcome{rec: rec, dist: full(qg.points, rec.Points), keep: true}
+			},
+			func(o refineOutcome) {
+				if !o.keep {
+					return
+				}
+				if results.Len() < k {
+					heap.Push(results, Result{ID: o.rec.ID, Distance: o.dist, Points: o.rec.Points})
+				} else if o.dist < (*results)[0].Distance {
+					(*results)[0] = Result{ID: o.rec.ID, Distance: o.dist, Points: o.rec.Points}
+					heap.Fix(results, 0)
+				}
+				bound.set(epsOf())
+			})
 	}
 
 	for eq.Len() > 0 || iq.Len() > 0 {

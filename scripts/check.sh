@@ -1,15 +1,22 @@
 #!/usr/bin/env bash
 # check.sh — the full verification gate, runnable locally and in CI.
 #
-#   build      go build ./...
-#   vet        go vet ./...
-#   lint       trasslint ./...   (project-specific analyzers, internal/lint,
-#              including the flow-aware durability/concurrency checks), plus
-#              an explicit self-host pass over internal/lint and cmd/trasslint
+#   usage: check.sh [lint|torture|test|all]     (default: all)
+#
+# The optional argument selects a step group, so CI can fan the gate out
+# across parallel jobs while one local `./scripts/check.sh` still runs
+# everything:
+#
+#   lint       go build ./..., go vet ./..., trasslint ./... (project-specific
+#              analyzers, internal/lint, including the flow-aware
+#              durability/concurrency checks), plus an explicit self-host
+#              pass over internal/lint and cmd/trasslint
 #   torture    deterministic crash/error-injection suites (kv + cluster);
 #              SHORT=1 runs the strided subset, otherwise every fault point
-#   test       go test -race ./...   (plain go test ./... with SHORT=1)
-#   fuzz       10s smoke run of every native fuzz target (skipped with SHORT=1)
+#   test       refinement-executor race tests (always under -race: the
+#              parallel refine pool is the code most worth racing), then
+#              go test -race ./... and a 10s fuzz smoke of every native fuzz
+#              target (plain go test -short ./... and no fuzz with SHORT=1)
 #
 # SHORT=1 trades the race detector, full fault-point enumeration, and fuzz
 # smoke for speed; CI always runs the full gate. The lint step is NOT trimmed
@@ -25,55 +32,73 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
+MODE="${1:-all}"
+case "$MODE" in
+    lint|torture|test|all) ;;
+    *) echo "check.sh: unknown step group '$MODE' (want lint, torture, test, or all)" >&2; exit 2 ;;
+esac
+
 step() { printf '\n== %s ==\n' "$*"; }
 
-step build
-go build ./...
+if [[ "$MODE" == "lint" || "$MODE" == "all" ]]; then
+    step build
+    go build ./...
 
-step vet
-go vet ./...
+    step vet
+    go vet ./...
 
-step trasslint
-go run ./cmd/trasslint -format="${TRASSLINT_FORMAT:-text}" ./...
+    step trasslint
+    go run ./cmd/trasslint -format="${TRASSLINT_FORMAT:-text}" ./...
 
-# Self-hosting: the analyzers, the flow engine, and the driver are linted
-# like any other package. The ./... walk above already covers them; this
-# explicit pass keeps the self-host guarantee visible and loud even if the
-# walk ever learns to skip tool packages.
-step "trasslint self-host"
-go run ./cmd/trasslint -format="${TRASSLINT_FORMAT:-text}" ./internal/lint ./internal/lint/flow ./cmd/trasslint
-
-# Crash-safety torture: enumerate fault points and crash/fail at each one.
-# Deterministic (seeded workloads, FS-lock-ordered op numbering), so a
-# failure always names a reproducible fault point.
-if [[ "${SHORT:-0}" == "1" ]]; then
-    step "crash torture (strided subset)"
-    go test -short -count=1 -run 'Torture|TornTail' ./internal/kv ./internal/cluster
-else
-    step "crash torture (every fault point)"
-    go test -count=1 -run 'Torture|TornTail' ./internal/kv ./internal/cluster
+    # Self-hosting: the analyzers, the flow engine, and the driver are linted
+    # like any other package. The ./... walk above already covers them; this
+    # explicit pass keeps the self-host guarantee visible and loud even if the
+    # walk ever learns to skip tool packages.
+    step "trasslint self-host"
+    go run ./cmd/trasslint -format="${TRASSLINT_FORMAT:-text}" ./internal/lint ./internal/lint/flow ./cmd/trasslint
 fi
 
-if [[ "${SHORT:-0}" == "1" ]]; then
-    step "test (short)"
-    go test -short ./...
-else
-    step "test (race)"
-    go test -race ./...
+if [[ "$MODE" == "torture" || "$MODE" == "all" ]]; then
+    # Crash-safety torture: enumerate fault points and crash/fail at each one.
+    # Deterministic (seeded workloads, FS-lock-ordered op numbering), so a
+    # failure always names a reproducible fault point.
+    if [[ "${SHORT:-0}" == "1" ]]; then
+        step "crash torture (strided subset)"
+        go test -short -count=1 -run 'Torture|TornTail' ./internal/kv ./internal/cluster
+    else
+        step "crash torture (every fault point)"
+        go test -count=1 -run 'Torture|TornTail' ./internal/kv ./internal/cluster
+    fi
+fi
 
-    step "fuzz smoke (10s per target)"
-    # Enumerate fuzz targets package by package: go test allows only one
-    # -fuzz pattern per run.
-    for pkg in $(go list ./...); do
-        dir=$(go list -f '{{.Dir}}' "$pkg")
-        # `|| true`: most packages have no fuzz targets and grep exits
-        # nonzero, which set -o pipefail would otherwise turn fatal.
-        targets=$(grep -hEo 'func (Fuzz[A-Za-z0-9_]+)' "$dir"/*_test.go 2>/dev/null | awk '{print $2}' | sort -u || true)
-        for t in $targets; do
-            echo "-- $pkg $t"
-            go test -run=NONE -fuzz="^${t}\$" -fuzztime=10s "$pkg"
+if [[ "$MODE" == "test" || "$MODE" == "all" ]]; then
+    # The parallel refinement executor always runs under the race detector,
+    # even with SHORT=1: its tests force worker pools > 1, so this is the
+    # cheapest way to keep the executor's synchronization honest.
+    step "refine executor (race)"
+    go test -race -count=1 -run 'Refine' ./internal/query
+
+    if [[ "${SHORT:-0}" == "1" ]]; then
+        step "test (short)"
+        go test -short ./...
+    else
+        step "test (race)"
+        go test -race ./...
+
+        step "fuzz smoke (10s per target)"
+        # Enumerate fuzz targets package by package: go test allows only one
+        # -fuzz pattern per run.
+        for pkg in $(go list ./...); do
+            dir=$(go list -f '{{.Dir}}' "$pkg")
+            # `|| true`: most packages have no fuzz targets and grep exits
+            # nonzero, which set -o pipefail would otherwise turn fatal.
+            targets=$(grep -hEo 'func (Fuzz[A-Za-z0-9_]+)' "$dir"/*_test.go 2>/dev/null | awk '{print $2}' | sort -u || true)
+            for t in $targets; do
+                echo "-- $pkg $t"
+                go test -run=NONE -fuzz="^${t}\$" -fuzztime=10s "$pkg"
+            done
         done
-    done
+    fi
 fi
 
-printf '\nAll checks passed.\n'
+printf '\nAll checks passed (%s).\n' "$MODE"

@@ -92,7 +92,8 @@ type QueryStats = query.Stats
 type Option func(*store.Config, *config)
 
 type config struct {
-	measure Measure
+	measure           Measure
+	refineParallelism int
 }
 
 // WithShards sets the row-key hash fan-out (default 8, the paper's value).
@@ -117,9 +118,20 @@ func WithMeasure(m Measure) Option {
 }
 
 // WithParallelism bounds concurrent region scans per query (default: one per
-// region).
+// region). It governs the storage stage only; the client-side refinement
+// stage that follows is bounded by WithRefineParallelism.
 func WithParallelism(n int) Option {
 	return func(sc *store.Config, _ *config) { sc.Parallelism = n }
+}
+
+// WithRefineParallelism bounds the refinement worker pool per query — the
+// client-side stage that decodes shipped candidates and runs the full
+// similarity measure over each one, typically the dominant cost of a search.
+// Default: the WithParallelism value, else GOMAXPROCS. Results are identical
+// for any value (the executor merges deterministically); only wall-clock
+// changes. QueryStats.RefineWorkers reports the pool size a query used.
+func WithRefineParallelism(n int) Option {
+	return func(_ *store.Config, c *config) { c.refineParallelism = n }
 }
 
 // WithSyncWrites makes every acknowledged write durable before Put returns
@@ -155,7 +167,9 @@ func Open(dir string, opts ...Option) (*DB, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &DB{store: st, engine: query.New(st, c.measure)}, nil
+	eng := query.New(st, c.measure)
+	eng.SetRefineParallelism(c.refineParallelism)
+	return &DB{store: st, engine: eng}, nil
 }
 
 // Put indexes and stores one trajectory.
