@@ -386,6 +386,7 @@ var Runners = []struct {
 	{"io", "I/O reduction of XZ* global pruning vs XZ-Ordering", FigIO},
 	{"ablation", "contribution of each TraSS design choice", Ablation},
 	{"refine", "parallel refinement executor: sequential vs 4-worker refine wall-clock per measure", Refine},
+	{"stream", "streaming scan pipeline: collect-all vs bounded-queue scan/refine overlap under RPC latency", Stream},
 }
 
 // Describe returns the one-line description of an experiment, or "".

@@ -1,0 +1,119 @@
+package bench
+
+import (
+	"fmt"
+	"path/filepath"
+	"time"
+
+	"repro/internal/dist"
+	"repro/internal/query"
+	"repro/internal/store"
+)
+
+// The stream experiment measures what the streaming scan pipeline buys over
+// the collect-all path it replaced: with collect-all, every region scan must
+// finish (and every candidate sit in memory) before the first refinement
+// starts; with streaming, refinement workers pull candidates from a bounded
+// queue while later regions are still scanning, so scan latency and refine
+// CPU overlap. The workload is the refine experiment's near-duplicate
+// cluster — refinement-dominated, every row survives filtering — run over a
+// deliberately slow scan: per-RPC latency on every region call and a
+// serialized region fan-out, the regime where collect-all pays
+// scan + refine while streaming pays ~max(scan, refine).
+//
+// The CI bench-smoke job records the JSON output (BENCH_stream.json); the
+// row pair per measure (collect-all vs streaming, same worker pool) tracks
+// the overlap win per commit, and the stall/peak-depth columns keep the
+// backpressure accounting honest (peak depth may never exceed the
+// configured queue depth).
+
+const (
+	streamWorkers = 4                    // refine pool for both modes
+	streamDepth   = 8                    // candidate queue bound (streaming mode)
+	streamLatency = 2 * time.Millisecond // per-region RPC latency
+)
+
+// Stream regenerates the collect-all vs streaming pipeline comparison per
+// measure.
+func Stream(cfg Config) ([]*Table, error) {
+	tab := &Table{
+		Title: fmt.Sprintf("Stream — collect-all vs streaming scan pipeline (%d candidates/query, %d workers, queue depth %d, %v/region RPC)",
+			refineRows, streamWorkers, streamDepth, streamLatency),
+		Columns: []string{"measure", "mode", "query median", "scan median", "refine median", "stall median", "peak depth", "speedup"},
+	}
+	base, rows := refineWorkload(cfg.Seed)
+	queries := cfg.Queries
+	if queries > 5 {
+		queries = 5 // refinement-dominated queries are expensive; medians stabilize fast
+	}
+
+	st, err := store.Open(store.Config{
+		Dir:         filepath.Join(cfg.Dir, "stream"),
+		RPCLatency:  streamLatency,
+		Parallelism: 1, // serialize region scans: the worst case collect-all waits out
+	})
+	if err != nil {
+		return nil, err
+	}
+	defer st.Close()
+	if err := st.PutBatch(rows); err != nil {
+		return nil, err
+	}
+	if err := st.Flush(); err != nil {
+		return nil, err
+	}
+
+	for _, measure := range []dist.Measure{dist.Frechet, dist.DTW} {
+		eng := query.New(st, measure)
+		eng.SetRefineParallelism(streamWorkers)
+		eng.SetStreamQueueDepth(streamDepth)
+		eps := refineEps(measure)
+		var collectMed time.Duration
+		for _, streaming := range []bool{false, true} {
+			eng.SetStreaming(streaming)
+			mode := "collect-all"
+			if streaming {
+				mode = "streaming"
+			}
+			var queryTimes, scanTimes, refineTimes, stallTimes []time.Duration
+			peak := 0
+			for qi := 0; qi < queries; qi++ {
+				t0 := time.Now()
+				rs, qs, err := eng.Threshold(base, eps)
+				if err != nil {
+					return nil, err
+				}
+				queryTimes = append(queryTimes, time.Since(t0))
+				scanTimes = append(scanTimes, qs.ScanTime)
+				refineTimes = append(refineTimes, qs.RefineTime)
+				stallTimes = append(stallTimes, qs.StreamStallTime)
+				if qs.StreamPeakDepth > peak {
+					peak = qs.StreamPeakDepth
+				}
+				if len(rs) != refineRows {
+					return nil, fmt.Errorf("stream: %s/%s matched %d of %d cluster rows; workload must refine the whole cluster",
+						measure, mode, len(rs), refineRows)
+				}
+			}
+			if streaming && peak > streamDepth {
+				return nil, fmt.Errorf("stream: %s peak queue depth %d exceeds configured %d", measure, peak, streamDepth)
+			}
+			med := median(queryTimes)
+			speedup := "1.00x"
+			if !streaming {
+				collectMed = med
+			} else if med > 0 {
+				speedup = fmt.Sprintf("%.2fx", float64(collectMed)/float64(med))
+			}
+			tab.AddRow(measure.String(), mode,
+				med.Round(time.Microsecond).String(),
+				median(scanTimes).Round(time.Microsecond).String(),
+				median(refineTimes).Round(time.Microsecond).String(),
+				median(stallTimes).Round(time.Microsecond).String(),
+				fmt.Sprintf("%d", peak),
+				speedup)
+			cfg.logf("stream %s %s done", measure, mode)
+		}
+	}
+	return []*Table{tab}, nil
+}

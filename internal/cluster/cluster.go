@@ -287,21 +287,39 @@ func (c *Cluster) Put(key, value []byte) error {
 // PutBatch routes a set of rows to their regions, applying one kv batch per
 // region — the bulk-load path. Auto-splitting is evaluated once at the end.
 func (c *Cluster) PutBatch(entries []kv.Entry) error {
+	return c.Mutate(entries, nil)
+}
+
+// Mutate applies puts and deletes, grouped into one kv batch per region —
+// the closest the cluster gets to multi-row atomicity: mutations that land
+// in the same region commit or fail together through a single WAL batch.
+// Mutations spanning regions are applied region by region and are not
+// atomic across them. Auto-splitting is evaluated once at the end.
+func (c *Cluster) Mutate(puts []kv.Entry, deletes [][]byte) error {
 	c.mu.RLock()
 	if c.closed {
 		c.mu.RUnlock()
 		return kv.ErrClosed
 	}
 	batches := make(map[*Region]*kv.Batch)
-	for _, e := range entries {
-		r := c.regionFor(e.Key)
+	batchFor := func(key []byte) (*Region, *kv.Batch) {
+		r := c.regionFor(key)
 		b := batches[r]
 		if b == nil {
 			b = &kv.Batch{}
 			batches[r] = b
 		}
+		return r, b
+	}
+	for _, e := range puts {
+		r, b := batchFor(e.Key)
 		b.Put(e.Key, e.Value)
 		r.approxSize.Add(int64(len(e.Key) + len(e.Value)))
+	}
+	for _, key := range deletes {
+		r, b := batchFor(key)
+		b.Delete(key)
+		r.approxSize.Add(int64(len(key))) // a tombstone still costs bytes
 	}
 	var oversized []*Region
 	threshold := c.cfg.SplitThresholdBytes

@@ -6,7 +6,6 @@ import (
 	"errors"
 	"fmt"
 	"sort"
-	"sync"
 	"time"
 
 	"repro/internal/kv"
@@ -66,10 +65,10 @@ func boundString(b []byte) string {
 // the evaluation section reports.
 type ScanResult struct {
 	Entries      []kv.Entry
-	RowsScanned  int64 // rows visited inside regions (before filtering)
+	RowsScanned  int64 // rows visited inside regions (all attempts, before filtering)
 	RowsReturned int64 // rows shipped to the client
 	BytesShipped int64 // key+value bytes that crossed the "network"
-	RPCs         int64 // region calls issued (all ranges per region batch)
+	RPCs         int64 // region call attempts issued (all ranges per region batch)
 	Retries      int64 // region call attempts beyond each call's first
 	Elapsed      time.Duration
 	// RegionErrors lists the regions whose rows are missing from Entries;
@@ -85,23 +84,16 @@ type regionTask struct {
 	ranges []KeyRange
 }
 
-// Scan executes the request across all overlapping regions. Ranges falling
-// in the same region are batched into one region call. Without a limit,
-// region calls run in parallel (bounded by Config.Parallelism); results come
-// back sorted by key.
-//
-// Transient region errors (kv errors exposing `Transient() bool` = true) are
-// retried per region with capped exponential backoff before counting as
-// failures. ctx cancels the scan between rows; cancellation is returned as
-// ctx's error, never as a partial result.
-func (c *Cluster) Scan(ctx context.Context, req ScanRequest) (*ScanResult, error) {
-	start := time.Now()
+// scanTasks snapshots the regions overlapping the request under the read
+// lock and groups clipped ranges per region, in region (= key) order, with
+// each region's ranges sorted by start key.
+func (c *Cluster) scanTasks(req ScanRequest) (tasks []regionTask, parallelism int, rpcLatency time.Duration, err error) {
 	c.mu.RLock()
+	defer c.mu.RUnlock()
 	if c.closed {
-		c.mu.RUnlock()
-		return nil, kv.ErrClosed
+		return nil, 0, 0, kv.ErrClosed
 	}
-	tasks := make([]regionTask, 0, len(c.regions))
+	tasks = make([]regionTask, 0, len(c.regions))
 	byRegion := make(map[*Region]int, len(c.regions))
 	for _, r := range c.regions { // region order = key order
 		for _, rng := range req.Ranges {
@@ -117,82 +109,54 @@ func (c *Cluster) Scan(ctx context.Context, req ScanRequest) (*ScanResult, error
 			tasks[idx].ranges = append(tasks[idx].ranges, clipRange(rng, r))
 		}
 	}
-	parallelism := c.cfg.Parallelism
-	if parallelism <= 0 {
-		parallelism = len(c.regions)
-	}
-	rpcLatency := c.cfg.RPCLatency
-	c.mu.RUnlock()
-
-	res := &ScanResult{}
-	if len(tasks) == 0 {
-		res.Elapsed = time.Since(start)
-		return res, nil
-	}
 	// Ranges within a region served in key order.
 	for i := range tasks {
 		sort.Slice(tasks[i].ranges, func(a, b int) bool {
 			return bytes.Compare(tasks[i].ranges[a].Start, tasks[i].ranges[b].Start) < 0
 		})
 	}
-
-	if req.Limit > 0 {
-		// Regions are in key order and partition the key space, so scanning
-		// them sequentially yields the first Limit rows deterministically.
-		for _, t := range tasks {
-			part, err := c.scanRegionRetry(ctx, t, req.Filter, req.Limit-len(res.Entries), rpcLatency)
-			if err != nil {
-				if cerr := ctx.Err(); cerr != nil {
-					return nil, cerr
-				}
-				re := regionError(t.region, err)
-				if !req.AllowPartial {
-					return nil, re
-				}
-				res.RegionErrors = append(res.RegionErrors, re)
-				continue
-			}
-			res.merge(part)
-			if len(res.Entries) >= req.Limit {
-				break
-			}
-		}
-		res.Elapsed = time.Since(start)
-		return res, nil
+	parallelism = c.cfg.Parallelism
+	if parallelism <= 0 {
+		parallelism = len(c.regions)
 	}
+	return tasks, parallelism, c.cfg.RPCLatency, nil
+}
 
-	parts := make([]*ScanResult, len(tasks))
-	errs := make([]error, len(tasks))
-	sem := make(chan struct{}, parallelism)
-	var wg sync.WaitGroup
-	for i, t := range tasks {
-		wg.Add(1)
-		go func(i int, t regionTask) {
-			defer wg.Done()
-			sem <- struct{}{}
-			defer func() { <-sem }()
-			parts[i], errs[i] = c.scanRegionRetry(ctx, t, req.Filter, 0, rpcLatency)
-		}(i, t)
-	}
-	wg.Wait()
-	if err := ctx.Err(); err != nil {
+// Scan executes the request across all overlapping regions and collects the
+// shipped rows, sorted by key. It is a thin collect-all wrapper over
+// ScanStream; ranges falling in the same region are batched into one region
+// call, and without a limit region calls run in parallel (bounded by
+// Config.Parallelism).
+//
+// Transient region errors (kv errors exposing `Transient() bool` = true) are
+// retried per region with capped exponential backoff before counting as
+// failures. ctx cancels the scan between rows; cancellation is returned as
+// ctx's error, never as a partial result.
+//
+// The collected result is all-or-nothing per region: with AllowPartial, a
+// region that fails after streaming a prefix of its rows contributes nothing
+// to Entries (the prefix is dropped here and deducted from the shipped-row
+// accounting). Streaming consumers that want those prefixes should use
+// ScanStream directly.
+func (c *Cluster) Scan(ctx context.Context, req ScanRequest) (*ScanResult, error) {
+	start := time.Now()
+	perRegion := map[int][]kv.Entry{}
+	res, err := c.ScanStream(ctx, StreamRequest{ScanRequest: req}, func(b ScanBatch) error {
+		perRegion[b.RegionID] = append(perRegion[b.RegionID], b.Entries...)
+		return nil
+	})
+	if err != nil {
 		return nil, err
 	}
-	for i, err := range errs {
-		if err == nil {
-			continue
+	for _, re := range res.RegionErrors {
+		for _, e := range perRegion[re.RegionID] {
+			res.RowsReturned--
+			res.BytesShipped -= int64(len(e.Key) + len(e.Value))
 		}
-		re := regionError(tasks[i].region, err)
-		if !req.AllowPartial {
-			return nil, re
-		}
-		res.RegionErrors = append(res.RegionErrors, re)
-		parts[i] = nil
+		delete(perRegion, re.RegionID)
 	}
-	for _, p := range parts {
-		if p != nil {
-			res.merge(p)
-		}
+	for _, entries := range perRegion {
+		res.Entries = append(res.Entries, entries...)
 	}
 	sort.Slice(res.Entries, func(i, j int) bool {
 		return bytes.Compare(res.Entries[i].Key, res.Entries[j].Key) < 0
@@ -205,121 +169,11 @@ func regionError(r *Region, err error) *RegionError {
 	return &RegionError{RegionID: r.id, Start: r.start, End: r.end, Err: err}
 }
 
-func (res *ScanResult) merge(p *ScanResult) {
-	res.Entries = append(res.Entries, p.Entries...)
-	res.RowsScanned += p.RowsScanned
-	res.RowsReturned += p.RowsReturned
-	res.BytesShipped += p.BytesShipped
-	res.RPCs += p.RPCs
-	res.Retries += p.Retries
-}
-
 // isTransient reports whether err (or anything it wraps) declares itself
 // transient — worth retrying.
 func isTransient(err error) bool {
 	var tr interface{ Transient() bool }
 	return errors.As(err, &tr) && tr.Transient()
-}
-
-// scanRegionRetry runs one region call, retrying transient failures with
-// capped exponential backoff. Permanent errors and exhausted budgets surface
-// to the caller; a retry that succeeds hides the transient entirely.
-func (c *Cluster) scanRegionRetry(ctx context.Context, t regionTask, filter Filter, limit int, rpcLatency time.Duration) (*ScanResult, error) {
-	attempts := c.cfg.RetryAttempts
-	if attempts == 0 {
-		attempts = 3
-	}
-	if attempts < 0 {
-		attempts = 0
-	}
-	delay := c.cfg.RetryBaseDelay
-	if delay <= 0 {
-		delay = time.Millisecond
-	}
-	maxDelay := c.cfg.RetryMaxDelay
-	if maxDelay <= 0 {
-		maxDelay = 50 * time.Millisecond
-	}
-	var retries int64
-	for attempt := 0; ; attempt++ {
-		res, err := c.scanRegion(ctx, t, filter, limit, rpcLatency)
-		if err == nil {
-			res.Retries = retries
-			return res, nil
-		}
-		if attempt >= attempts || !isTransient(err) {
-			return nil, err
-		}
-		select {
-		case <-ctx.Done():
-			return nil, ctx.Err()
-		case <-time.After(delay):
-		}
-		if delay *= 2; delay > maxDelay {
-			delay = maxDelay
-		}
-		retries++
-		c.retries.Add(1)
-	}
-}
-
-// scanRegion is one region "RPC": scan every clipped range, apply the
-// server-side filter, ship accepted rows. ctx is observed between rows.
-func (c *Cluster) scanRegion(ctx context.Context, t regionTask, filter Filter, limit int, rpcLatency time.Duration) (*ScanResult, error) {
-	if err := ctx.Err(); err != nil {
-		return nil, err
-	}
-	if rpcLatency > 0 {
-		select {
-		case <-ctx.Done():
-			return nil, ctx.Err()
-		case <-time.After(rpcLatency):
-		}
-	}
-	if t.region.handlers != nil {
-		// A bounded handler pool serves each region: scans queue once the
-		// region is saturated, which is what makes too few shards hurt.
-		select {
-		case t.region.handlers <- struct{}{}:
-		case <-ctx.Done():
-			return nil, ctx.Err()
-		}
-		defer func() { <-t.region.handlers }()
-	}
-	c.rpcs.Add(1)
-	res := &ScanResult{RPCs: 1}
-	for _, rng := range t.ranges {
-		it := t.region.db.Scan(rng.Start, rng.End)
-		for it.Next() {
-			if res.RowsScanned%256 == 0 {
-				if err := ctx.Err(); err != nil {
-					_ = it.Close()
-					return nil, err
-				}
-			}
-			res.RowsScanned++
-			if filter != nil && !filter(it.Key(), it.Value()) {
-				continue
-			}
-			e := kv.Entry{
-				Key:   append([]byte(nil), it.Key()...),
-				Value: append([]byte(nil), it.Value()...),
-			}
-			res.Entries = append(res.Entries, e)
-			res.RowsReturned++
-			res.BytesShipped += int64(len(e.Key) + len(e.Value))
-			if limit > 0 && len(res.Entries) >= limit {
-				_ = it.Close()
-				return res, nil
-			}
-		}
-		if err := it.Err(); err != nil {
-			_ = it.Close()
-			return nil, err
-		}
-		_ = it.Close()
-	}
-	return res, nil
 }
 
 // rangesOverlap reports whether [s1,e1) and [s2,e2) intersect; nil = open.

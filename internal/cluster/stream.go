@@ -1,0 +1,405 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/kv"
+)
+
+// This file is the streaming half of the scan path. ScanStream delivers rows
+// in bounded batches as regions produce them, so a consumer (the refinement
+// stage) can overlap its work with the scan instead of waiting behind a
+// collect-everything barrier, and per-scan memory stays O(batch × queue)
+// instead of O(rows shipped). Scan (scan.go) is a thin collect-all wrapper
+// over this stream.
+
+// defaultBatchRows is the batch size used when StreamRequest.BatchRows is 0.
+const defaultBatchRows = 64
+
+// defaultQueueDepth is the producer→consumer buffer (in batches) used when
+// StreamRequest.QueueDepth is 0.
+const defaultQueueDepth = 2
+
+// StreamRequest configures a streaming scan: the base request plus the shape
+// of the stream itself.
+type StreamRequest struct {
+	ScanRequest
+
+	// BatchRows caps the rows delivered per emit call (default 64). Smaller
+	// batches lower time-to-first-row; larger ones amortize per-batch
+	// overhead.
+	BatchRows int
+
+	// QueueDepth bounds the batches buffered between the parallel region
+	// producers and the emit callback (default 2). This is the only buffering
+	// in the stream: a stalled consumer blocks the region scans after at most
+	// QueueDepth in-queue batches plus one in-flight batch per region.
+	QueueDepth int
+
+	// Ordered forces region-sequential scanning, so batches arrive in global
+	// key order (regions partition the key space in key order). Limit > 0
+	// implies Ordered. Costs cross-region scan parallelism.
+	Ordered bool
+}
+
+// ScanBatch is one unit of streamed rows, all from a single region, in key
+// order within the batch. The slice is owned by the consumer.
+type ScanBatch struct {
+	RegionID int
+	Entries  []kv.Entry
+}
+
+// scanAccount accumulates scan accounting incrementally across concurrent
+// region producers; ScanStream folds it into the final ScanResult.
+type scanAccount struct {
+	rowsScanned  atomic.Int64
+	rowsReturned atomic.Int64
+	bytesShipped atomic.Int64
+	rpcs         atomic.Int64
+	retries      atomic.Int64
+}
+
+func (a *scanAccount) result(elapsed time.Duration) *ScanResult {
+	return &ScanResult{
+		RowsScanned:  a.rowsScanned.Load(),
+		RowsReturned: a.rowsReturned.Load(),
+		BytesShipped: a.bytesShipped.Load(),
+		RPCs:         a.rpcs.Load(),
+		Retries:      a.retries.Load(),
+		Elapsed:      elapsed,
+	}
+}
+
+// emitError marks an error that came from the consumer (the emit callback or
+// the stream plumbing), not from the region itself: it is never retried and
+// never reported as a RegionError.
+type emitError struct{ err error }
+
+func (e *emitError) Error() string { return e.err.Error() }
+func (e *emitError) Unwrap() error { return e.err }
+
+// ScanStream executes the request across all overlapping regions, delivering
+// rows to emit in batches as they are produced. emit is always called from
+// the ScanStream goroutine — never concurrently — and owns the batch it
+// receives; returning an error from emit aborts the stream and surfaces that
+// error verbatim.
+//
+// Semantics match Scan: per-region transient retries with capped exponential
+// backoff (resuming just past the last delivered key, so no row is delivered
+// twice), AllowPartial degradation with RegionErrors, ctx observed between
+// rows, and deterministic region-sequential key order when Limit > 0 or
+// Ordered is set. The returned ScanResult carries the accounting (Entries is
+// nil); with AllowPartial, rows a region emitted before ultimately failing
+// have already been delivered — RegionErrors tells the consumer which regions
+// are incomplete.
+func (c *Cluster) ScanStream(ctx context.Context, req StreamRequest, emit func(ScanBatch) error) (*ScanResult, error) {
+	start := time.Now()
+	tasks, parallelism, rpcLatency, err := c.scanTasks(req.ScanRequest)
+	if err != nil {
+		return nil, err
+	}
+	acct := &scanAccount{}
+	if len(tasks) == 0 {
+		return acct.result(time.Since(start)), nil
+	}
+	batchRows := req.BatchRows
+	if batchRows <= 0 {
+		batchRows = defaultBatchRows
+	}
+	if req.Limit > 0 || req.Ordered {
+		return c.scanStreamOrdered(ctx, req, tasks, rpcLatency, batchRows, acct, start, emit)
+	}
+	return c.scanStreamParallel(ctx, req, tasks, parallelism, rpcLatency, batchRows, acct, start, emit)
+}
+
+// scanStreamOrdered scans regions sequentially in key order, emitting
+// directly from the calling goroutine. Used for Limit > 0 (deterministic
+// "first rows") and Ordered streams.
+func (c *Cluster) scanStreamOrdered(ctx context.Context, req StreamRequest, tasks []regionTask, rpcLatency time.Duration, batchRows int, acct *scanAccount, start time.Time, emit func(ScanBatch) error) (*ScanResult, error) {
+	var regionErrs []*RegionError
+	emitted := 0
+	for _, t := range tasks {
+		limit := 0
+		if req.Limit > 0 {
+			limit = req.Limit - emitted
+		}
+		n, err := c.scanRegionStream(ctx, t, req.Filter, limit, rpcLatency, batchRows, acct, emit)
+		emitted += n
+		if err != nil {
+			var ee *emitError
+			if errors.As(err, &ee) {
+				return nil, ee.err
+			}
+			if cerr := ctx.Err(); cerr != nil {
+				return nil, cerr
+			}
+			re := regionError(t.region, err)
+			if !req.AllowPartial {
+				return nil, re
+			}
+			regionErrs = append(regionErrs, re)
+			continue
+		}
+		if req.Limit > 0 && emitted >= req.Limit {
+			break
+		}
+	}
+	res := acct.result(time.Since(start))
+	res.RegionErrors = regionErrs
+	return res, nil
+}
+
+// scanStreamParallel scans regions concurrently (bounded by parallelism),
+// funneling batches through a bounded channel to the single emit caller.
+func (c *Cluster) scanStreamParallel(ctx context.Context, req StreamRequest, tasks []regionTask, parallelism int, rpcLatency time.Duration, batchRows int, acct *scanAccount, start time.Time, emit func(ScanBatch) error) (*ScanResult, error) {
+	depth := req.QueueDepth
+	if depth <= 0 {
+		depth = defaultQueueDepth
+	}
+	pctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	out := make(chan ScanBatch, depth)
+	errs := make([]error, len(tasks))
+	sem := make(chan struct{}, parallelism)
+	var wg sync.WaitGroup
+	for i, t := range tasks {
+		wg.Add(1)
+		go func(i int, t regionTask) {
+			defer wg.Done()
+			select {
+			case sem <- struct{}{}:
+			case <-pctx.Done():
+				errs[i] = &emitError{pctx.Err()}
+				return
+			}
+			defer func() { <-sem }()
+			_, errs[i] = c.scanRegionStream(pctx, t, req.Filter, 0, rpcLatency, batchRows, acct, func(b ScanBatch) error {
+				select {
+				case out <- b:
+					return nil
+				case <-pctx.Done():
+					return pctx.Err()
+				}
+			})
+		}(i, t)
+	}
+	go func() { wg.Wait(); close(out) }()
+
+	var consumerErr error
+	for b := range out {
+		if consumerErr != nil {
+			continue // drain so blocked producers observe the cancel promptly
+		}
+		if err := emit(b); err != nil {
+			consumerErr = err
+			cancel()
+		}
+	}
+	if consumerErr != nil {
+		return nil, consumerErr
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	var regionErrs []*RegionError
+	for i, err := range errs {
+		if err == nil {
+			continue
+		}
+		var ee *emitError
+		if errors.As(err, &ee) {
+			continue // stream-side abort, not the region's failure
+		}
+		re := regionError(tasks[i].region, err)
+		if !req.AllowPartial {
+			return nil, re
+		}
+		regionErrs = append(regionErrs, re)
+	}
+	res := acct.result(time.Since(start))
+	res.RegionErrors = regionErrs
+	return res, nil
+}
+
+// regionStreamState carries resume information across retry attempts of one
+// region scan: the last key successfully delivered downstream, and how many
+// rows have been delivered.
+type regionStreamState struct {
+	lastKey  []byte
+	haveLast bool
+	emitted  int
+}
+
+// resumeClip narrows rng to start just past the last delivered key. The
+// second result is false when the range is entirely behind the resume point.
+func (st *regionStreamState) resumeClip(rng KeyRange) (KeyRange, bool) {
+	if !st.haveLast {
+		return rng, true
+	}
+	// The smallest possible key strictly greater than lastKey.
+	succ := append(append([]byte(nil), st.lastKey...), 0)
+	if rng.End != nil && bytes.Compare(rng.End, succ) <= 0 {
+		return rng, false
+	}
+	if rng.Start == nil || bytes.Compare(rng.Start, succ) < 0 {
+		rng.Start = succ
+	}
+	return rng, true
+}
+
+// scanRegionStream runs one region's streaming scan with transient-retry and
+// resume: after a transient failure the next attempt resumes just past the
+// last delivered key, so the consumer sees every surviving row exactly once.
+// Returns the number of rows delivered. Retries are accounted as they happen,
+// so a region that ultimately fails still reports the attempts it burned —
+// the collect-all path used to drop those.
+func (c *Cluster) scanRegionStream(ctx context.Context, t regionTask, filter Filter, limit int, rpcLatency time.Duration, batchRows int, acct *scanAccount, send func(ScanBatch) error) (int, error) {
+	attempts, delay, maxDelay := c.retryBudget()
+	st := &regionStreamState{}
+	for attempt := 0; ; attempt++ {
+		err := c.scanRegionOnce(ctx, t, filter, limit, rpcLatency, batchRows, st, acct, send)
+		if err == nil {
+			return st.emitted, nil
+		}
+		var ee *emitError
+		if errors.As(err, &ee) {
+			return st.emitted, err // consumer aborted; not the region's fault
+		}
+		if attempt >= attempts || !isTransient(err) {
+			return st.emitted, err
+		}
+		select {
+		case <-ctx.Done():
+			return st.emitted, ctx.Err()
+		case <-time.After(delay):
+		}
+		if delay *= 2; delay > maxDelay {
+			delay = maxDelay
+		}
+		acct.retries.Add(1)
+		c.retries.Add(1)
+	}
+}
+
+// retryBudget resolves the retry knobs to their effective values.
+func (c *Cluster) retryBudget() (attempts int, delay, maxDelay time.Duration) {
+	attempts = c.cfg.RetryAttempts
+	if attempts == 0 {
+		attempts = 3
+	}
+	if attempts < 0 {
+		attempts = 0
+	}
+	delay = c.cfg.RetryBaseDelay
+	if delay <= 0 {
+		delay = time.Millisecond
+	}
+	maxDelay = c.cfg.RetryMaxDelay
+	if maxDelay <= 0 {
+		maxDelay = 50 * time.Millisecond
+	}
+	return attempts, delay, maxDelay
+}
+
+// scanRegionOnce is one region "RPC" attempt: scan every clipped range from
+// the resume point, apply the server-side filter, and deliver accepted rows
+// in batches. ctx is observed between rows (amortized every 256). Delivered
+// rows advance st; rows buffered but not yet delivered when an error hits are
+// re-scanned (and re-delivered) by the next attempt.
+func (c *Cluster) scanRegionOnce(ctx context.Context, t regionTask, filter Filter, limit int, rpcLatency time.Duration, batchRows int, st *regionStreamState, acct *scanAccount, send func(ScanBatch) error) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	if rpcLatency > 0 {
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-time.After(rpcLatency):
+		}
+	}
+	if t.region.handlers != nil {
+		// A bounded handler pool serves each region: scans queue once the
+		// region is saturated, which is what makes too few shards hurt.
+		select {
+		case t.region.handlers <- struct{}{}:
+		case <-ctx.Done():
+			return ctx.Err()
+		}
+		defer func() { <-t.region.handlers }()
+	}
+	c.rpcs.Add(1)
+	acct.rpcs.Add(1)
+
+	batch := make([]kv.Entry, 0, batchRows)
+	flush := func() error {
+		if len(batch) == 0 {
+			return nil
+		}
+		var shipped int64
+		for _, e := range batch {
+			shipped += int64(len(e.Key) + len(e.Value))
+		}
+		if err := send(ScanBatch{RegionID: t.region.id, Entries: batch}); err != nil {
+			return &emitError{err}
+		}
+		// Shipped bytes/rows count at delivery, so a batch lost to a failed
+		// attempt is not double-counted when the retry re-ships it.
+		acct.rowsReturned.Add(int64(len(batch)))
+		acct.bytesShipped.Add(shipped)
+		st.lastKey = append(st.lastKey[:0], batch[len(batch)-1].Key...)
+		st.haveLast = true
+		st.emitted += len(batch)
+		// The consumer owns the delivered slice; start a fresh one.
+		batch = make([]kv.Entry, 0, batchRows)
+		return nil
+	}
+
+	scanned := 0
+	for _, rng := range t.ranges {
+		rng, ok := st.resumeClip(rng)
+		if !ok {
+			continue
+		}
+		it := t.region.db.Scan(rng.Start, rng.End)
+		for it.Next() {
+			scanned++
+			if scanned%256 == 0 {
+				if err := ctx.Err(); err != nil {
+					_ = it.Close()
+					return err
+				}
+			}
+			acct.rowsScanned.Add(1)
+			if filter != nil && !filter(it.Key(), it.Value()) {
+				continue
+			}
+			e := kv.Entry{
+				Key:   append([]byte(nil), it.Key()...),
+				Value: append([]byte(nil), it.Value()...),
+			}
+			batch = append(batch, e)
+			if len(batch) >= batchRows {
+				if err := flush(); err != nil {
+					_ = it.Close()
+					return err
+				}
+			}
+			if limit > 0 && st.emitted+len(batch) >= limit {
+				_ = it.Close()
+				return flush()
+			}
+		}
+		if err := it.Err(); err != nil {
+			_ = it.Close()
+			return err
+		}
+		_ = it.Close()
+	}
+	return flush()
+}

@@ -21,7 +21,10 @@ import (
 //   - blocks in time.Sleep / time.After / time.Tick / time.NewTimer /
 //     time.NewTicker (a backoff or polling loop), or
 //   - issues calls that take a context.Context but feeds them a fresh
-//     context.Background()/TODO() while a real ctx is in scope.
+//     context.Background()/TODO() while a real ctx is in scope, or
+//   - sends on a channel (a producer loop) while a ctx is in scope: a bare
+//     send blocks forever once the consumer stops reading, so the producer
+//     must race every send against ctx.Done().
 //
 // A suspect loop passes when its body observes a context — ctx.Err(),
 // ctx.Done() (directly or in a select), or passing the in-scope ctx to a
@@ -57,6 +60,9 @@ func checkCtxLoop(pass *Pass, name string, ft *ast.FuncType, body *ast.BlockStmt
 				relevant = true
 			}
 		}
+		if _, ok := n.(*ast.SendStmt); ok {
+			relevant = true
+		}
 		return !relevant
 	})
 	if !relevant {
@@ -70,10 +76,14 @@ func checkCtxLoop(pass *Pass, name string, ft *ast.FuncType, body *ast.BlockStmt
 		var blocker *ast.CallExpr // first time.Sleep/After/... in the loop
 		var blockerName string
 		var freshCtxCall *ast.CallExpr // ctx-taking call fed Background/TODO
+		var sendStmt *ast.SendStmt     // first channel send in the loop
 		observed := false
 		for blk := range loop.Body {
 			for _, n := range blk.Nodes {
 				inspectNoLit(n, func(x ast.Node) bool {
+					if send, ok := x.(*ast.SendStmt); ok && sendStmt == nil {
+						sendStmt = send
+					}
 					call, ok := x.(*ast.CallExpr)
 					if !ok {
 						return true
@@ -106,6 +116,8 @@ func checkCtxLoop(pass *Pass, name string, ft *ast.FuncType, body *ast.BlockStmt
 			}
 		case freshCtxCall != nil && hasCtx && !observed:
 			pass.Reportf(freshCtxCall.Pos(), "%s: loop issues context-taking calls with a fresh Background/TODO context while a ctx is in scope; pass the caller's ctx so cancellation propagates", name)
+		case sendStmt != nil && hasCtx && !observed:
+			pass.Reportf(sendStmt.Pos(), "%s: producer loop sends on a channel without observing ctx; select on ctx.Done() alongside the send so a cancelled consumer cannot strand the producer", name)
 		}
 	}
 }

@@ -46,3 +46,24 @@ func amortized(ctx context.Context, rows []int) error {
 }
 
 func work(row int) {}
+
+// produceSelects is the clean producer idiom: every send races ctx.Done(),
+// so a cancelled consumer can never strand the producer.
+func produceSelects(ctx context.Context, out chan<- int, rows []int) error {
+	for _, r := range rows {
+		select {
+		case out <- r:
+		case <-ctx.Done():
+			return ctx.Err()
+		}
+	}
+	return nil
+}
+
+// produceNoCtx has no context in scope; a bare send is the caller's problem
+// to bound, not this function's.
+func produceNoCtx(out chan<- int, rows []int) {
+	for _, r := range rows {
+		out <- r
+	}
+}

@@ -38,6 +38,15 @@ func freshPerCall(ctx context.Context, addrs []string) {
 	}
 }
 
+// produceNoSelect pumps rows to a consumer with a bare send: once the
+// consumer stops reading (it was cancelled, say), the send blocks forever
+// and ctx cannot unstick it.
+func produceNoSelect(ctx context.Context, out chan<- int, rows []int) {
+	for _, r := range rows {
+		out <- r // want "producer loop sends on a channel without observing ctx"
+	}
+}
+
 func rpc(ctx context.Context, addr string) {}
 
 func try() bool { return false }

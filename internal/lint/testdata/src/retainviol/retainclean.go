@@ -11,6 +11,18 @@ func deferPerIteration(names []string) {
 	}
 }
 
+// produceReleases is the clean producer: the per-iteration handle lives in
+// a function literal, so each region closes as soon as its batch is sent.
+func produceReleases(names []string, out chan<- int) {
+	for i, n := range names {
+		func() {
+			f := open(n)
+			defer f.Close()
+			out <- i
+		}()
+	}
+}
+
 // deferAtTop is an ordinary function-scoped defer, not in any loop.
 func deferAtTop(name string) {
 	f := open(name)

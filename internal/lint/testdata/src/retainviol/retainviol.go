@@ -30,6 +30,18 @@ again:
 	}
 }
 
+// produceRetains is the channel-producer shape of the same bug: a streaming
+// scan that opens one region handle per iteration and defers the Close holds
+// every region open until the whole stream finishes — exactly what a
+// bounded-memory pipeline must not do.
+func produceRetains(names []string, out chan<- int) {
+	for i, n := range names {
+		f := open(n)
+		defer f.Close() // want "defer inside a loop"
+		out <- i
+	}
+}
+
 // decoder reuses buf across fills, so handing out sub-slices of it aliases
 // memory the next fill overwrites.
 type decoder struct {

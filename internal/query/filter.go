@@ -150,6 +150,23 @@ func serverFilter(qg *queryGeom, measure dist.Measure, eps float64) func(key, va
 	}
 }
 
+// serverFilterLive is serverFilter against a bound read per row instead of a
+// snapshot: top-k scans push it down so that every result merged while a
+// scan is still streaming tightens the filtering of the rows that region has
+// not visited yet. Sound for the same reason the worker prefilter is — the
+// bound only tightens, and localFilter rejections are lower-bound proofs, so
+// any row that belongs in the final top-k passes at every bound the scan
+// could observe.
+func serverFilterLive(qg *queryGeom, measure dist.Measure, bound *refineBound) func(key, value []byte) bool {
+	return func(key, value []byte) bool {
+		rec, err := store.DecodeRow(value)
+		if err != nil {
+			return true // ship corrupt rows; the client-side decode reports them
+		}
+		return localFilter(qg, measure, rec, bound.get())
+	}
+}
+
 // endpointOnlyFilter is the reduced push-down of the ablation study and of
 // JUST-style systems: Lemma 12 only.
 func endpointOnlyFilter(qg *queryGeom, measure dist.Measure, eps float64) func(key, value []byte) bool {

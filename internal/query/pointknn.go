@@ -6,7 +6,9 @@ import (
 	"math"
 	"time"
 
+	"repro/internal/cluster"
 	"repro/internal/geo"
+	"repro/internal/kv"
 	"repro/internal/store"
 	"repro/internal/traj"
 	"repro/internal/xzstar"
@@ -48,29 +50,31 @@ func (e *Engine) NearestToPointContext(ctx context.Context, p geo.Point, k int) 
 	}
 	stats.PruneTime += time.Since(t0)
 
+	// closestApproach's feature-box shortcut reads the shared kth bound:
+	// a stale (looser) value just means a shortcut missed. The value it
+	// returns under the shortcut is a lower bound that already exceeds
+	// the merge-time kth distance, so the exact comparison in the merge
+	// makes the same decision the sequential path made. The bound spans the
+	// whole query (tightened after every insertion), so spaces scanned later
+	// start with the sharpest shortcut available.
+	bound := newRefineBound(math.Inf(1))
+
 	scanSpace := func(sc spaceCand) error {
 		stats.Ranges++
-		t1 := time.Now()
-		res, err := e.store.ScanRanges(ctx,
-			[]xzstar.ValueRange{{Lo: sc.value, Hi: sc.value + 1}}, nil, 0)
-		if err != nil {
-			return err
+		bound.set(epsOf())
+		scan := func(sctx context.Context, emit func([]kv.Entry) error) (*cluster.ScanResult, error) {
+			return e.store.ScanRangesStream(sctx,
+				[]xzstar.ValueRange{{Lo: sc.value, Hi: sc.value + 1}},
+				nil, 0, e.streamOptions(true), emit)
 		}
-		stats.ScanTime += time.Since(t1)
-		stats.absorbScan(res)
-
-		// closestApproach's feature-box shortcut reads the shared kth bound:
-		// a stale (looser) value just means a shortcut missed. The value it
-		// returns under the shortcut is a lower bound that already exceeds
-		// the merge-time kth distance, so the exact comparison below makes
-		// the same decision the sequential path made.
-		bound := newRefineBound(epsOf())
-		return e.refine(ctx, res.Entries, stats,
+		// Ordered streaming keeps dispatch order equal to the collect-all
+		// path's sorted-entry order; see topk.go.
+		return e.runPipeline(ctx, stats, scan,
 			func(rec *traj.Record) refineOutcome {
 				d := closestApproach(p, rec.Points, rec.Features.Boxes, bound.get())
 				return refineOutcome{rec: rec, dist: d, keep: true}
 			},
-			func(o refineOutcome) {
+			func(o refineOutcome) error {
 				if results.Len() < k {
 					heap.Push(results, Result{ID: o.rec.ID, Distance: o.dist, Points: o.rec.Points})
 				} else if o.dist < (*results)[0].Distance {
@@ -78,6 +82,7 @@ func (e *Engine) NearestToPointContext(ctx context.Context, p geo.Point, k int) 
 					heap.Fix(results, 0)
 				}
 				bound.set(epsOf())
+				return nil
 			})
 	}
 

@@ -4,7 +4,9 @@ import (
 	"context"
 	"time"
 
+	"repro/internal/cluster"
 	"repro/internal/geo"
+	"repro/internal/kv"
 	"repro/internal/store"
 	"repro/internal/traj"
 )
@@ -23,7 +25,21 @@ func (e *Engine) RangeContext(ctx context.Context, window geo.Rect) ([]Result, *
 	return e.rangeQuery(ctx, window, TimeWindow{})
 }
 
+// RangeFunc streams each match to fn as the scans produce it instead of
+// collecting a result slice: memory stays bounded by the pipeline depth no
+// matter how many trajectories intersect the window. Delivery order follows
+// refinement completion, not key order. A non-nil error from fn aborts the
+// query and is returned as-is.
+func (e *Engine) RangeFunc(ctx context.Context, window geo.Rect, fn func(Result) error) (*Stats, error) {
+	_, stats, err := e.rangeImpl(ctx, window, TimeWindow{}, fn)
+	return stats, err
+}
+
 func (e *Engine) rangeQuery(ctx context.Context, window geo.Rect, w TimeWindow) ([]Result, *Stats, error) {
+	return e.rangeImpl(ctx, window, w, nil)
+}
+
+func (e *Engine) rangeImpl(ctx context.Context, window geo.Rect, w TimeWindow, sink func(Result) error) ([]Result, *Stats, error) {
 	stats := &Stats{}
 	t0 := time.Now()
 	ranges, _ := e.store.Index().RangeCover(window, e.budget)
@@ -60,28 +76,32 @@ func (e *Engine) rangeQuery(ctx context.Context, window geo.Rect, w TimeWindow) 
 		return false
 	}
 
-	t1 := time.Now()
-	res, err := e.store.ScanRanges(ctx, ranges, wrapWithWindow(w, filter), 0)
-	if err != nil {
-		return nil, nil, err
+	wrapped := wrapWithWindow(w, filter)
+	scan := func(sctx context.Context, emit func([]kv.Entry) error) (*cluster.ScanResult, error) {
+		return e.store.ScanRangesStream(sctx, ranges, wrapped, 0, e.streamOptions(false), emit)
 	}
-	stats.ScanTime = time.Since(t1)
-	stats.absorbScan(res)
 
 	// Range results carry no distance; refinement here is the client-side
 	// decode of every shipped row, which still profits from the pool on
 	// large windows.
-	out := make([]Result, 0, len(res.Entries))
-	err = e.refine(ctx, res.Entries, stats,
+	var out []keyedResult
+	nres := 0
+	err := e.runPipeline(ctx, stats, scan,
 		func(rec *traj.Record) refineOutcome {
 			return refineOutcome{rec: rec, keep: true}
 		},
-		func(o refineOutcome) {
-			out = append(out, Result{ID: o.rec.ID, Points: o.rec.Points})
+		func(o refineOutcome) error {
+			r := Result{ID: o.rec.ID, Points: o.rec.Points}
+			nres++
+			if sink != nil {
+				return sink(r)
+			}
+			out = append(out, keyedResult{key: o.key, res: r})
+			return nil
 		})
 	if err != nil {
 		return nil, nil, err
 	}
-	stats.Results = len(out)
-	return out, stats, nil
+	stats.Results = nres
+	return finishKeyed(out), stats, nil
 }

@@ -1,44 +1,42 @@
 package query
 
-// The refinement executor: the last stage of every search decodes the rows
-// that survived local filtering and pays for full similarity computations —
-// the stage the paper's evaluation (and DFT/DITA before it) shows dominating
-// query time. This file fans that work out over a bounded worker pool while
-// keeping the results bit-identical to the sequential path:
+// Refinement contracts and the collect-all adapter. The last stage of every
+// search decodes the rows that survived local filtering and pays for full
+// similarity computations — the stage the paper's evaluation (and DFT/DITA
+// before it) shows dominating query time. The executor itself lives in
+// stream.go (refineFromScan): workers pull candidates from the live scan
+// through a bounded queue while outcomes merge on the calling goroutine
+// strictly in dispatch order, so result slices, heap layouts and tie-breaks
+// match the sequential path for any worker count or queue depth.
 //
-//   - workers pull candidate indexes from an atomic cursor and run the
-//     per-candidate work (decode + distance) concurrently;
-//   - outcomes are merged on the calling goroutine strictly in entry order,
-//     so result slices, heap layouts and tie-breaks match the sequential
-//     path for any worker count;
-//   - best-first searches (top-k, point-kNN) publish their kth-distance
-//     bound through an atomic cell that the merge loop tightens after every
-//     insertion; workers read it for early-abandoning prefilters. A stale
-//     read is always *looser* than the merge-time bound, so parallelism can
-//     only refine more candidates than strictly necessary — never admit a
-//     wrong result (the merge step re-applies the exact comparison).
+// Best-first searches (top-k, point-kNN) publish their kth-distance bound
+// through an atomic cell (refineBound) that the merge loop tightens after
+// every insertion; workers — and, in streaming mode, the server-side filters
+// of scans still in flight — read it for early-abandoning prefilters. A
+// stale read is always *looser* than the merge-time bound, so concurrency
+// can only refine more candidates than strictly necessary — never admit a
+// wrong result (the merge step re-applies the exact comparison).
 //
-// Cancellation: workers observe ctx between candidates and the merge loop
-// selects on ctx.Done(), so a cancelled query returns promptly with ctx's
-// error even while distance computations are in flight.
+// Cancellation: workers observe cancellation between candidates and the
+// merge loop selects on ctx.Done(), so a cancelled query returns promptly
+// with ctx's error even while distance computations are in flight.
 
 import (
 	"context"
 	"math"
 	"runtime"
-	"sync"
 	"sync/atomic"
-	"time"
 
+	"repro/internal/cluster"
 	"repro/internal/kv"
-	"repro/internal/store"
 	"repro/internal/traj"
 )
 
 // refineOutcome is one candidate's refinement result, produced on a worker
-// and consumed by the merge callback in entry order.
+// and consumed by the merge callback in dispatch order.
 type refineOutcome struct {
 	rec  *traj.Record
+	key  []byte // the candidate's row key, set by the executor
 	dist float64
 	keep bool // false: the prefilter proved the row cannot contribute
 }
@@ -49,9 +47,10 @@ type refineOutcome struct {
 type refineWork func(rec *traj.Record) refineOutcome
 
 // refineMerge folds one outcome into the caller's result state. It runs on
-// the calling goroutine only, in entry order, and is where per-candidate
-// stats belong (stats.Refined++).
-type refineMerge func(o refineOutcome)
+// the calling goroutine only, in dispatch order, and is where per-candidate
+// stats belong. A non-nil error aborts the pipeline (streaming delivery
+// callbacks use this to stop a query early).
+type refineMerge func(o refineOutcome) error
 
 // refineBound is the pruning bound shared between the merge loop (single
 // writer) and the workers (readers): for top-k searches, the current kth
@@ -79,122 +78,19 @@ func (e *Engine) refineParallelism() int {
 	return runtime.GOMAXPROCS(0)
 }
 
-// refine runs work over every entry and merges the outcomes in entry order.
-// It owns the refinement accounting: RefineTime accumulates the stage's
-// wall-clock, RefineCPUTime the summed per-worker busy time, RefineWorkers
-// the pool size used. A decode failure aborts with the lowest-indexed
-// entry's error, exactly as the sequential loop would surface it.
+// refine runs work over a pre-collected entry slice and merges the outcomes
+// in entry order: the collect-all executor. It is a replay adapter over the
+// streaming executor — the entries feed the pipeline as one batch, with the
+// worker pool clamped to the slice length. A decode failure aborts with the
+// lowest-indexed entry's error, exactly as a sequential loop would surface
+// it. Refinement accounting (RefineTime wall-clock, RefineCPUTime summed
+// worker busy time, RefineWorkers pool size) is owned by the executor.
 func (e *Engine) refine(ctx context.Context, entries []kv.Entry, stats *Stats, work refineWork, merge refineMerge) error {
 	if len(entries) == 0 {
 		return nil
 	}
-	workers := e.refineParallelism()
-	if workers > len(entries) {
-		workers = len(entries)
+	scan := func(_ context.Context, emit func([]kv.Entry) error) (*cluster.ScanResult, error) {
+		return nil, emit(entries)
 	}
-	if workers < 1 {
-		workers = 1
-	}
-	if workers > stats.RefineWorkers {
-		stats.RefineWorkers = workers
-	}
-	start := time.Now()
-	defer func() { stats.RefineTime += time.Since(start) }()
-
-	if workers == 1 {
-		return e.refineSequential(ctx, entries, stats, work, merge)
-	}
-
-	var (
-		cursor atomic.Int64 // next entry index to claim
-		stop   atomic.Bool  // error or cancellation: workers drain out
-		cpu    atomic.Int64 // summed busy nanoseconds across workers
-		wg     sync.WaitGroup
-	)
-	n := len(entries)
-	outs := make([]refineOutcome, n)
-	errs := make([]error, n)
-	// Completion notifications; capacity n means a worker send can never
-	// block, so workers always drain promptly after stop.
-	done := make(chan int, n)
-
-	wg.Add(workers)
-	for w := 0; w < workers; w++ {
-		go func() {
-			defer wg.Done()
-			var busy time.Duration
-			defer func() { cpu.Add(int64(busy)) }()
-			for {
-				if stop.Load() || ctx.Err() != nil {
-					return
-				}
-				i := int(cursor.Add(1)) - 1
-				if i >= n {
-					return
-				}
-				t0 := time.Now()
-				rec, err := store.DecodeRow(entries[i].Value)
-				if err != nil {
-					errs[i] = err
-				} else {
-					outs[i] = work(rec)
-				}
-				busy += time.Since(t0)
-				done <- i
-			}
-		}()
-	}
-
-	// Merge on the calling goroutine, strictly in entry order: outcomes that
-	// finish early wait in ready[] until the frontier reaches them. The
-	// channel receive is the happens-before edge that makes outs[i]/errs[i]
-	// visible here.
-	ready := make([]bool, n)
-	frontier := 0
-	var firstErr error
-merging:
-	for frontier < n {
-		select {
-		case i := <-done:
-			ready[i] = true
-			for frontier < n && ready[frontier] {
-				if err := errs[frontier]; err != nil {
-					firstErr = err
-					break merging
-				}
-				stats.Refined++
-				merge(outs[frontier])
-				frontier++
-			}
-		case <-ctx.Done():
-			firstErr = ctx.Err()
-			break merging
-		}
-	}
-	stop.Store(true)
-	wg.Wait()
-	stats.RefineCPUTime += time.Duration(cpu.Load())
-	return firstErr
-}
-
-// refineSequential is the single-worker path: same order, same accounting,
-// no goroutines. ctx is observed between candidates, like the region scans.
-func (e *Engine) refineSequential(ctx context.Context, entries []kv.Entry, stats *Stats, work refineWork, merge refineMerge) error {
-	var busy time.Duration
-	for i := range entries {
-		if err := ctx.Err(); err != nil {
-			return err
-		}
-		t0 := time.Now()
-		rec, err := store.DecodeRow(entries[i].Value)
-		if err != nil {
-			return err
-		}
-		o := work(rec)
-		busy += time.Since(t0)
-		stats.Refined++
-		merge(o)
-	}
-	stats.RefineCPUTime += busy
-	return nil
+	return e.refineFromScan(ctx, stats, len(entries), scan, work, merge)
 }

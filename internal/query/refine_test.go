@@ -156,7 +156,7 @@ func TestRefineCancellationMidRefine(t *testing.T) {
 			}
 			return refineOutcome{rec: rec, keep: true}
 		},
-		func(o refineOutcome) {})
+		func(o refineOutcome) error { return nil })
 	if !errors.Is(err, context.Canceled) {
 		t.Fatalf("refine returned %v, want context.Canceled", err)
 	}

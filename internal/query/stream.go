@@ -1,0 +1,375 @@
+package query
+
+// The streaming pipeline: scan and refinement as overlapped stages with
+// bounded memory, replacing the collect-everything barrier between them.
+//
+//   region scans ──batches──▶ candidate queue ──rows──▶ workers ──▶ merge
+//                    (cluster.ScanStream)    (bounded)         (caller, in
+//                                                              dispatch order)
+//
+// A token semaphore bounds the candidates outstanding anywhere between the
+// scan and the merge (queued + in-flight + completed-but-unmerged) to the
+// configured stream depth, so peak per-query memory is O(depth), not
+// O(candidates): the scan producer acquires one token per row and the merge
+// loop releases it once the row's outcome has been folded in. A full queue
+// therefore blocks the producer — backpressure from refine all the way into
+// the region scans.
+//
+// Determinism: outcomes merge strictly in dispatch (scan-emission) order via
+// a reorder buffer, exactly like the slice executor merged in entry order.
+// Threshold/range sort their results by row key at the end; top-k scans each
+// index space Ordered (region-sequential = global key order), so its merge
+// order equals the sorted-entry order of the collect-all path. The shared
+// kth-distance bound only ever tightens and every rejection it allows is
+// backed by a lower-bound proof, so any interleaving yields the same
+// results — a looser (stale) bound only costs wasted work.
+
+import (
+	"bytes"
+	"context"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/kv"
+	"repro/internal/store"
+)
+
+// sortEntriesByKey restores global key order over entries gathered from
+// per-region batches (each batch is ordered, the interleaving is not).
+func sortEntriesByKey(entries []kv.Entry) {
+	sort.Slice(entries, func(i, j int) bool {
+		return bytes.Compare(entries[i].Key, entries[j].Key) < 0
+	})
+}
+
+// streamOptions assembles the store-level stream knobs from the engine's.
+func (e *Engine) streamOptions(ordered bool) store.StreamOptions {
+	return store.StreamOptions{BatchRows: e.streamBatch, Ordered: ordered}
+}
+
+// keyedResult pairs a result with its row key so threshold/range queries can
+// restore key order after an unordered parallel scan — the order the
+// collect-all path produced by sorting entries up front.
+type keyedResult struct {
+	key []byte
+	res Result
+}
+
+// finishKeyed sorts collected results back into row-key order. Row keys are
+// unique (value ‖ shard ‖ id), so the order is total. Returns nil for an
+// empty set, matching the pre-streaming paths.
+func finishKeyed(out []keyedResult) []Result {
+	if len(out) == 0 {
+		return nil
+	}
+	sort.Slice(out, func(i, j int) bool {
+		return bytes.Compare(out[i].key, out[j].key) < 0
+	})
+	rs := make([]Result, len(out))
+	for i := range out {
+		rs[i] = out[i].res
+	}
+	return rs
+}
+
+// scanFunc is the producer half a query path hands to the pipeline: it runs
+// the storage scan, delivering row batches to emit, and returns the scan's
+// accounting. A nil result is allowed (the slice-replay adapter uses it).
+type scanFunc func(ctx context.Context, emit func([]kv.Entry) error) (*cluster.ScanResult, error)
+
+// streamCand is one candidate row traveling from the scan to a worker.
+type streamCand struct {
+	seq   int // dispatch order; the merge loop restores it
+	key   []byte
+	value []byte
+}
+
+// streamDone is one candidate's completion, heading for the merge loop.
+type streamDone struct {
+	seq int
+	out refineOutcome
+	err error // decode failure
+}
+
+// scanOutcome is the producer's final report.
+type scanOutcome struct {
+	res     *cluster.ScanResult
+	err     error
+	n       int // candidates dispatched
+	elapsed time.Duration
+	stall   time.Duration // time blocked on the token semaphore (backpressure)
+	batches int64
+}
+
+// streamQueueDepth resolves the candidate-queue depth: the engine knob if
+// set, otherwise enough to keep the pool busy without hoarding rows.
+func (e *Engine) streamQueueDepth(workers int) int {
+	if e.streamDepth > 0 {
+		return e.streamDepth
+	}
+	d := 4 * workers
+	if d < 16 {
+		d = 16
+	}
+	return d
+}
+
+// runPipeline executes one scan+refine stage. In streaming mode (the
+// default) the stages overlap through the bounded candidate queue; with
+// streaming disabled it reproduces the pre-streaming collect-all path
+// (collect every entry, sort by key, then refine the slice) — the baseline
+// the stream bench and the determinism tests compare against. Scan
+// accounting (ScanTime, absorbScan) is folded into stats either way.
+func (e *Engine) runPipeline(ctx context.Context, stats *Stats, scan scanFunc, work refineWork, merge refineMerge) error {
+	if e.collectAll {
+		t0 := time.Now()
+		var entries []kv.Entry
+		res, err := scan(ctx, func(batch []kv.Entry) error {
+			entries = append(entries, batch...)
+			return nil
+		})
+		if err != nil {
+			return err
+		}
+		stats.ScanTime += time.Since(t0)
+		if res != nil {
+			stats.absorbScan(res)
+		}
+		sortEntriesByKey(entries)
+		return e.refine(ctx, entries, stats, work, merge)
+	}
+	return e.refineFromScan(ctx, stats, 0, scan, work, merge)
+}
+
+// refineFromScan is the streaming executor: workers pull candidates from the
+// live scan through the bounded queue and the merge loop (on the calling
+// goroutine) folds outcomes in dispatch order. maxWorkers > 0 clamps the
+// pool (the slice adapter clamps to the slice length); 0 uses the engine's
+// refine parallelism.
+func (e *Engine) refineFromScan(ctx context.Context, stats *Stats, maxWorkers int, scan scanFunc, work refineWork, merge refineMerge) error {
+	workers := e.refineParallelism()
+	if maxWorkers > 0 && workers > maxWorkers {
+		workers = maxWorkers
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	if workers > stats.RefineWorkers {
+		stats.RefineWorkers = workers
+	}
+	depth := e.streamQueueDepth(workers)
+
+	start := time.Now()
+	defer func() { stats.RefineTime += time.Since(start) }()
+
+	pctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	var (
+		queue   = make(chan streamCand, depth)
+		done    = make(chan streamDone, depth+workers)
+		scanRes = make(chan scanOutcome, 1)
+		tokens  = make(chan struct{}, depth)
+		gauge   atomic.Int64 // candidates outstanding between scan and merge
+		peak    atomic.Int64
+		stop    atomic.Bool
+		cpu     atomic.Int64
+	)
+
+	// Producer: run the scan, feeding rows one token at a time.
+	go func() {
+		seq := 0
+		var stall time.Duration
+		var batches int64
+		t0 := time.Now()
+		res, err := scan(pctx, func(batch []kv.Entry) error {
+			batches++
+			for _, en := range batch {
+				tw := time.Now()
+				select {
+				case tokens <- struct{}{}:
+				case <-pctx.Done():
+					return pctx.Err()
+				}
+				stall += time.Since(tw)
+				if g := gauge.Add(1); g > peak.Load() {
+					peak.Store(g) // producer is the only incrementer, so no CAS race
+				}
+				select {
+				case queue <- streamCand{seq: seq, key: en.Key, value: en.Value}:
+				case <-pctx.Done():
+					return pctx.Err()
+				}
+				seq++
+			}
+			return nil
+		})
+		close(queue)
+		scanRes <- scanOutcome{res: res, err: err, n: seq, elapsed: time.Since(t0), stall: stall, batches: batches}
+	}()
+
+	// Workers decode + work; outcomes go to the merge loop. With a single
+	// worker the merge loop consumes the queue itself (below), keeping the
+	// one-worker path free of extra goroutines beyond the producer.
+	var wg sync.WaitGroup
+	if workers > 1 {
+		wg.Add(workers)
+		for w := 0; w < workers; w++ {
+			go func() {
+				defer wg.Done()
+				var busy time.Duration
+				defer func() { cpu.Add(int64(busy)) }()
+				for c := range queue {
+					if stop.Load() || pctx.Err() != nil {
+						return
+					}
+					t0 := time.Now()
+					d := streamDone{seq: c.seq}
+					rec, err := store.DecodeRow(c.value)
+					if err != nil {
+						d.err = err
+					} else {
+						d.out = work(rec)
+						d.out.key = c.key
+					}
+					busy += time.Since(t0)
+					select {
+					case done <- d:
+					case <-pctx.Done():
+						return
+					}
+				}
+			}()
+		}
+	}
+
+	release := func() {
+		gauge.Add(-1)
+		<-tokens
+	}
+
+	var firstErr error
+	abort := func(err error) {
+		if firstErr == nil {
+			firstErr = err
+		}
+		stop.Store(true)
+		cancel()
+	}
+
+	// Merge loop, on the calling goroutine.
+	var scanned *scanOutcome
+	if workers == 1 {
+		var busy time.Duration
+		q := queue
+		for firstErr == nil {
+			if scanned != nil && q == nil {
+				break
+			}
+			select {
+			case c, ok := <-q:
+				if !ok {
+					q = nil
+					continue
+				}
+				if err := ctx.Err(); err != nil {
+					abort(err)
+					continue
+				}
+				t0 := time.Now()
+				rec, err := store.DecodeRow(c.value)
+				if err != nil {
+					abort(err)
+					continue
+				}
+				o := work(rec)
+				o.key = c.key
+				busy += time.Since(t0)
+				stats.Refined++
+				if err := merge(o); err != nil {
+					abort(err)
+					continue
+				}
+				release()
+			case so := <-scanRes:
+				scanned = &so
+				scanRes = nil
+				if so.err != nil {
+					abort(so.err)
+				}
+			case <-ctx.Done():
+				abort(ctx.Err())
+			}
+		}
+		cpu.Add(int64(busy))
+	} else {
+		pending := make(map[int]streamDone)
+		frontier := 0
+		for firstErr == nil {
+			if scanned != nil && frontier == scanned.n {
+				break
+			}
+			select {
+			case d := <-done:
+				pending[d.seq] = d
+				for firstErr == nil {
+					nd, ok := pending[frontier]
+					if !ok {
+						break
+					}
+					delete(pending, frontier)
+					if nd.err != nil {
+						abort(nd.err)
+						break
+					}
+					stats.Refined++
+					if err := merge(nd.out); err != nil {
+						abort(err)
+						break
+					}
+					release()
+					frontier++
+				}
+			case so := <-scanRes:
+				scanned = &so
+				scanRes = nil
+				if so.err != nil {
+					abort(so.err)
+				}
+			case <-ctx.Done():
+				abort(ctx.Err())
+			}
+		}
+	}
+
+	if firstErr != nil {
+		stop.Store(true)
+		cancel()
+	}
+	wg.Wait()
+	if scanned == nil {
+		// The producer always reports: its emit callback and the region scans
+		// both observe pctx, which is cancelled on any abort.
+		so := <-scanRes
+		scanned = &so
+	}
+	stats.RefineCPUTime += time.Duration(cpu.Load())
+	if scanned.res != nil { // a real scan fed the pipeline (not the slice adapter)
+		stats.StreamBatches += scanned.batches
+		stats.StreamStallTime += scanned.stall
+		if p := int(peak.Load()); p > stats.StreamPeakDepth {
+			stats.StreamPeakDepth = p
+		}
+	}
+	if firstErr != nil {
+		return firstErr
+	}
+	if scanned.res != nil {
+		stats.ScanTime += scanned.elapsed
+		stats.absorbScan(scanned.res)
+	}
+	return nil
+}

@@ -1,0 +1,263 @@
+package query
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+	"time"
+
+	"math"
+
+	"repro/internal/cluster"
+	"repro/internal/dist"
+	"repro/internal/geo"
+	"repro/internal/kv"
+	"repro/internal/traj"
+	"repro/internal/xzstar"
+)
+
+// The streaming pipeline's core contract: for every query type, every worker
+// count and every queue depth, results are byte-identical to the collect-all
+// path (scan fully, sort, refine) that predates streaming.
+func TestStreamDeterminismMatchesCollectAll(t *testing.T) {
+	f := newFixture(t, dist.Frechet, 200, 81)
+	rng := rand.New(rand.NewSource(82))
+	q := nearWalk(rng, f.trajs[3], "q", 0.002)
+	const eps = 0.01
+	window := geo.Rect{Min: geo.Point{X: 0.1, Y: 0.1}, Max: geo.Point{X: 0.9, Y: 0.9}}
+	point := geo.Point{X: 0.5, Y: 0.5}
+
+	type run struct {
+		threshold, topk, rng, knn, thrWin, topkWin, rngWin []Result
+	}
+	exec := func() run {
+		var r run
+		var err error
+		if r.threshold, _, err = f.engine.Threshold(q, eps); err != nil {
+			t.Fatal(err)
+		}
+		if r.topk, _, err = f.engine.TopK(q, 25); err != nil {
+			t.Fatal(err)
+		}
+		if r.rng, _, err = f.engine.Range(window); err != nil {
+			t.Fatal(err)
+		}
+		if r.knn, _, err = f.engine.NearestToPoint(point, 25); err != nil {
+			t.Fatal(err)
+		}
+		w := TimeWindow{}
+		if r.thrWin, _, err = f.engine.ThresholdWindow(q, eps, w); err != nil {
+			t.Fatal(err)
+		}
+		if r.topkWin, _, err = f.engine.TopKWindow(q, 25, w); err != nil {
+			t.Fatal(err)
+		}
+		if r.rngWin, _, err = f.engine.RangeWindow(window, w); err != nil {
+			t.Fatal(err)
+		}
+		return r
+	}
+
+	// Reference: streaming off, sequential refinement — the pre-streaming
+	// engine exactly.
+	f.engine.SetStreaming(false)
+	f.engine.SetRefineParallelism(1)
+	ref := exec()
+	if len(ref.threshold) == 0 || len(ref.topk) == 0 || len(ref.rng) == 0 || len(ref.knn) == 0 {
+		t.Fatal("reference run returned empty results; fixture is vacuous")
+	}
+
+	f.engine.SetStreaming(true)
+	for _, workers := range []int{1, 2, 8} {
+		for _, depth := range []int{1, 0} { // 1 = fully serialized hand-off, 0 = default
+			f.engine.SetRefineParallelism(workers)
+			f.engine.SetStreamQueueDepth(depth)
+			got := exec()
+			name := fmt.Sprintf("workers=%d depth=%d", workers, depth)
+			if !reflect.DeepEqual(ref.threshold, got.threshold) {
+				t.Errorf("%s: threshold differs from collect-all", name)
+			}
+			if !reflect.DeepEqual(ref.topk, got.topk) {
+				t.Errorf("%s: topk differs from collect-all", name)
+			}
+			if !reflect.DeepEqual(ref.rng, got.rng) {
+				t.Errorf("%s: range differs from collect-all", name)
+			}
+			if !reflect.DeepEqual(ref.knn, got.knn) {
+				t.Errorf("%s: point-kNN differs from collect-all", name)
+			}
+			if !reflect.DeepEqual(ref.thrWin, got.thrWin) ||
+				!reflect.DeepEqual(ref.topkWin, got.topkWin) ||
+				!reflect.DeepEqual(ref.rngWin, got.rngWin) {
+				t.Errorf("%s: a window variant differs from collect-all", name)
+			}
+		}
+	}
+}
+
+// The queue depth is a hard occupancy bound: with depth 2, no more than two
+// candidates may ever sit between the scan and the merge, while every
+// shipped row is still refined.
+func TestStreamPeakDepthBounded(t *testing.T) {
+	f, base := refineFixture(t, 150, 40, 83)
+	f.engine.SetRefineParallelism(4)
+	f.engine.SetStreamQueueDepth(2)
+	_, stats, err := f.engine.Threshold(base, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Retrieved < 100 {
+		t.Fatalf("fixture shipped only %d rows; test is vacuous", stats.Retrieved)
+	}
+	if stats.StreamPeakDepth < 1 || stats.StreamPeakDepth > 2 {
+		t.Errorf("StreamPeakDepth = %d, want within [1, 2]", stats.StreamPeakDepth)
+	}
+	if int64(stats.Refined) != stats.Retrieved {
+		t.Errorf("Refined = %d, Retrieved = %d: bounding the queue must not drop candidates", stats.Refined, stats.Retrieved)
+	}
+	if stats.StreamBatches == 0 {
+		t.Error("StreamBatches = 0 on a streaming query")
+	}
+}
+
+// Streaming observability stays silent on the collect-all path.
+func TestStreamStatsZeroWhenDisabled(t *testing.T) {
+	f, base := refineFixture(t, 60, 30, 84)
+	f.engine.SetStreaming(false)
+	_, stats, err := f.engine.Threshold(base, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.StreamBatches != 0 || stats.StreamPeakDepth != 0 || stats.StreamStallTime != 0 {
+		t.Errorf("collect-all run reported stream stats: batches=%d peak=%d stall=%v",
+			stats.StreamBatches, stats.StreamPeakDepth, stats.StreamStallTime)
+	}
+}
+
+// When refinement is slower than the scan and the queue is depth 1, the
+// producer must block — recorded as StreamStallTime. Driven through the
+// executor directly so the slow stage is deterministic.
+func TestStreamBackpressureStalls(t *testing.T) {
+	f, _ := refineFixture(t, 1, 10, 85)
+	res, err := f.store.ScanRanges(context.Background(),
+		[]xzstar.ValueRange{{Lo: 0, Hi: math.MaxInt64}}, nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Entries) == 0 {
+		t.Fatal("empty fixture")
+	}
+	// 30 copies of the row: enough hand-offs for a stall to be inevitable.
+	var entries []kv.Entry
+	for i := 0; i < 30; i++ {
+		entries = append(entries, res.Entries...)
+	}
+	f.engine.SetRefineParallelism(1)
+	f.engine.SetStreamQueueDepth(1)
+	stats := &Stats{}
+	scan := func(ctx context.Context, emit func([]kv.Entry) error) (*cluster.ScanResult, error) {
+		for i := range entries {
+			if err := emit(entries[i : i+1]); err != nil {
+				return nil, err
+			}
+		}
+		return &cluster.ScanResult{}, nil
+	}
+	err = f.engine.refineFromScan(context.Background(), stats, 0, scan,
+		func(rec *traj.Record) refineOutcome {
+			time.Sleep(time.Millisecond)
+			return refineOutcome{rec: rec, keep: true}
+		},
+		func(o refineOutcome) error { return nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Refined != len(entries) {
+		t.Fatalf("refined %d of %d candidates", stats.Refined, len(entries))
+	}
+	if stats.StreamStallTime <= 0 {
+		t.Errorf("StreamStallTime = %v with a slow consumer and depth 1; backpressure never reached the producer", stats.StreamStallTime)
+	}
+	if stats.StreamPeakDepth > 1 {
+		t.Errorf("StreamPeakDepth = %d exceeds configured depth 1", stats.StreamPeakDepth)
+	}
+}
+
+// ThresholdFunc streams every match exactly once and honors an abort from
+// the delivery callback by returning its error unwrapped.
+func TestThresholdFuncDeliveryAndAbort(t *testing.T) {
+	f, base := refineFixture(t, 120, 30, 86)
+	f.engine.SetRefineParallelism(4)
+
+	want, _, err := f.engine.Threshold(base, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(want) != 120 {
+		t.Fatalf("fixture matches %d rows, want 120", len(want))
+	}
+
+	var got []Result
+	stats, err := f.engine.ThresholdFunc(context.Background(), base, 0.5, func(r Result) error {
+		got = append(got, r)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Results != len(want) || len(got) != len(want) {
+		t.Fatalf("streamed %d results (stats %d), want %d", len(got), stats.Results, len(want))
+	}
+	byID := func(rs []Result) []Result {
+		out := append([]Result(nil), rs...)
+		sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+		return out
+	}
+	if !reflect.DeepEqual(byID(got), byID(want)) {
+		t.Fatal("streamed result set differs from the collected one")
+	}
+
+	sentinel := errors.New("enough")
+	delivered := 0
+	_, err = f.engine.ThresholdFunc(context.Background(), base, 0.5, func(r Result) error {
+		delivered++
+		if delivered >= 3 {
+			return sentinel
+		}
+		return nil
+	})
+	if !errors.Is(err, sentinel) {
+		t.Fatalf("aborted ThresholdFunc returned %v, want the callback's error", err)
+	}
+	if delivered != 3 {
+		t.Fatalf("callback ran %d times after aborting at 3", delivered)
+	}
+}
+
+// RangeFunc covers the same contract on the range path.
+func TestRangeFuncDelivery(t *testing.T) {
+	f := newFixture(t, dist.Frechet, 100, 87)
+	window := geo.Rect{Min: geo.Point{}, Max: geo.Point{X: 1, Y: 1}}
+	want, _, err := f.engine.Range(window)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(want) == 0 {
+		t.Fatal("vacuous window")
+	}
+	count := 0
+	stats, err := f.engine.RangeFunc(context.Background(), window, func(r Result) error {
+		count++
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if count != len(want) || stats.Results != len(want) {
+		t.Fatalf("streamed %d results (stats %d), want %d", count, stats.Results, len(want))
+	}
+}

@@ -4,14 +4,17 @@ import (
 	"context"
 	"time"
 
+	"repro/internal/cluster"
 	"repro/internal/dist"
+	"repro/internal/kv"
 	"repro/internal/traj"
 	"repro/internal/xzstar"
 )
 
 // Threshold runs the threshold similarity search of Algorithm 3: global
 // pruning plans the key ranges, local filtering runs pushed down inside the
-// regions, and the survivors are refined with the full similarity measure.
+// regions, and the survivors stream through refinement with the full
+// similarity measure as the scans produce them.
 func (e *Engine) Threshold(q *traj.Trajectory, eps float64) ([]Result, *Stats, error) {
 	return e.threshold(context.Background(), q, eps, TimeWindow{})
 }
@@ -22,7 +25,21 @@ func (e *Engine) ThresholdContext(ctx context.Context, q *traj.Trajectory, eps f
 	return e.threshold(ctx, q, eps, TimeWindow{})
 }
 
+// ThresholdFunc streams each match to fn as refinement produces it instead
+// of collecting a result slice: memory stays bounded by the pipeline depth
+// no matter how many trajectories match. Delivery order follows refinement
+// completion, not key order. A non-nil error from fn aborts the query and is
+// returned as-is.
+func (e *Engine) ThresholdFunc(ctx context.Context, q *traj.Trajectory, eps float64, fn func(Result) error) (*Stats, error) {
+	_, stats, err := e.thresholdImpl(ctx, q, eps, TimeWindow{}, fn)
+	return stats, err
+}
+
 func (e *Engine) threshold(ctx context.Context, q *traj.Trajectory, eps float64, w TimeWindow) ([]Result, *Stats, error) {
+	return e.thresholdImpl(ctx, q, eps, w, nil)
+}
+
+func (e *Engine) thresholdImpl(ctx context.Context, q *traj.Trajectory, eps float64, w TimeWindow, sink func(Result) error) ([]Result, *Stats, error) {
 	qg, err := e.prepare(q)
 	if err != nil {
 		return nil, nil, err
@@ -38,33 +55,37 @@ func (e *Engine) threshold(ctx context.Context, q *traj.Trajectory, eps float64,
 		return nil, stats, nil
 	}
 
-	t1 := time.Now()
-	res, err := e.store.ScanRanges(ctx, ranges, wrapWithWindow(w, e.buildFilter(qg, eps)), 0)
-	if err != nil {
-		return nil, nil, err
+	filter := wrapWithWindow(w, e.buildFilter(qg, eps))
+	scan := func(sctx context.Context, emit func([]kv.Entry) error) (*cluster.ScanResult, error) {
+		return e.store.ScanRangesStream(sctx, ranges, filter, 0, e.streamOptions(false), emit)
 	}
-	stats.ScanTime = time.Since(t1)
-	stats.absorbScan(res)
 
 	within := dist.WithinFor(e.measure)
 	full := dist.For(e.measure)
-	var out []Result
-	err = e.refine(ctx, res.Entries, stats,
+	var out []keyedResult
+	nres := 0
+	err = e.runPipeline(ctx, stats, scan,
 		func(rec *traj.Record) refineOutcome {
 			if !within(qg.points, rec.Points, eps) {
 				return refineOutcome{}
 			}
 			return refineOutcome{rec: rec, dist: full(qg.points, rec.Points), keep: true}
 		},
-		func(o refineOutcome) {
+		func(o refineOutcome) error {
 			if !o.keep {
-				return
+				return nil
 			}
-			out = append(out, Result{ID: o.rec.ID, Distance: o.dist, Points: o.rec.Points})
+			r := Result{ID: o.rec.ID, Distance: o.dist, Points: o.rec.Points}
+			nres++
+			if sink != nil {
+				return sink(r)
+			}
+			out = append(out, keyedResult{key: o.key, res: r})
+			return nil
 		})
 	if err != nil {
 		return nil, nil, err
 	}
-	stats.Results = len(out)
-	return out, stats, nil
+	stats.Results = nres
+	return finishKeyed(out), stats, nil
 }

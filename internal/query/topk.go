@@ -6,7 +6,9 @@ import (
 	"math"
 	"time"
 
+	"repro/internal/cluster"
 	"repro/internal/dist"
+	"repro/internal/kv"
 	"repro/internal/store"
 	"repro/internal/traj"
 	"repro/internal/xzstar"
@@ -63,24 +65,30 @@ func (e *Engine) topK(ctx context.Context, q *traj.Trajectory, k int, w TimeWind
 	within := dist.WithinFor(e.measure)
 	full := dist.For(e.measure)
 
+	// The kth-distance bound is shared across the whole query: the merge loop
+	// tightens it after every insertion, workers read it for early-abandoning
+	// prefilters, and the pushed-down server filter reads it live — so a scan
+	// still streaming when a nearer result lands starts rejecting rows
+	// server-side immediately. A stale (looser) read only costs a wasted full
+	// computation or a shipped row; the exact comparison in the merge decides
+	// membership, and rejections are backed by lower-bound proofs against a
+	// bound no tighter than the final kth distance — so results are identical
+	// for any interleaving (see stream.go).
+	bound := newRefineBound(math.Inf(1))
+	filter := wrapWithWindow(w, serverFilterLive(qg, e.measure, bound))
+
 	scanSpace := func(sc spaceCand) error {
 		stats.Ranges++
-		t1 := time.Now()
-		res, err := e.store.ScanRanges(ctx,
-			[]xzstar.ValueRange{{Lo: sc.value, Hi: sc.value + 1}},
-			wrapWithWindow(w, serverFilter(qg, e.measure, epsOf())), 0)
-		if err != nil {
-			return err
+		bound.set(epsOf())
+		scan := func(sctx context.Context, emit func([]kv.Entry) error) (*cluster.ScanResult, error) {
+			return e.store.ScanRangesStream(sctx,
+				[]xzstar.ValueRange{{Lo: sc.value, Hi: sc.value + 1}},
+				filter, 0, e.streamOptions(true), emit)
 		}
-		stats.ScanTime += time.Since(t1)
-		stats.absorbScan(res)
-
-		// Workers prefilter against the shared kth-distance bound; the merge
-		// loop inserts in entry order and tightens the bound after each
-		// insertion, so a stale (looser) read only costs a wasted full
-		// computation — the exact comparison below decides membership.
-		bound := newRefineBound(epsOf())
-		return e.refine(ctx, res.Entries, stats,
+		// Ordered streaming: one index space spans one contiguous key range,
+		// so region-sequential delivery equals sorted-entry order — the merge
+		// below sees candidates exactly as the collect-all path did.
+		return e.runPipeline(ctx, stats, scan,
 			func(rec *traj.Record) refineOutcome {
 				b := bound.get()
 				if !math.IsInf(b, 1) && !within(qg.points, rec.Points, b) {
@@ -88,9 +96,9 @@ func (e *Engine) topK(ctx context.Context, q *traj.Trajectory, k int, w TimeWind
 				}
 				return refineOutcome{rec: rec, dist: full(qg.points, rec.Points), keep: true}
 			},
-			func(o refineOutcome) {
+			func(o refineOutcome) error {
 				if !o.keep {
-					return
+					return nil
 				}
 				if results.Len() < k {
 					heap.Push(results, Result{ID: o.rec.ID, Distance: o.dist, Points: o.rec.Points})
@@ -99,6 +107,7 @@ func (e *Engine) topK(ctx context.Context, q *traj.Trajectory, k int, w TimeWind
 					heap.Fix(results, 0)
 				}
 				bound.set(epsOf())
+				return nil
 			})
 	}
 

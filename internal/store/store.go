@@ -5,8 +5,10 @@
 package store
 
 import (
+	"bytes"
 	"context"
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"hash/fnv"
 	"sort"
@@ -14,6 +16,7 @@ import (
 	"time"
 
 	"repro/internal/cluster"
+	"repro/internal/kv"
 	"repro/internal/traj"
 	"repro/internal/vfs"
 	"repro/internal/xzstar"
@@ -228,7 +231,11 @@ func (s *Store) RowKey(e xzstar.Entry, tid string) []byte {
 	}
 }
 
-// Put indexes and stores one trajectory.
+// Put indexes and stores one trajectory. The data row and the id-index row
+// are applied through one region batch (cluster.Mutate), so a crash cannot
+// acknowledge the data row while losing the index row that makes it
+// reachable by GetByID. Re-putting an existing id deletes the stale data row
+// under the old index value in the same mutation instead of leaking it.
 func (s *Store) Put(t *traj.Trajectory) error {
 	if t == nil || len(t.Points) == 0 {
 		return fmt.Errorf("store: empty trajectory")
@@ -237,21 +244,55 @@ func (s *Store) Put(t *traj.Trajectory) error {
 	features := traj.ComputeFeatures(t, s.cfg.DPTolerance)
 	key := s.RowKey(entry, t.ID)
 	value := traj.EncodeRecord(&traj.Record{ID: t.ID, Points: t.Points, Times: t.Times, Features: features})
-	if err := s.cluster.Put(key, value); err != nil {
+
+	// The id index tells us which data row (if any) this id already owns.
+	old, err := s.cluster.Get(idKey(t.ID))
+	if err != nil && !errors.Is(err, kv.ErrNotFound) {
 		return err
 	}
-	if err := s.cluster.Put(idKey(t.ID), key); err != nil {
+	puts := []cluster.Entry{{Key: key, Value: value}, {Key: idKey(t.ID), Value: key}}
+	var dels [][]byte
+	if old != nil && !bytes.Equal(old, key) {
+		dels = append(dels, old)
+	}
+	if err := s.cluster.Mutate(puts, dels); err != nil {
 		return err
 	}
+
 	s.mu.Lock()
-	s.count++
+	defer s.mu.Unlock()
+	if old == nil {
+		s.count++
+	} else {
+		if bytes.Equal(old, key) {
+			return nil // pure overwrite: metadata unchanged
+		}
+		s.keyBytes -= int64(len(old))
+		s.dropOldKeyMetaLocked(old)
+	}
 	s.keyBytes += int64(len(key))
 	s.resHist[entry.Seq.Len()]++
 	s.codeHist[entry.Code]++
-	s.values[entry.Value]++
-	s.valuesDirty = true
-	s.mu.Unlock()
+	s.noteValueLocked(entry.Value)
 	return nil
+}
+
+// dropOldKeyMetaLocked reverses the histogram and distinct-value
+// contributions of a replaced data row. Only integer-encoded keys can be
+// decoded; under StringEncoding the histograms keep the old entry (the query
+// planner does not support that encoding anyway).
+func (s *Store) dropOldKeyMetaLocked(old []byte) {
+	if s.cfg.Encoding != IntegerEncoding || len(old) < 1+8+1 {
+		return
+	}
+	v := int64(binary.BigEndian.Uint64(old[1:9]))
+	seq, code, err := s.ix.Decode(v)
+	if err != nil {
+		return
+	}
+	s.resHist[seq.Len()]--
+	s.codeHist[code]--
+	s.dropValueLocked(v)
 }
 
 // HasValuesIn reports whether any stored trajectory has an index value in
@@ -267,6 +308,8 @@ func (s *Store) HasValuesIn(lo, hi int64) bool {
 
 func (s *Store) sortedValuesLocked() []int64 {
 	if s.valuesDirty || s.sortedValues == nil {
+		// Full rebuild: only the recovery path sets valuesDirty now; writes
+		// maintain the cache incrementally below.
 		s.sortedValues = s.sortedValues[:0]
 		for v := range s.values {
 			s.sortedValues = append(s.sortedValues, v)
@@ -276,6 +319,41 @@ func (s *Store) sortedValuesLocked() []int64 {
 	}
 	//lint:ignore loopretain the Locked suffix is the contract: callers hold s.mu and consume the slice before releasing it
 	return s.sortedValues
+}
+
+// noteValueLocked records one more row under index value v, inserting new
+// distinct values into the sorted cache by binary search so interleaved
+// ingest and HasValuesIn reads never pay a full re-sort.
+func (s *Store) noteValueLocked(v int64) {
+	s.values[v]++
+	if s.values[v] > 1 || s.valuesDirty {
+		return // not a new distinct value, or a full rebuild is pending anyway
+	}
+	i := sort.Search(len(s.sortedValues), func(i int) bool { return s.sortedValues[i] >= v })
+	s.sortedValues = append(s.sortedValues, 0)
+	copy(s.sortedValues[i+1:], s.sortedValues[i:])
+	s.sortedValues[i] = v
+}
+
+// dropValueLocked removes one row under index value v, dropping v from the
+// sorted cache when its last row goes away.
+func (s *Store) dropValueLocked(v int64) {
+	n, ok := s.values[v]
+	if !ok {
+		return
+	}
+	if n > 1 {
+		s.values[v] = n - 1
+		return
+	}
+	delete(s.values, v)
+	if s.valuesDirty {
+		return
+	}
+	i := sort.Search(len(s.sortedValues), func(i int) bool { return s.sortedValues[i] >= v })
+	if i < len(s.sortedValues) && s.sortedValues[i] == v {
+		s.sortedValues = append(s.sortedValues[:i], s.sortedValues[i+1:]...)
+	}
 }
 
 // PutBatch stores many trajectories, batching rows per region for bulk-load
@@ -309,14 +387,23 @@ func (s *Store) PutBatch(ts []*traj.Trajectory) error {
 			return err
 		}
 		s.mu.Lock()
+		newVals := false
 		for _, m := range metas {
 			s.count++
 			s.keyBytes += int64(m.keyLen)
 			s.resHist[m.entry.Seq.Len()]++
 			s.codeHist[m.entry.Code]++
 			s.values[m.entry.Value]++
+			if s.values[m.entry.Value] == 1 && !s.valuesDirty {
+				s.sortedValues = append(s.sortedValues, m.entry.Value)
+				newVals = true
+			}
 		}
-		s.valuesDirty = true
+		if newVals {
+			// One sort per chunk, amortizing what used to be a full re-sort
+			// on every HasValuesIn after a dirty write.
+			sort.Slice(s.sortedValues, func(i, j int) bool { return s.sortedValues[i] < s.sortedValues[j] })
+		}
 		s.mu.Unlock()
 	}
 	return nil
@@ -377,6 +464,51 @@ func (s *Store) Selectivity() float64 {
 // Config.DegradedScans a region failure degrades the result (see
 // cluster.ScanRequest.AllowPartial) instead of failing it.
 func (s *Store) ScanRanges(ctx context.Context, ranges []xzstar.ValueRange, filter cluster.Filter, limit int) (*cluster.ScanResult, error) {
+	keyRanges, err := s.keyRanges(ranges)
+	if err != nil {
+		return nil, err
+	}
+	return s.cluster.Scan(ctx, cluster.ScanRequest{
+		Ranges:       keyRanges,
+		Filter:       filter,
+		Limit:        limit,
+		AllowPartial: s.cfg.DegradedScans,
+	})
+}
+
+// StreamOptions shape a streaming range scan (see cluster.StreamRequest for
+// the semantics of each knob).
+type StreamOptions struct {
+	BatchRows  int
+	QueueDepth int
+	Ordered    bool
+}
+
+// ScanRangesStream is the streaming form of ScanRanges: rows are delivered
+// to emit in bounded batches as regions produce them, and the returned
+// ScanResult carries the incrementally-accumulated accounting (Entries is
+// nil). emit owns each batch and is never called concurrently; an error from
+// emit aborts the scan and surfaces verbatim.
+func (s *Store) ScanRangesStream(ctx context.Context, ranges []xzstar.ValueRange, filter cluster.Filter, limit int, opt StreamOptions, emit func([]kv.Entry) error) (*cluster.ScanResult, error) {
+	keyRanges, err := s.keyRanges(ranges)
+	if err != nil {
+		return nil, err
+	}
+	return s.cluster.ScanStream(ctx, cluster.StreamRequest{
+		ScanRequest: cluster.ScanRequest{
+			Ranges:       keyRanges,
+			Filter:       filter,
+			Limit:        limit,
+			AllowPartial: s.cfg.DegradedScans,
+		},
+		BatchRows:  opt.BatchRows,
+		QueueDepth: opt.QueueDepth,
+		Ordered:    opt.Ordered,
+	}, func(b cluster.ScanBatch) error { return emit(b.Entries) })
+}
+
+// keyRanges maps XZ* value ranges onto per-shard row-key ranges.
+func (s *Store) keyRanges(ranges []xzstar.ValueRange) ([]cluster.KeyRange, error) {
 	if s.cfg.Encoding != IntegerEncoding {
 		return nil, fmt.Errorf("store: range scans require IntegerEncoding")
 	}
@@ -389,12 +521,7 @@ func (s *Store) ScanRanges(ctx context.Context, ranges []xzstar.ValueRange, filt
 			})
 		}
 	}
-	return s.cluster.Scan(ctx, cluster.ScanRequest{
-		Ranges:       keyRanges,
-		Filter:       filter,
-		Limit:        limit,
-		AllowPartial: s.cfg.DegradedScans,
-	})
+	return keyRanges, nil
 }
 
 // valueKey is the smallest row key with the given shard and index value.

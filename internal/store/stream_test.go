@@ -1,0 +1,194 @@
+package store
+
+import (
+	"bytes"
+	"context"
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"repro/internal/geo"
+	"repro/internal/kv"
+	"repro/internal/traj"
+	"repro/internal/xzstar"
+)
+
+// dataRowsFor scans every data row and returns the decoded records matching
+// id, along with their row keys.
+func dataRowsFor(t *testing.T, s *Store, id string) ([]*traj.Record, [][]byte) {
+	t.Helper()
+	res, err := s.ScanRanges(context.Background(),
+		[]xzstar.ValueRange{{Lo: 0, Hi: math.MaxInt64}}, nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var recs []*traj.Record
+	var keys [][]byte
+	for _, e := range res.Entries {
+		rec, err := DecodeRow(e.Value)
+		if err != nil {
+			t.Fatalf("corrupt row %q: %v", e.Key, err)
+		}
+		if rec.ID == id {
+			recs = append(recs, rec)
+			keys = append(keys, e.Key)
+		}
+	}
+	return recs, keys
+}
+
+// Re-putting an id whose trajectory moved must atomically replace the data
+// row: the stale row under the old index value disappears, the id row points
+// at the new location, and the stored count stays 1.
+func TestPutReplacesStaleRow(t *testing.T) {
+	s := newTestStore(t, Config{Shards: 4})
+	near := traj.New("cab", []geo.Point{{X: 0.1, Y: 0.1}, {X: 0.11, Y: 0.1}})
+	far := traj.New("cab", []geo.Point{{X: 0.9, Y: 0.9}, {X: 0.91, Y: 0.9}})
+	if err := s.Put(near); err != nil {
+		t.Fatal(err)
+	}
+	firstRecs, firstKeys := dataRowsFor(t, s, "cab")
+	if len(firstRecs) != 1 {
+		t.Fatalf("rows after first put = %d, want 1", len(firstRecs))
+	}
+	if err := s.Put(far); err != nil {
+		t.Fatal(err)
+	}
+	recs, keys := dataRowsFor(t, s, "cab")
+	if len(recs) != 1 {
+		t.Fatalf("rows after re-put = %d, want 1 (stale row not deleted)", len(recs))
+	}
+	if bytes.Equal(keys[0], firstKeys[0]) {
+		t.Fatal("trajectory moved but its row key did not; test is vacuous")
+	}
+	approx := func(a, b geo.Point) bool { // row encoding may quantize coordinates
+		return math.Abs(a.X-b.X) < 1e-4 && math.Abs(a.Y-b.Y) < 1e-4
+	}
+	if !approx(recs[0].Points[0], far.Points[0]) {
+		t.Fatalf("surviving row holds %v, want the new location", recs[0].Points[0])
+	}
+	if got := s.Count(); got != 1 {
+		t.Fatalf("Count = %d after re-put, want 1", got)
+	}
+	rec, err := s.GetByID("cab")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !approx(rec.Points[0], far.Points[0]) {
+		t.Fatalf("GetByID returned %v, want the new location", rec.Points[0])
+	}
+}
+
+// A byte-identical re-put must stay a no-op: same single row, same count.
+func TestPutIdenticalOverwrite(t *testing.T) {
+	s := newTestStore(t, Config{Shards: 4})
+	tr := traj.New("cab", []geo.Point{{X: 0.4, Y: 0.4}, {X: 0.41, Y: 0.4}})
+	for i := 0; i < 3; i++ {
+		if err := s.Put(tr); err != nil {
+			t.Fatal(err)
+		}
+	}
+	recs, _ := dataRowsFor(t, s, "cab")
+	if len(recs) != 1 || s.Count() != 1 {
+		t.Fatalf("rows = %d, count = %d after identical re-puts, want 1/1", len(recs), s.Count())
+	}
+}
+
+// The value metadata kept for pruning (the sorted distinct index values) must
+// stay exact under interleaved puts and re-puts — the incremental
+// maintenance path must agree with a full rebuild.
+func TestSortedValuesStayConsistent(t *testing.T) {
+	s := newTestStore(t, Config{Shards: 2})
+	rng := rand.New(rand.NewSource(91))
+	for i := 0; i < 60; i++ {
+		id := "t" + string(rune('a'+i%7)) // re-put a small id set repeatedly
+		if err := s.Put(walk(rng, id, 20, 0.05)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s.mu.Lock()
+	got := append([]int64(nil), s.sortedValuesLocked()...)
+	want := make([]int64, 0, len(s.values))
+	for v := range s.values {
+		want = append(want, v)
+	}
+	s.mu.Unlock()
+	sort.Slice(want, func(i, j int) bool { return want[i] < want[j] })
+	if len(got) != len(want) {
+		t.Fatalf("sortedValues has %d entries, value map has %d", len(got), len(want))
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("sortedValues[%d] = %d, want %d", i, got[i], want[i])
+		}
+	}
+	for i := 1; i < len(got); i++ {
+		if got[i-1] >= got[i] {
+			t.Fatalf("sortedValues not strictly increasing at %d", i)
+		}
+	}
+}
+
+// ScanRangesStream must deliver exactly the rows ScanRanges collects, batch
+// by batch, honoring the batch size and the limit.
+func TestScanRangesStream(t *testing.T) {
+	s := newTestStore(t, Config{Shards: 4})
+	rng := rand.New(rand.NewSource(92))
+	for i := 0; i < 50; i++ {
+		if err := s.Put(walk(rng, string(rune('a'+i/26))+string(rune('a'+i%26)), 15, 0.02)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ranges := []xzstar.ValueRange{{Lo: 0, Hi: math.MaxInt64}}
+	want, err := s.ScanRanges(context.Background(), ranges, nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var streamed []string
+	maxBatch := 0
+	res, err := s.ScanRangesStream(context.Background(), ranges, nil, 0,
+		StreamOptions{BatchRows: 8}, func(batch []kv.Entry) error {
+			if len(batch) > maxBatch {
+				maxBatch = len(batch)
+			}
+			for _, e := range batch {
+				streamed = append(streamed, string(e.Key))
+			}
+			return nil
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if maxBatch > 8 {
+		t.Fatalf("batch of %d rows exceeds BatchRows=8", maxBatch)
+	}
+	if int64(len(streamed)) != want.RowsReturned || res.RowsReturned != want.RowsReturned {
+		t.Fatalf("streamed %d rows (res %d), ScanRanges returned %d",
+			len(streamed), res.RowsReturned, want.RowsReturned)
+	}
+	wantKeys := make([]string, len(want.Entries))
+	for i, e := range want.Entries {
+		wantKeys[i] = string(e.Key)
+	}
+	sort.Strings(streamed)
+	sort.Strings(wantKeys)
+	for i := range wantKeys {
+		if streamed[i] != wantKeys[i] {
+			t.Fatalf("streamed key set diverges at %d: %q vs %q", i, streamed[i], wantKeys[i])
+		}
+	}
+
+	// Limit: ordered, exact count.
+	n := 0
+	if _, err := s.ScanRangesStream(context.Background(), ranges, nil, 9,
+		StreamOptions{BatchRows: 4}, func(batch []kv.Entry) error {
+			n += len(batch)
+			return nil
+		}); err != nil {
+		t.Fatal(err)
+	}
+	if n != 9 {
+		t.Fatalf("limited stream delivered %d rows, want 9", n)
+	}
+}

@@ -13,8 +13,9 @@
 #              pass over internal/lint and cmd/trasslint
 #   torture    deterministic crash/error-injection suites (kv + cluster);
 #              SHORT=1 runs the strided subset, otherwise every fault point
-#   test       refinement-executor race tests (always under -race: the
-#              parallel refine pool is the code most worth racing), then
+#   test       refinement-executor and streaming-pipeline race tests (always
+#              under -race: the parallel refine pool and the bounded
+#              scan-to-refine stream are the code most worth racing), then
 #              go test -race ./... and a 10s fuzz smoke of every native fuzz
 #              target (plain go test -short ./... and no fuzz with SHORT=1)
 #
@@ -77,6 +78,13 @@ if [[ "$MODE" == "test" || "$MODE" == "all" ]]; then
     # cheapest way to keep the executor's synchronization honest.
     step "refine executor (race)"
     go test -race -count=1 -run 'Refine' ./internal/query
+
+    # The streaming scan pipeline spans three layers (cluster emit loop,
+    # store range mapper, query refine executor); its suites force worker
+    # pools, bounded queues, and mid-stream faults, so they too always run
+    # under the race detector.
+    step "stream pipeline (race)"
+    go test -race -count=1 -run 'Stream' ./internal/cluster ./internal/store ./internal/query
 
     if [[ "${SHORT:-0}" == "1" ]]; then
         step "test (short)"

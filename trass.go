@@ -94,6 +94,8 @@ type Option func(*store.Config, *config)
 type config struct {
 	measure           Measure
 	refineParallelism int
+	streamBatch       int
+	streamQueueDepth  int
 }
 
 // WithShards sets the row-key hash fan-out (default 8, the paper's value).
@@ -134,6 +136,27 @@ func WithRefineParallelism(n int) Option {
 	return func(_ *store.Config, c *config) { c.refineParallelism = n }
 }
 
+// WithStreamBatch sets how many rows each region scan batches before handing
+// them to the query pipeline (default 64). Queries stream candidates from
+// the region scans straight into refinement; smaller batches shorten the
+// time to the first refined candidate, larger ones amortize hand-off
+// overhead. Results are identical for any value.
+func WithStreamBatch(rows int) Option {
+	return func(_ *store.Config, c *config) { c.streamBatch = rows }
+}
+
+// WithStreamQueueDepth bounds how many candidate rows may be in flight
+// between the storage scans and refinement — queued, being refined, or
+// awaiting their in-order merge (default: a small multiple of the refine
+// worker count). This is the query pipeline's memory bound and its
+// backpressure knob: when refinement falls behind, a full queue blocks the
+// region scans rather than buffering the backlog. Results are identical for
+// any depth; QueryStats.StreamPeakDepth reports the high-water mark a query
+// actually reached.
+func WithStreamQueueDepth(n int) Option {
+	return func(_ *store.Config, c *config) { c.streamQueueDepth = n }
+}
+
 // WithSyncWrites makes every acknowledged write durable before Put returns
 // (WAL fsync per write). Slower, but a crash — even a power loss — loses
 // nothing that was acknowledged. Without it, durability is at flush
@@ -169,6 +192,8 @@ func Open(dir string, opts ...Option) (*DB, error) {
 	}
 	eng := query.New(st, c.measure)
 	eng.SetRefineParallelism(c.refineParallelism)
+	eng.SetStreamBatch(c.streamBatch)
+	eng.SetStreamQueueDepth(c.streamQueueDepth)
 	return &DB{store: st, engine: eng}, nil
 }
 
@@ -219,6 +244,28 @@ func (db *DB) ThresholdSearchContext(ctx context.Context, q *Trajectory, eps flo
 		return nil, nil, err
 	}
 	return toMatches(rs), stats, nil
+}
+
+// ThresholdSearchFunc is ThresholdSearch with streaming delivery: each match
+// is passed to fn as refinement produces it, so memory stays bounded by the
+// stream queue depth no matter how many trajectories match. Delivery order
+// is unspecified (it follows refinement completion, not key order). A
+// non-nil error from fn aborts the search and is returned as-is.
+func (db *DB) ThresholdSearchFunc(ctx context.Context, q *Trajectory, eps float64, fn func(Match) error) (*QueryStats, error) {
+	if eps < 0 {
+		return nil, fmt.Errorf("trass: negative threshold %v", eps)
+	}
+	return db.engine.ThresholdFunc(ctx, q, eps, func(r query.Result) error {
+		return fn(Match{ID: r.ID, Distance: r.Distance, Points: r.Points})
+	})
+}
+
+// RangeSearchFunc is RangeSearch with streaming delivery; see
+// ThresholdSearchFunc for the contract. Matches carry no distance.
+func (db *DB) RangeSearchFunc(ctx context.Context, window Rect, fn func(Match) error) (*QueryStats, error) {
+	return db.engine.RangeFunc(ctx, window, func(r query.Result) error {
+		return fn(Match{ID: r.ID, Distance: r.Distance, Points: r.Points})
+	})
 }
 
 // TopKSearch returns the k stored trajectories nearest to q, ascending by
