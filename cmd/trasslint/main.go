@@ -7,9 +7,27 @@
 //
 // Usage:
 //
-//	trasslint [-tests] [-v] [-format=text|json|github] [packages]
+//	trasslint [-tests] [-v] [-format=text|json|github] [-only=a,b] [-skip=c] [packages]
 //
 // where packages is ./... (the default) or one or more package directories.
+//
+// Analyzer selection:
+//
+//	-list       print every analyzer with its one-line doc and exit
+//	-only=a,b   run only the named analyzers
+//	-skip=c,d   run everything except the named analyzers
+//
+// -only is applied before -skip, so "-only=locks,guardedby -skip=locks" runs
+// just guardedby. Unknown names are an error (exit 2), not a silent no-op.
+//
+// Timing:
+//
+//	-timingjson=PATH   write per-analyzer wall time as a JSON artifact
+//
+// The artifact mirrors the BENCH_<exp>.json shape cmd/trassbench emits
+// (experiment, git SHA from TRASSLINT_GIT_SHA or GITHUB_SHA, started_at,
+// wall_ms) with one {name, ms, findings} row per analyzer, so CI archives
+// lint cost trajectories next to the benchmark ones.
 //
 // Output formats:
 //
@@ -41,6 +59,7 @@ import (
 	"time"
 
 	"repro/internal/lint"
+	"repro/internal/vfs"
 )
 
 func main() {
@@ -48,11 +67,14 @@ func main() {
 	verbose := flag.Bool("v", false, "log each analyzed package")
 	list := flag.Bool("list", false, "list analyzers and exit")
 	format := flag.String("format", defaultFormat(), "output format: text, json, or github")
+	only := flag.String("only", "", "comma-separated analyzers to run (default: all)")
+	skip := flag.String("skip", "", "comma-separated analyzers to exclude")
+	timingJSON := flag.String("timingjson", "", "write per-analyzer timing JSON to this path")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: trasslint [-tests] [-v] [-format=text|json|github] [./... | dirs]\n")
+		fmt.Fprintf(os.Stderr, "usage: trasslint [-tests] [-v] [-format=text|json|github] [-only=a,b] [-skip=c] [-timingjson=path] [./... | dirs]\n")
 		fmt.Fprintf(os.Stderr, "exit status: 0 clean, 1 findings, 2 load error\n\nAnalyzers:\n")
 		for _, a := range lint.All() {
-			fmt.Fprintf(os.Stderr, "  %-10s %s\n", a.Name, a.Doc)
+			fmt.Fprintf(os.Stderr, "  %-12s %s\n", a.Name, a.Doc)
 		}
 		flag.PrintDefaults()
 	}
@@ -60,7 +82,7 @@ func main() {
 
 	if *list {
 		for _, a := range lint.All() {
-			fmt.Printf("%-10s %s\n", a.Name, a.Doc)
+			fmt.Printf("%-12s %s\n", a.Name, a.Doc)
 		}
 		return
 	}
@@ -68,6 +90,11 @@ func main() {
 	case "text", "json", "github":
 	default:
 		fmt.Fprintf(os.Stderr, "trasslint: unknown -format %q (want text, json, or github)\n", *format)
+		os.Exit(2)
+	}
+	analyzers, err := selectAnalyzers(lint.All(), *only, *skip)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "trasslint: %v\n", err)
 		os.Exit(2)
 	}
 
@@ -118,7 +145,10 @@ func main() {
 		}
 	}
 
-	analyzers := lint.All()
+	var timings map[string]time.Duration
+	if *timingJSON != "" {
+		timings = map[string]time.Duration{}
+	}
 	var diags []lint.Diagnostic
 	for _, pkg := range pkgs {
 		if *verbose {
@@ -127,7 +157,7 @@ func main() {
 		for _, terr := range pkg.TypeErrors {
 			fmt.Fprintf(os.Stderr, "trasslint: warning: %s: %v\n", pkg.Path, terr)
 		}
-		for _, d := range lint.Run(pkg, analyzers) {
+		for _, d := range lint.RunTimed(pkg, analyzers, timings) {
 			if r, err := filepath.Rel(cwd, d.Pos.Filename); err == nil && !strings.HasPrefix(r, "..") {
 				d.Pos.Filename = r
 			}
@@ -136,11 +166,136 @@ func main() {
 	}
 
 	emit(*format, diags)
+	if *timingJSON != "" {
+		if err := writeTimings(*timingJSON, analyzers, timings, diags, len(pkgs), start); err != nil {
+			fatal(err)
+		}
+	}
 	fmt.Fprintf(os.Stderr, "trasslint: %d packages, %d findings, %s elapsed\n",
 		len(pkgs), len(diags), time.Since(start).Round(time.Millisecond))
 	if len(diags) > 0 {
 		os.Exit(1)
 	}
+}
+
+// selectAnalyzers applies -only then -skip to the full roster. Unknown names
+// are errors so a typo cannot silently disable a gate.
+func selectAnalyzers(all []*lint.Analyzer, only, skip string) ([]*lint.Analyzer, error) {
+	byName := map[string]*lint.Analyzer{}
+	for _, a := range all {
+		byName[a.Name] = a
+	}
+	parse := func(flagName, list string) (map[string]bool, error) {
+		if list == "" {
+			return nil, nil
+		}
+		set := map[string]bool{}
+		for _, name := range strings.Split(list, ",") {
+			name = strings.TrimSpace(name)
+			if name == "" {
+				continue
+			}
+			if byName[name] == nil {
+				return nil, fmt.Errorf("-%s: unknown analyzer %q (run trasslint -list)", flagName, name)
+			}
+			set[name] = true
+		}
+		return set, nil
+	}
+	onlySet, err := parse("only", only)
+	if err != nil {
+		return nil, err
+	}
+	skipSet, err := parse("skip", skip)
+	if err != nil {
+		return nil, err
+	}
+	var out []*lint.Analyzer
+	for _, a := range all {
+		if onlySet != nil && !onlySet[a.Name] {
+			continue
+		}
+		if skipSet[a.Name] {
+			continue
+		}
+		out = append(out, a)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("analyzer selection is empty: -only=%q -skip=%q cancel out", only, skip)
+	}
+	return out, nil
+}
+
+// timingReport is the -timingjson payload: the same envelope as trassbench's
+// BENCH_<exp>.json (experiment, git SHA, started_at, wall_ms) with one row
+// per analyzer, so CI tooling that diffs benchmark artifacts across commits
+// can diff lint cost the same way.
+type timingReport struct {
+	Experiment string      `json:"experiment"`
+	GitSHA     string      `json:"git_sha,omitempty"`
+	StartedAt  string      `json:"started_at"`
+	WallMS     int64       `json:"wall_ms"`
+	Packages   int         `json:"packages"`
+	Findings   int         `json:"findings"`
+	Analyzers  []timingRow `json:"analyzers"`
+}
+
+type timingRow struct {
+	Name     string  `json:"name"`
+	MS       float64 `json:"ms"`
+	Findings int     `json:"findings"`
+}
+
+// writeTimings persists the per-analyzer timing artifact through the vfs
+// seam. Rows keep roster order — stable across runs, so artifact diffs show
+// cost movement, not reordering.
+func writeTimings(path string, analyzers []*lint.Analyzer, timings map[string]time.Duration, diags []lint.Diagnostic, packages int, start time.Time) error {
+	perAnalyzer := map[string]int{}
+	for _, d := range diags {
+		perAnalyzer[d.Analyzer]++
+	}
+	rep := timingReport{
+		Experiment: "lint",
+		GitSHA:     gitSHA(),
+		StartedAt:  start.UTC().Format(time.RFC3339),
+		WallMS:     time.Since(start).Milliseconds(),
+		Packages:   packages,
+		Findings:   len(diags),
+	}
+	for _, a := range analyzers {
+		rep.Analyzers = append(rep.Analyzers, timingRow{
+			Name:     a.Name,
+			MS:       float64(timings[a.Name].Microseconds()) / 1000,
+			Findings: perAnalyzer[a.Name],
+		})
+	}
+	if dir := filepath.Dir(path); dir != "." && dir != "" {
+		if err := vfs.Default.MkdirAll(dir); err != nil {
+			return err
+		}
+	}
+	f, err := vfs.Default.Create(path)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		_ = f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "trasslint: wrote %s\n", path)
+	return nil
+}
+
+func gitSHA() string {
+	if sha := os.Getenv("TRASSLINT_GIT_SHA"); sha != "" {
+		return sha
+	}
+	return os.Getenv("GITHUB_SHA")
 }
 
 // defaultFormat resolves the format default from TRASSLINT_FORMAT so CI can

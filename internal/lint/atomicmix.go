@@ -1,0 +1,117 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// AtomicMixAnalyzer enforces all-or-nothing atomicity: once any access to a
+// variable goes through the old-style sync/atomic functions (AddInt64,
+// LoadUint32, CompareAndSwapPointer, ...), every access must — a plain read
+// can observe a torn or stale value and a plain write races with the atomic
+// ones, and neither is flagged by the race detector unless the schedule
+// cooperates. The typed atomic wrappers (atomic.Int64 and friends) make this
+// mistake impossible, which is why the codebase prefers them; this analyzer
+// polices the places that still take the address of an ordinary integer.
+var AtomicMixAnalyzer = &Analyzer{
+	Name: "atomicmix",
+	Doc:  "variable accessed through sync/atomic in one place and plainly in another",
+	Run:  runAtomicMix,
+}
+
+func runAtomicMix(pass *Pass) {
+	// Pass 1: every variable whose address feeds a sync/atomic call, with
+	// the operand nodes claimed so pass 2 does not count them as plain.
+	atomicVars := map[*types.Var]string{} // var → atomic call name, for the message
+	claimed := map[ast.Node]bool{}
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			fn, ok := pass.Info.Uses[sel.Sel].(*types.Func)
+			if !ok || !objInPkg(fn, "sync/atomic") {
+				return true
+			}
+			for _, arg := range call.Args {
+				un, ok := ast.Unparen(arg).(*ast.UnaryExpr)
+				if !ok || un.Op.String() != "&" {
+					continue
+				}
+				if v := varOf(pass, un.X); v != nil {
+					if _, seen := atomicVars[v]; !seen {
+						atomicVars[v] = "atomic." + sel.Sel.Name
+					}
+					claimed[ast.Unparen(un.X)] = true
+				}
+			}
+			return true
+		})
+	}
+	if len(atomicVars) == 0 {
+		return
+	}
+
+	// Pass 2: plain reads and writes of those variables.
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch e := n.(type) {
+			case *ast.SelectorExpr:
+				if claimed[e] {
+					return true
+				}
+				if v := fieldVar(pass, e); v != nil {
+					if op, ok := atomicVars[v]; ok {
+						pass.Reportf(e.Pos(), "%s is accessed with %s elsewhere; this plain access races with it — use sync/atomic everywhere or guard both with a mutex", types.ExprString(e), op)
+					}
+					return false // don't re-report through the inner idents
+				}
+			case *ast.Ident:
+				if claimed[e] {
+					return true
+				}
+				if v, ok := pass.Info.Uses[e].(*types.Var); ok && !v.IsField() {
+					if op, ok := atomicVars[v]; ok {
+						pass.Reportf(e.Pos(), "%s is accessed with %s elsewhere; this plain access races with it — use sync/atomic everywhere or guard both with a mutex", e.Name, op)
+					}
+				}
+			}
+			return true
+		})
+	}
+}
+
+// varOf resolves an addressable expression to the variable it names: a plain
+// identifier or a field selector.
+func varOf(pass *Pass, e ast.Expr) *types.Var {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		if v, ok := pass.Info.Uses[e].(*types.Var); ok {
+			return v
+		}
+		if v, ok := pass.Info.Defs[e].(*types.Var); ok {
+			return v
+		}
+	case *ast.SelectorExpr:
+		return fieldVar(pass, e)
+	}
+	return nil
+}
+
+// fieldVar resolves a selector to the struct field it selects, or nil.
+func fieldVar(pass *Pass, sel *ast.SelectorExpr) *types.Var {
+	selection := pass.Info.Selections[sel]
+	if selection == nil || selection.Kind() != types.FieldVal {
+		return nil
+	}
+	v, ok := selection.Obj().(*types.Var)
+	if !ok {
+		return nil
+	}
+	return v
+}

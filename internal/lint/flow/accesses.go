@@ -1,0 +1,145 @@
+package flow
+
+// Field-access collection: for each function, every read or write of a
+// struct field reachable through a pure selector chain, so guardedby-style
+// analyzers can ask "which mutex was held at this access" via HeldAt.
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// FieldAccess is one read or write of a named struct's field inside one
+// function.
+type FieldAccess struct {
+	// Sel is the access expression (base.field).
+	Sel *ast.SelectorExpr
+	// Field is the field object.
+	Field *types.Var
+	// Owner is the named struct type that directly declares Field.
+	Owner *types.Named
+	// BaseRoot and BasePath locate the base expression: for db.tables the
+	// root is db's object and the path ""; for s.inner.f the root is s and
+	// the path ".inner".
+	BaseRoot types.Object
+	BasePath string
+	// BaseExpr is the base as written, for diagnostics.
+	BaseExpr string
+	// Write is true when the access stores to the field — assignment,
+	// ++/--, address-taken, or an element store through it (m[k]=v, s[i]=v):
+	// element stores mutate state reached via the field, so they carry the
+	// field's guard obligation.
+	Write bool
+}
+
+// GuardKey returns the lock key that would guard this access with the named
+// sibling mutex: the base chain extended by the mutex field.
+func (a FieldAccess) GuardKey(mutexField string) LockKey {
+	return LockKey{Root: a.BaseRoot, Path: a.BasePath + "." + mutexField}
+}
+
+// FieldAccesses returns every field access in n's own body (nested literals
+// are separate nodes). Results are cached per node.
+func (ix *Index) FieldAccesses(n *CallNode) []FieldAccess {
+	if ix.accesses == nil {
+		ix.accesses = map[*CallNode][]FieldAccess{}
+	}
+	if acc, ok := ix.accesses[n]; ok {
+		return acc
+	}
+	acc := ix.collectAccesses(n)
+	ix.accesses[n] = acc
+	return acc
+}
+
+func (ix *Index) collectAccesses(n *CallNode) []FieldAccess {
+	body := n.Body()
+	writes := map[ast.Expr]bool{}
+	markWrite := func(e ast.Expr) {
+		// Unwrap element stores: writing m[k] or s[i:j] mutates what the
+		// field reaches; writing *p does not write the field p itself.
+		for {
+			switch t := ast.Unparen(e).(type) {
+			case *ast.IndexExpr:
+				e = t.X
+			case *ast.SliceExpr:
+				e = t.X
+			default:
+				writes[ast.Unparen(e)] = true
+				return
+			}
+		}
+	}
+	inspectNoLitNode(body, func(x ast.Node) bool {
+		switch x := x.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range x.Lhs {
+				markWrite(lhs)
+			}
+		case *ast.IncDecStmt:
+			markWrite(x.X)
+		case *ast.UnaryExpr:
+			if x.Op == token.AND {
+				markWrite(x.X)
+			}
+		}
+		return true
+	})
+
+	var out []FieldAccess
+	inspectNoLitNode(body, func(x ast.Node) bool {
+		sel, ok := x.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		field, owner := ix.fieldOf(sel)
+		if field == nil {
+			return true
+		}
+		root, path, ok := ExprRootPath(ix.info, sel.X)
+		if !ok {
+			return true
+		}
+		out = append(out, FieldAccess{
+			Sel:      sel,
+			Field:    field,
+			Owner:    owner,
+			BaseRoot: root,
+			BasePath: path,
+			BaseExpr: types.ExprString(sel.X),
+			Write:    writes[sel],
+		})
+		return true
+	})
+	return out
+}
+
+// fieldOf resolves sel to a directly selected struct field of a named type
+// declared in the analyzed package. Promoted (embedded) fields are skipped:
+// their guard belongs to the embedded type's own analysis.
+func (ix *Index) fieldOf(sel *ast.SelectorExpr) (*types.Var, *types.Named) {
+	selection := ix.info.Selections[sel]
+	if selection == nil || selection.Kind() != types.FieldVal || len(selection.Index()) != 1 {
+		return nil, nil
+	}
+	field, ok := selection.Obj().(*types.Var)
+	if !ok {
+		return nil, nil
+	}
+	t := selection.Recv()
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return nil, nil
+	}
+	if obj := named.Obj(); obj == nil || obj.Pkg() == nil || obj.Pkg() != ix.pkg {
+		return nil, nil
+	}
+	if _, ok := named.Underlying().(*types.Struct); !ok {
+		return nil, nil
+	}
+	return field, named
+}

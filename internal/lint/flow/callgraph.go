@@ -1,0 +1,436 @@
+package flow
+
+// The interprocedural layer: a package-level call graph over the functions of
+// one type-checked package, and Tarjan SCCs over it so summaries (summary.go)
+// can be computed bottom-up, callees before callers.
+//
+// Edge resolution policy, from most to least precise:
+//
+//   - a call through a plain identifier or a selector that go/types resolves
+//     to a function or concrete method declared in this package is a Static
+//     edge;
+//   - a call through an interface method is expanded to Interface edges to
+//     every package-local method with the same name whose receiver type
+//     implements the interface — sound within the package, blind to foreign
+//     implementations;
+//   - a *reference* to a function, method value, or function literal outside
+//     call position is a Conservative edge: the value may be invoked later by
+//     whoever receives it, so summary facts must not flow through it as if
+//     the reference were a call;
+//   - calls through function-typed variables, struct fields, or call results
+//     are unresolvable and set UnknownCalls on the caller.
+//
+// Calls that leave the package (stdlib, sibling packages) produce no edge:
+// the graph is package-local by design, and clients classify the interesting
+// foreign surfaces (sync, time, the vfs seam) directly at the call site.
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// EdgeKind classifies how a call-graph edge was resolved.
+type EdgeKind int
+
+const (
+	// EdgeStatic is a direct call to a known function, method or literal.
+	EdgeStatic EdgeKind = iota
+	// EdgeInterface is a call through an interface method, expanded to a
+	// package-local implementation.
+	EdgeInterface
+	// EdgeConservative records a non-call reference (method value, function
+	// value, closure) — the callee may run, at an unknown time.
+	EdgeConservative
+)
+
+func (k EdgeKind) String() string {
+	switch k {
+	case EdgeStatic:
+		return "static"
+	case EdgeInterface:
+		return "interface"
+	case EdgeConservative:
+		return "conservative"
+	}
+	return "?"
+}
+
+// CallNode is one function in the graph: a declaration or a function literal.
+type CallNode struct {
+	// Index is the node's position in CallGraph.Nodes.
+	Index int
+	// Fn is the declared function or method object; nil for literals.
+	Fn *types.Func
+	// Decl is the declaration; nil for literals.
+	Decl *ast.FuncDecl
+	// Lit is the literal; nil for declarations.
+	Lit *ast.FuncLit
+	// Name is a printable name ("(*DB).Get", "func literal in Open").
+	Name string
+	// Recv is the receiver variable for methods, nil otherwise.
+	Recv *types.Var
+	// Out and In are the edges leaving and entering this node.
+	Out, In []*CallEdge
+	// UnknownCalls is set when the body contains a call whose target could
+	// not be resolved (function values, fields, call results): summaries of
+	// this node are lower bounds.
+	UnknownCalls bool
+
+	scc int
+}
+
+// Body returns the function body (never nil for graph nodes).
+func (n *CallNode) Body() *ast.BlockStmt {
+	if n.Decl != nil {
+		return n.Decl.Body
+	}
+	return n.Lit.Body
+}
+
+// Exported reports whether the node is callable from outside the package by
+// name: an exported function, or a method with an exported name (an exported
+// method name on an unexported type is still reachable through an interface
+// value that escapes).
+func (n *CallNode) Exported() bool {
+	return n.Fn != nil && ast.IsExported(n.Fn.Name())
+}
+
+// CallEdge is one resolved edge.
+type CallEdge struct {
+	Caller, Callee *CallNode
+	// Site is the referencing node: the CallExpr for call edges, the
+	// referencing expression for conservative ones.
+	Site ast.Node
+	// Call is the call expression, nil for conservative edges.
+	Call *ast.CallExpr
+	Kind EdgeKind
+}
+
+// CallGraph is the package-level call graph.
+type CallGraph struct {
+	Nodes []*CallNode
+
+	byFn  map[*types.Func]*CallNode
+	byLit map[*ast.FuncLit]*CallNode
+	sccs  [][]*CallNode
+}
+
+// FuncNode returns the node for a declared function/method, or nil.
+func (cg *CallGraph) FuncNode(fn *types.Func) *CallNode {
+	if fn == nil {
+		return nil
+	}
+	return cg.byFn[fn]
+}
+
+// LitNode returns the node for a function literal, or nil.
+func (cg *CallGraph) LitNode(l *ast.FuncLit) *CallNode { return cg.byLit[l] }
+
+// SCCs returns the strongly connected components in bottom-up order: every
+// callee SCC appears before any SCC that calls into it (conservative and
+// interface edges included), so a single pass computes summaries to a
+// fixpoint except within one SCC.
+func (cg *CallGraph) SCCs() [][]*CallNode { return cg.sccs }
+
+// BuildCallGraph constructs the call graph of one package from its files and
+// type info. pkg is the package being analyzed; only functions declared in it
+// (plus its function literals) become nodes.
+func BuildCallGraph(files []*ast.File, info *types.Info, pkg *types.Package) *CallGraph {
+	cg := &CallGraph{
+		byFn:  map[*types.Func]*CallNode{},
+		byLit: map[*ast.FuncLit]*CallNode{},
+	}
+	b := &cgBuilder{cg: cg, info: info, pkg: pkg}
+
+	// Pass 1: one node per function declaration and per literal, so edge
+	// targets exist before any body is walked.
+	for _, f := range files {
+		b.collectNodes(f)
+	}
+	// Pass 2: resolve edges body by body.
+	for _, n := range cg.Nodes {
+		b.edges(n)
+	}
+	// Package-level var initializers may reference functions (registries,
+	// function tables): conservative edges with no caller are meaningless,
+	// but a literal declared there still needs its own out-edges — pass 2
+	// covered it because literals are nodes regardless of nesting.
+	cg.sccs = tarjanSCC(cg.Nodes)
+	return cg
+}
+
+type cgBuilder struct {
+	cg   *CallGraph
+	info *types.Info
+	pkg  *types.Package
+}
+
+func (b *cgBuilder) addNode(n *CallNode) {
+	n.Index = len(b.cg.Nodes)
+	b.cg.Nodes = append(b.cg.Nodes, n)
+}
+
+// collectNodes creates nodes for every FuncDecl with a body and every FuncLit
+// in the file, naming literals after their innermost enclosing declaration.
+func (b *cgBuilder) collectNodes(f *ast.File) {
+	var enclosing string
+	ast.Inspect(f, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncDecl:
+			if n.Body == nil {
+				return false
+			}
+			enclosing = n.Name.Name
+			node := &CallNode{Decl: n, Name: n.Name.Name}
+			if obj, ok := b.info.Defs[n.Name].(*types.Func); ok {
+				node.Fn = obj
+				if sig, ok := obj.Type().(*types.Signature); ok && sig.Recv() != nil {
+					node.Name = "(" + sig.Recv().Type().String() + ")." + n.Name.Name
+				}
+			}
+			if n.Recv != nil && len(n.Recv.List) == 1 && len(n.Recv.List[0].Names) == 1 {
+				if v, ok := b.info.Defs[n.Recv.List[0].Names[0]].(*types.Var); ok {
+					node.Recv = v
+				}
+			}
+			b.addNode(node)
+			if node.Fn != nil {
+				b.cg.byFn[node.Fn] = node
+			}
+		case *ast.FuncLit:
+			name := "func literal"
+			if enclosing != "" {
+				name = "func literal in " + enclosing
+			}
+			node := &CallNode{Lit: n, Name: name}
+			b.addNode(node)
+			b.cg.byLit[n] = node
+		}
+		return true
+	})
+}
+
+// edges walks one node's body (not descending into nested literals, which are
+// their own nodes) and resolves every call and function reference.
+func (b *cgBuilder) edges(caller *CallNode) {
+	body := caller.Body()
+	// claimed marks selector/ident nodes consumed by call handling so the
+	// generic reference pass below does not double-count them.
+	claimed := map[ast.Node]bool{}
+
+	var walk func(n ast.Node) bool
+	walk = func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			if n != nil && caller.Lit != n {
+				if !claimed[n] {
+					// A literal referenced without being called right here:
+					// it may run later (goroutine, defer, stored callback).
+					b.addEdge(caller, b.cg.byLit[n], n, nil, EdgeConservative)
+				}
+				return false // the literal's body is its own node
+			}
+		case *ast.CallExpr:
+			b.callEdges(caller, n, claimed)
+		case *ast.SelectorExpr:
+			if !claimed[n] {
+				if sel := b.info.Selections[n]; sel != nil && (sel.Kind() == types.MethodVal || sel.Kind() == types.MethodExpr) {
+					// Method value x.M or method expression T.M without
+					// calling it.
+					if fn, ok := sel.Obj().(*types.Func); ok {
+						if target := b.cg.byFn[fn]; target != nil {
+							b.addEdge(caller, target, n, nil, EdgeConservative)
+						}
+					}
+				}
+			}
+			claimed[n.Sel] = true
+		case *ast.Ident:
+			if !claimed[n] {
+				if fn, ok := b.info.Uses[n].(*types.Func); ok {
+					if target := b.cg.byFn[fn]; target != nil {
+						// Function or method used as a value.
+						b.addEdge(caller, target, n, nil, EdgeConservative)
+					}
+				}
+			}
+		}
+		return true
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		if n == nil {
+			return true
+		}
+		return walk(n)
+	})
+}
+
+// callEdges resolves one call expression from caller, marking the function
+// position nodes as claimed.
+func (b *cgBuilder) callEdges(caller *CallNode, call *ast.CallExpr, claimed map[ast.Node]bool) {
+	fun := ast.Unparen(call.Fun)
+	switch fun := fun.(type) {
+	case *ast.Ident:
+		claimed[fun] = true
+		switch obj := b.info.Uses[fun].(type) {
+		case *types.Func:
+			if target := b.cg.byFn[obj]; target != nil {
+				b.addEdge(caller, target, call, call, EdgeStatic)
+			}
+			// Builtins and foreign functions: no edge.
+		case *types.Var:
+			// Call through a function-typed variable.
+			caller.UnknownCalls = true
+		case *types.TypeName, *types.Builtin, nil:
+			// Conversion T(x), builtin, or unresolved: no call edge.
+		default:
+			caller.UnknownCalls = true
+		}
+	case *ast.SelectorExpr:
+		claimed[fun] = true
+		claimed[fun.Sel] = true
+		sel := b.info.Selections[fun]
+		if sel == nil {
+			// Qualified identifier pkg.F or conversion pkg.T(x): only
+			// same-package functions become edges, and those resolve through
+			// Uses on the Sel.
+			if fn, ok := b.info.Uses[fun.Sel].(*types.Func); ok {
+				if target := b.cg.byFn[fn]; target != nil {
+					b.addEdge(caller, target, call, call, EdgeStatic)
+				}
+			}
+			return
+		}
+		switch sel.Kind() {
+		case types.MethodVal:
+			fn, ok := sel.Obj().(*types.Func)
+			if !ok {
+				return
+			}
+			if target := b.cg.byFn[fn]; target != nil {
+				b.addEdge(caller, target, call, call, EdgeStatic)
+				return
+			}
+			// Interface method: fan out to package-local implementations.
+			if iface, ok := sel.Recv().Underlying().(*types.Interface); ok {
+				b.interfaceEdges(caller, call, fn.Name(), iface)
+				return
+			}
+			// Method of a foreign concrete type: no edge.
+		case types.FieldVal:
+			// Call through a function-typed struct field.
+			caller.UnknownCalls = true
+		case types.MethodExpr:
+			// T.M(recv, ...) used as a call: resolve like a static call.
+			if fn, ok := sel.Obj().(*types.Func); ok {
+				if target := b.cg.byFn[fn]; target != nil {
+					b.addEdge(caller, target, call, call, EdgeStatic)
+				}
+			}
+		}
+	case *ast.FuncLit:
+		claimed[fun] = true
+		if target := b.cg.byLit[fun]; target != nil {
+			// Immediately invoked literal: a genuine static call.
+			b.addEdge(caller, target, call, call, EdgeStatic)
+		}
+	case *ast.ArrayType, *ast.MapType, *ast.ChanType, *ast.InterfaceType, *ast.StructType, *ast.FuncType, *ast.StarExpr, *ast.IndexExpr, *ast.IndexListExpr:
+		// Type conversions and generic instantiations; IndexExpr may also be
+		// a call through a function table — treat the ambiguous case as
+		// unknown only when it type-checks as a value.
+		if tv, ok := b.info.Types[fun]; ok && tv.IsValue() {
+			caller.UnknownCalls = true
+		}
+	default:
+		// Call of a call result or other dynamic callee.
+		caller.UnknownCalls = true
+	}
+}
+
+// interfaceEdges adds Interface edges to every package-local method named
+// name whose receiver type implements iface.
+func (b *cgBuilder) interfaceEdges(caller *CallNode, call *ast.CallExpr, name string, iface *types.Interface) {
+	for _, cand := range b.cg.Nodes {
+		if cand.Fn == nil || cand.Fn.Name() != name {
+			continue
+		}
+		sig, ok := cand.Fn.Type().(*types.Signature)
+		if !ok || sig.Recv() == nil {
+			continue
+		}
+		rt := sig.Recv().Type()
+		if types.Implements(rt, iface) || types.Implements(types.NewPointer(rt), iface) {
+			b.addEdge(caller, cand, call, call, EdgeInterface)
+		}
+	}
+	// An interface call with zero package-local implementations behaves like
+	// a call that left the package; implementations elsewhere are invisible
+	// by design.
+}
+
+func (b *cgBuilder) addEdge(caller, callee *CallNode, site ast.Node, call *ast.CallExpr, kind EdgeKind) {
+	if caller == nil || callee == nil {
+		return
+	}
+	e := &CallEdge{Caller: caller, Callee: callee, Site: site, Call: call, Kind: kind}
+	caller.Out = append(caller.Out, e)
+	callee.In = append(callee.In, e)
+}
+
+// tarjanSCC computes strongly connected components over Out edges and returns
+// them in reverse-topological (bottom-up, callee-first) order.
+func tarjanSCC(nodes []*CallNode) [][]*CallNode {
+	type state struct {
+		index, low int
+		onStack    bool
+	}
+	st := make([]state, len(nodes))
+	for i := range st {
+		st[i].index = -1
+	}
+	var (
+		sccs    [][]*CallNode
+		stack   []*CallNode
+		counter int
+	)
+	var strongconnect func(v *CallNode)
+	strongconnect = func(v *CallNode) {
+		st[v.Index] = state{index: counter, low: counter, onStack: true}
+		counter++
+		stack = append(stack, v)
+		for _, e := range v.Out {
+			w := e.Callee
+			if st[w.Index].index < 0 {
+				strongconnect(w)
+				if st[w.Index].low < st[v.Index].low {
+					st[v.Index].low = st[w.Index].low
+				}
+			} else if st[w.Index].onStack && st[w.Index].index < st[v.Index].low {
+				st[v.Index].low = st[w.Index].index
+			}
+		}
+		if st[v.Index].low == st[v.Index].index {
+			var scc []*CallNode
+			for {
+				w := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				st[w.Index].onStack = false
+				w.scc = len(sccs)
+				scc = append(scc, w)
+				if w == v {
+					break
+				}
+			}
+			sccs = append(sccs, scc)
+		}
+	}
+	for _, v := range nodes {
+		if st[v.Index].index < 0 {
+			strongconnect(v)
+		}
+	}
+	// Tarjan already emits components in reverse topological order of the
+	// condensation: every successor (callee) component is finished before the
+	// component that reaches it.
+	return sccs
+}

@@ -1,0 +1,305 @@
+package flow_test
+
+import (
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"strings"
+	"testing"
+
+	"repro/internal/lint/flow"
+)
+
+// buildIndex type-checks one in-memory package and builds its flow index.
+func buildIndex(t *testing.T, src string) *flow.Index {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "p.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Implicits:  map[ast.Node]types.Object{},
+		Scopes:     map[ast.Node]*types.Scope{},
+	}
+	conf := types.Config{Importer: importer.ForCompiler(fset, "source", nil)}
+	pkg, err := conf.Check("p", fset, []*ast.File{f}, info)
+	if err != nil {
+		t.Fatalf("typecheck: %v", err)
+	}
+	return flow.NewIndex([]*ast.File{f}, info, pkg, flow.Options{})
+}
+
+// nodeNamed finds the unique call-graph node whose name contains substr.
+// Asking for a declared function whose name also appears in a literal's
+// "func literal in X" label is ambiguous; use declNamed there.
+func nodeNamed(t *testing.T, ix *flow.Index, substr string) *flow.CallNode {
+	t.Helper()
+	var found *flow.CallNode
+	for _, n := range ix.Graph().Nodes {
+		if strings.Contains(n.Name, substr) {
+			if found != nil {
+				t.Fatalf("node name %q is ambiguous: %q and %q", substr, found.Name, n.Name)
+			}
+			found = n
+		}
+	}
+	if found == nil {
+		t.Fatalf("no call-graph node named %q", substr)
+	}
+	return found
+}
+
+// declNamed is nodeNamed restricted to declared functions and methods.
+func declNamed(t *testing.T, ix *flow.Index, substr string) *flow.CallNode {
+	t.Helper()
+	var found *flow.CallNode
+	for _, n := range ix.Graph().Nodes {
+		if n.Decl == nil || !strings.Contains(n.Name, substr) {
+			continue
+		}
+		if found != nil {
+			t.Fatalf("decl name %q is ambiguous: %q and %q", substr, found.Name, n.Name)
+		}
+		found = n
+	}
+	if found == nil {
+		t.Fatalf("no declared function named %q", substr)
+	}
+	return found
+}
+
+// edgeKinds collects the kinds of every caller→callee edge.
+func edgeKinds(caller, callee *flow.CallNode) []flow.EdgeKind {
+	var kinds []flow.EdgeKind
+	for _, e := range caller.Out {
+		if e.Callee == callee {
+			kinds = append(kinds, e.Kind)
+		}
+	}
+	return kinds
+}
+
+func hasKind(kinds []flow.EdgeKind, k flow.EdgeKind) bool {
+	for _, kk := range kinds {
+		if kk == k {
+			return true
+		}
+	}
+	return false
+}
+
+func TestCallGraphStaticFunctionAndMethod(t *testing.T) {
+	ix := buildIndex(t, `package p
+type T struct{ n int }
+func (t *T) bump() { t.n++ }
+func helper()      {}
+func driver(t *T)  { helper(); t.bump() }
+`)
+	driver := nodeNamed(t, ix, "driver")
+	if k := edgeKinds(driver, nodeNamed(t, ix, "helper")); !hasKind(k, flow.EdgeStatic) {
+		t.Errorf("driver→helper edges = %v, want a static edge", k)
+	}
+	if k := edgeKinds(driver, nodeNamed(t, ix, "bump")); !hasKind(k, flow.EdgeStatic) {
+		t.Errorf("driver→bump edges = %v, want a static edge", k)
+	}
+	if driver.UnknownCalls {
+		t.Errorf("driver.UnknownCalls = true, want false")
+	}
+}
+
+// TestCallGraphMethodValue: binding a method value and calling it through the
+// variable must produce a conservative edge (the reference) plus an unknown
+// call (the invocation through a function value) — never a static edge that
+// would let facts flow as if the call site were resolved.
+func TestCallGraphMethodValue(t *testing.T) {
+	ix := buildIndex(t, `package p
+type T struct{ n int }
+func (t *T) bump() { t.n++ }
+func driver(t *T) {
+	f := t.bump
+	f()
+}
+`)
+	driver := nodeNamed(t, ix, "driver")
+	kinds := edgeKinds(driver, nodeNamed(t, ix, "bump"))
+	if !hasKind(kinds, flow.EdgeConservative) {
+		t.Errorf("driver→bump edges = %v, want a conservative edge for the method value", kinds)
+	}
+	if hasKind(kinds, flow.EdgeStatic) {
+		t.Errorf("driver→bump edges = %v: method value must not create a static edge", kinds)
+	}
+	if !driver.UnknownCalls {
+		t.Error("call through the bound method value was not counted as an unknown call")
+	}
+}
+
+// TestCallGraphClosureInStructField: a literal stored into a struct field is
+// reachable through data flow the graph does not track, so it must get a
+// conservative edge from the storing function, and invoking it through the
+// field must stay unknown.
+func TestCallGraphClosureInStructField(t *testing.T) {
+	ix := buildIndex(t, `package p
+type box struct{ fn func() }
+func build() box {
+	return box{fn: func() { println("stored") }}
+}
+func run(b box) { b.fn() }
+`)
+	build := nodeNamed(t, ix, "literal in build")
+	kinds := edgeKinds(declNamed(t, ix, "build"), build)
+	if !hasKind(kinds, flow.EdgeConservative) {
+		t.Errorf("build→literal edges = %v, want conservative for a stored closure", kinds)
+	}
+	run := nodeNamed(t, ix, "run")
+	if len(run.Out) != 0 {
+		t.Errorf("run has %d out-edges, want 0: b.fn() is not resolvable", len(run.Out))
+	}
+	if !run.UnknownCalls {
+		t.Error("b.fn() was not counted as an unknown call")
+	}
+}
+
+// TestCallGraphInterfaceFanOut: a call through an interface method expands to
+// interface edges to every in-package implementation, and only to those.
+func TestCallGraphInterfaceFanOut(t *testing.T) {
+	ix := buildIndex(t, `package p
+type closer interface{ close() }
+type a struct{}
+func (a) close() {}
+type b struct{}
+func (*b) close() {}
+type unrelated struct{}
+func (unrelated) open() {}
+func shut(c closer) { c.close() }
+`)
+	shut := nodeNamed(t, ix, "shut")
+	var targets []string
+	for _, e := range shut.Out {
+		if e.Kind != flow.EdgeInterface {
+			t.Errorf("shut edge to %s has kind %v, want interface", e.Callee.Name, e.Kind)
+		}
+		targets = append(targets, e.Callee.Name)
+	}
+	if len(targets) != 2 {
+		t.Fatalf("shut fans out to %v, want the two close implementations", targets)
+	}
+	for _, name := range targets {
+		if !strings.Contains(name, "close") {
+			t.Errorf("unexpected interface target %s", name)
+		}
+	}
+}
+
+// TestSCCSummaryConvergence: mutually recursive functions form one SCC and
+// the summary fixpoint propagates facts around the cycle — the sleep in odd
+// must be visible from even and from the outside caller.
+func TestSCCSummaryConvergence(t *testing.T) {
+	ix := buildIndex(t, `package p
+import "time"
+func even(n int) {
+	if n > 0 {
+		odd(n - 1)
+	}
+}
+func odd(n int) {
+	time.Sleep(time.Millisecond)
+	if n > 0 {
+		even(n - 1)
+	}
+}
+func outer() { even(4) }
+`)
+	even, odd := nodeNamed(t, ix, "even"), nodeNamed(t, ix, "odd")
+	inOne := false
+	for _, scc := range ix.Graph().SCCs() {
+		hasEven, hasOdd := false, false
+		for _, n := range scc {
+			hasEven = hasEven || n == even
+			hasOdd = hasOdd || n == odd
+		}
+		if hasEven != hasOdd {
+			t.Fatal("even and odd landed in different SCCs")
+		}
+		inOne = inOne || (hasEven && hasOdd)
+	}
+	if !inOne {
+		t.Fatal("mutual recursion did not form an SCC")
+	}
+	for _, n := range []*flow.CallNode{even, odd, nodeNamed(t, ix, "outer")} {
+		if sum := ix.Summary(n); sum == nil || !sum.Sleeps {
+			t.Errorf("%s: Sleeps not propagated through the SCC", n.Name)
+		}
+	}
+}
+
+// TestDeferredUnlockNetsToNoEffect: the mu.Lock(); defer mu.Unlock() helper
+// shape must not report the lock as still acquired at exit — the deferred
+// release runs at return.
+func TestDeferredUnlockNetsToNoEffect(t *testing.T) {
+	ix := buildIndex(t, `package p
+import "sync"
+type T struct {
+	mu sync.Mutex
+	n  int
+}
+func (t *T) get() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.n
+}
+func (t *T) hold() {
+	t.mu.Lock()
+	t.n++
+}
+`)
+	if sum := ix.Summary(nodeNamed(t, ix, "get")); len(sum.AcquiresAtExit) != 0 {
+		t.Errorf("get.AcquiresAtExit = %v, want none: the deferred unlock releases it", sum.AcquiresAtExit)
+	}
+	sum := ix.Summary(nodeNamed(t, ix, "hold"))
+	if len(sum.AcquiresAtExit) != 1 || !sum.AcquiresAtExit[0].Write {
+		t.Errorf("hold.AcquiresAtExit = %v, want the write lock held", sum.AcquiresAtExit)
+	}
+}
+
+// TestEntryHeldThroughHelperAndClosure: a helper only ever called with the
+// lock held is credited the lock at entry; a local closure invoked in-frame
+// under the lock inherits it; a sort.Search callback inherits the state at
+// its call site.
+func TestEntryHeldThroughHelperAndClosure(t *testing.T) {
+	ix := buildIndex(t, `package p
+import (
+	"sort"
+	"sync"
+)
+type T struct {
+	mu sync.Mutex
+	xs []int
+}
+func (t *T) findLocked(v int) int {
+	return sort.Search(len(t.xs), func(i int) bool { return t.xs[i] >= v })
+}
+func (t *T) use(v int) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	probe := func() int { return t.findLocked(v) }
+	probe()
+}
+`)
+	wantHeld := func(n *flow.CallNode) {
+		t.Helper()
+		held := ix.EntryHeld(n)
+		if len(held) != 1 || held[0].Key.Path != ".mu" {
+			t.Errorf("%s: EntryHeld = %v, want t.mu", n.Name, held)
+		}
+	}
+	wantHeld(declNamed(t, ix, "findLocked"))
+	wantHeld(nodeNamed(t, ix, "literal in use"))
+	wantHeld(nodeNamed(t, ix, "literal in findLocked"))
+}

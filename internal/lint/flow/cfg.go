@@ -1,8 +1,11 @@
-// Package flow is the intraprocedural control-flow and dataflow engine under
-// trasslint's flow-aware analyzers. It builds a control-flow graph from one
-// function body (go/ast only — no type information is needed at this layer),
+// Package flow is the control-flow and dataflow engine under trasslint's
+// flow-aware analyzers. The intraprocedural layer builds a control-flow
+// graph from one function body (go/ast only — no type information needed),
 // computes dominators and natural loops on it, and runs small forward
-// gen/kill dataflow problems to a fixpoint.
+// gen/kill dataflow problems to a fixpoint. The interprocedural layer
+// (callgraph.go, summary.go) adds a typed package-level call graph with
+// bottom-up function summaries: lock effects, may-block/IO facts, and
+// held-lock propagation into helpers.
 //
 // The engine exists because the durability invariants PR 2 introduced are
 // *ordering* properties — "the file Sync must have happened on every path

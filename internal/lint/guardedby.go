@@ -1,0 +1,294 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"sort"
+	"strings"
+
+	"repro/internal/lint/flow"
+)
+
+// GuardedByAnalyzer infers, for each mutable field of a lock-bearing struct,
+// which sibling mutex guards it — and then flags every access that touches
+// the field without that mutex held, including accesses buried in helpers
+// that are only ever called with the lock already taken.
+//
+// Inference rule: a mutex M guards field F when at least two counted
+// accesses of F hold M and those accesses are a strict majority of all
+// counted accesses. Counted means post-publication: accesses through freshly
+// constructed locals (x := &T{...}) and through receivers that never escape
+// construction are exempt, because no other goroutine can observe them yet.
+// Immutable fields (no counted write anywhere) need no guard and are
+// skipped, as are fields whose type is entirely sync/atomic values.
+//
+// A field comment overrides inference:
+//
+//	//lint:guardedby mu    — F is guarded by the sibling mutex field mu
+//	//lint:guardedby -     — F is deliberately unguarded; skip it
+//
+// Held-ness comes from the flow summary layer's must-analysis: a lock counts
+// as held only when it is held on every path, with locks the caller provably
+// holds at every call site credited to the helper (entry-held propagation).
+// Write accesses under an RWMutex require the write lock; RLock does not
+// protect a write.
+var GuardedByAnalyzer = &Analyzer{
+	Name: "guardedby",
+	Doc:  "struct field accessed without the mutex that guards it (majority-locked inference, //lint:guardedby override)",
+	Run:  runGuardedBy,
+}
+
+// guardedStruct is one lock-bearing struct under analysis.
+type guardedStruct struct {
+	named *types.Named
+	// mutexes are the struct's sync.Mutex/RWMutex field names.
+	mutexes []string
+	// override maps field name → forced guard ("mu") or "-" for opt-out.
+	override map[string]string
+}
+
+// fieldStats accumulates the counted accesses of one field.
+type fieldStats struct {
+	accs   []guardedAccess
+	writes int
+	// heldBy counts, per sibling mutex name, the accesses that held it
+	// (write-held for writes).
+	heldBy map[string]int
+}
+
+type guardedAccess struct {
+	node *flow.CallNode
+	acc  flow.FieldAccess
+	// held records which sibling mutexes were appropriately held, and
+	// readOnly which were held only as read locks at a write access.
+	held     map[string]bool
+	readOnly map[string]bool
+}
+
+func runGuardedBy(pass *Pass) {
+	structs := collectGuardedStructs(pass)
+	if len(structs) == 0 {
+		return
+	}
+	ix := pass.FlowIndex()
+
+	type fieldKey struct {
+		owner *types.Named
+		field *types.Var
+	}
+	stats := map[fieldKey]*fieldStats{}
+	var order []fieldKey
+	atomicMemo := map[types.Type]bool{}
+
+	for _, node := range ix.Graph().Nodes {
+		for _, acc := range ix.FieldAccesses(node) {
+			gs := structs[acc.Owner.Obj()]
+			if gs == nil {
+				continue
+			}
+			if isMutexType(acc.Field.Type()) || atomicSafeType(acc.Field.Type(), atomicMemo) {
+				continue
+			}
+			if gs.override[acc.Field.Name()] == "-" {
+				continue
+			}
+			// Pre-publication accesses carry no guard obligation. The check
+			// is frame-aware: a closure running synchronously inside a
+			// constructor sees the constructor's fresh locals.
+			if ix.PrePubRoot(node, acc.BaseRoot) {
+				continue
+			}
+			ga := guardedAccess{node: node, acc: acc, held: map[string]bool{}, readOnly: map[string]bool{}}
+			heldHere := ix.HeldAt(node, acc.Sel)
+			for _, mu := range gs.mutexes {
+				guard := acc.GuardKey(mu)
+				for _, h := range heldHere {
+					if h.Key != guard {
+						continue
+					}
+					if acc.Write && !h.Write {
+						ga.readOnly[mu] = true
+						continue
+					}
+					ga.held[mu] = true
+				}
+			}
+			k := fieldKey{acc.Owner, acc.Field}
+			st := stats[k]
+			if st == nil {
+				st = &fieldStats{heldBy: map[string]int{}}
+				stats[k] = st
+				order = append(order, k)
+			}
+			st.accs = append(st.accs, ga)
+			if acc.Write {
+				st.writes++
+			}
+			for mu := range ga.held {
+				st.heldBy[mu]++
+			}
+		}
+	}
+
+	sort.Slice(order, func(i, j int) bool {
+		if order[i].owner != order[j].owner {
+			return order[i].owner.Obj().Name() < order[j].owner.Obj().Name()
+		}
+		return order[i].field.Name() < order[j].field.Name()
+	})
+	for _, k := range order {
+		st := stats[k]
+		gs := structs[k.owner.Obj()]
+		guard, inferred := gs.override[k.field.Name()], false
+		if guard == "" {
+			guard, inferred = inferGuard(st)
+			if guard == "" {
+				continue
+			}
+		}
+		qualified := k.owner.Obj().Name() + "." + k.field.Name()
+		lock := k.owner.Obj().Name() + "." + guard
+		for _, ga := range st.accs {
+			if ga.held[guard] {
+				continue
+			}
+			switch {
+			case ga.acc.Write && ga.readOnly[guard]:
+				pass.Reportf(ga.acc.Sel.Pos(),
+					"write to %s holds only %s.RLock; writes need the write lock", qualified, ga.acc.BaseExpr+"."+guard)
+			case inferred:
+				pass.Reportf(ga.acc.Sel.Pos(),
+					"%s is guarded by %s (held on %d of %d accesses) but this access does not hold %s",
+					qualified, lock, st.heldBy[guard], len(st.accs), ga.acc.BaseExpr+"."+guard)
+			default:
+				pass.Reportf(ga.acc.Sel.Pos(),
+					"%s is declared guarded by %s (//lint:guardedby) but this access does not hold %s",
+					qualified, lock, ga.acc.BaseExpr+"."+guard)
+			}
+		}
+	}
+}
+
+// inferGuard picks the majority mutex: held on at least two counted accesses
+// and on a strict majority of them, for a field with at least one counted
+// write (immutable state needs no lock).
+func inferGuard(st *fieldStats) (string, bool) {
+	if st.writes == 0 {
+		return "", false
+	}
+	best, bestN := "", 0
+	for mu, n := range st.heldBy {
+		if n > bestN || (n == bestN && mu < best) {
+			best, bestN = mu, n
+		}
+	}
+	if bestN < 2 || 2*bestN <= len(st.accs) {
+		return "", false
+	}
+	return best, true
+}
+
+// collectGuardedStructs finds every struct declared in the package with at
+// least one sync.Mutex/RWMutex field, plus its //lint:guardedby overrides.
+func collectGuardedStructs(pass *Pass) map[types.Object]*guardedStruct {
+	out := map[types.Object]*guardedStruct{}
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			ts, ok := n.(*ast.TypeSpec)
+			if !ok {
+				return true
+			}
+			st, ok := ts.Type.(*ast.StructType)
+			if !ok {
+				return true
+			}
+			obj := pass.Info.Defs[ts.Name]
+			if obj == nil {
+				return true
+			}
+			named, ok := obj.Type().(*types.Named)
+			if !ok {
+				return true
+			}
+			gs := &guardedStruct{named: named, override: map[string]string{}}
+			for _, f := range st.Fields.List {
+				isMu := isMutexType(pass.TypeOf(f.Type))
+				for _, name := range f.Names {
+					if isMu {
+						gs.mutexes = append(gs.mutexes, name.Name)
+					}
+					if dir := guardedByDirective(f); dir != "" {
+						gs.override[name.Name] = dir
+					}
+				}
+			}
+			if len(gs.mutexes) > 0 {
+				out[obj] = gs
+			}
+			return true
+		})
+	}
+	return out
+}
+
+// guardedByDirective extracts "//lint:guardedby <mu>" from a field's doc or
+// trailing comment.
+func guardedByDirective(f *ast.Field) string {
+	for _, cg := range []*ast.CommentGroup{f.Doc, f.Comment} {
+		if cg == nil {
+			continue
+		}
+		for _, c := range cg.List {
+			if rest, ok := strings.CutPrefix(c.Text, "//lint:guardedby"); ok {
+				return strings.TrimSpace(rest)
+			}
+		}
+	}
+	return ""
+}
+
+func isMutexType(t types.Type) bool {
+	return isPkgType(t, "sync", "Mutex") || isPkgType(t, "sync", "RWMutex")
+}
+
+// atomicSafeType reports whether every word of t is managed by sync/atomic:
+// an atomic type itself, or a struct all of whose fields are atomic-safe.
+// Such fields are safely accessed with or without the struct's mutex, so
+// they neither count toward inference nor get flagged. memo caches results
+// across fields of one run; an in-progress entry reads false, so recursive
+// types (which cannot be atomic-safe) terminate without poisoning repeated
+// leaf types like a struct of twelve atomic.Int64 counters.
+func atomicSafeType(t types.Type, memo map[types.Type]bool) bool {
+	if t == nil {
+		return false
+	}
+	if memo == nil {
+		memo = map[types.Type]bool{}
+	}
+	if safe, done := memo[t]; done {
+		return safe
+	}
+	memo[t] = false
+	safe := false
+	switch t := t.(type) {
+	case *types.Named:
+		obj := t.Obj()
+		if obj != nil && obj.Pkg() != nil && obj.Pkg().Path() == "sync/atomic" {
+			safe = true
+		} else {
+			safe = atomicSafeType(t.Underlying(), memo)
+		}
+	case *types.Struct:
+		if t.NumFields() > 0 {
+			safe = true
+			for i := 0; i < t.NumFields(); i++ {
+				if !atomicSafeType(t.Field(i).Type(), memo) {
+					safe = false
+					break
+				}
+			}
+		}
+	}
+	memo[t] = safe
+	return safe
+}

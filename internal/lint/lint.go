@@ -24,6 +24,9 @@ import (
 	"go/types"
 	"sort"
 	"strings"
+	"time"
+
+	"repro/internal/lint/flow"
 )
 
 // Analyzer is one named check over a type-checked package.
@@ -37,8 +40,9 @@ type Analyzer struct {
 }
 
 // All returns the full analyzer suite in stable order: the five syntactic
-// analyzers from PR 1 followed by the four flow-aware ones built on
-// internal/lint/flow.
+// analyzers from PR 1, the four flow-aware ones built on internal/lint/flow,
+// and the four interprocedural concurrency analyzers built on the call-graph
+// summary layer.
 func All() []*Analyzer {
 	return []*Analyzer{
 		LocksAnalyzer,
@@ -50,6 +54,10 @@ func All() []*Analyzer {
 		SyncRenameAnalyzer,
 		CtxLoopAnalyzer,
 		LoopRetainAnalyzer,
+		GuardedByAnalyzer,
+		AtomicMixAnalyzer,
+		GoLifetimeAnalyzer,
+		LockHeldIOAnalyzer,
 	}
 }
 
@@ -72,8 +80,22 @@ type Pass struct {
 	Pkg      *types.Package
 	Info     *types.Info
 
+	pkg     *Package
 	diags   *[]Diagnostic
 	ignores map[ignoreKey]bool
+}
+
+// FlowIndex returns the package's interprocedural index (call graph, lock
+// dataflow, summaries), built once and shared by every analyzer that needs
+// it. The I/O classifier injected into the summary layer is the vfs write
+// surface — the durability calls lockheld-io polices.
+func (p *Pass) FlowIndex() *flow.Index {
+	if p.pkg.flowIdx == nil {
+		p.pkg.flowIdx = flow.NewIndex(p.Files, p.Info, p.Pkg, flow.Options{
+			IsIO: vfsWriteClassifier(p.Info),
+		})
+	}
+	return p.pkg.flowIdx
 }
 
 type ignoreKey struct {
@@ -118,6 +140,14 @@ func (p *Pass) TypeOf(e ast.Expr) types.Type {
 // position. Malformed lint:ignore directives are reported under analyzer
 // "lint".
 func Run(pkg *Package, analyzers []*Analyzer) []Diagnostic {
+	return RunTimed(pkg, analyzers, nil)
+}
+
+// RunTimed is Run with per-analyzer wall time accumulated into timings
+// (keyed by analyzer name) when timings is non-nil. The first analyzer to
+// touch the flow index pays its construction cost; that attribution is
+// deliberate — it shows up in exactly the configurations that build it.
+func RunTimed(pkg *Package, analyzers []*Analyzer, timings map[string]time.Duration) []Diagnostic {
 	var diags []Diagnostic
 	ignores, bad := collectIgnores(pkg.Fset, pkg.Files)
 	diags = append(diags, bad...)
@@ -128,10 +158,15 @@ func Run(pkg *Package, analyzers []*Analyzer) []Diagnostic {
 			Files:    pkg.Files,
 			Pkg:      pkg.Pkg,
 			Info:     pkg.Info,
+			pkg:      pkg,
 			diags:    &diags,
 			ignores:  ignores,
 		}
+		start := time.Now()
 		a.Run(pass)
+		if timings != nil {
+			timings[a.Name] += time.Since(start)
+		}
 	}
 	sort.Slice(diags, func(i, j int) bool {
 		a, b := diags[i].Pos, diags[j].Pos

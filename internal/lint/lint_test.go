@@ -132,12 +132,25 @@ func TestLoopretainFixture(t *testing.T) {
 	checkFixture(t, "retainviol", analyzerByName(t, "loopretain"))
 }
 
-// TestAllAnalyzers pins the analyzer roster: nine analyzers, distinct
+func TestGuardedbyFixture(t *testing.T) {
+	checkFixture(t, "guardviol", analyzerByName(t, "guardedby"))
+}
+func TestAtomicmixFixture(t *testing.T) {
+	checkFixture(t, "atomicviol", analyzerByName(t, "atomicmix"))
+}
+func TestGolifetimeFixture(t *testing.T) {
+	checkFixture(t, "lifetimeviol", analyzerByName(t, "golifetime"))
+}
+func TestLockheldioFixture(t *testing.T) {
+	checkFixture(t, "heldioviol", analyzerByName(t, "lockheldio"))
+}
+
+// TestAllAnalyzers pins the analyzer roster: thirteen analyzers, distinct
 // non-empty names, each with documentation.
 func TestAllAnalyzers(t *testing.T) {
 	all := lint.All()
-	if len(all) != 9 {
-		t.Fatalf("All() returned %d analyzers, want 9", len(all))
+	if len(all) != 13 {
+		t.Fatalf("All() returned %d analyzers, want 13", len(all))
 	}
 	seen := map[string]bool{}
 	for _, az := range all {
@@ -286,6 +299,124 @@ func TestSyncRenameCatchesReorder(t *testing.T) {
 	}
 	if !found {
 		t.Fatal("reordered Sync/Rename in sstable.go was not caught by syncrename")
+	}
+}
+
+// copyKVScratch copies internal/kv's non-test sources into a scratch package
+// under testdata so an acceptance test can mutate the copy. The scratch dir
+// lives inside the module so repro/internal/vfs imports resolve.
+func copyKVScratch(t *testing.T, dirname string) string {
+	t.Helper()
+	scratch, err := filepath.Abs(filepath.Join("testdata", dirname))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.MkdirAll(scratch, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { os.RemoveAll(scratch) })
+	entries, err := os.ReadDir(filepath.Join("..", "kv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		name := e.Name()
+		if !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		data, err := os.ReadFile(filepath.Join("..", "kv", name))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(filepath.Join(scratch, name), data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return scratch
+}
+
+// TestGuardedByCatchesDroppedLock is the concurrency-contract acceptance
+// test, the guardedby analogue of TestSyncRenameCatchesReorder: copy
+// internal/kv into a scratch package, verify the pristine copy is clean,
+// then delete the db.mu.Lock()/defer db.mu.Unlock() pair from DB.Tables and
+// verify the now-unguarded db.tables read is caught — proving the guard was
+// inferred from the other accesses, not declared anywhere.
+func TestGuardedByCatchesDroppedLock(t *testing.T) {
+	az := analyzerByName(t, "guardedby")
+	scratch := copyKVScratch(t, "scratch_guardedby")
+
+	runScratch := func() []lint.Diagnostic {
+		t.Helper()
+		loader, err := lint.NewLoader(scratch)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pkg, err := loader.LoadDir(scratch)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(pkg.TypeErrors) > 0 {
+			t.Fatalf("scratch kv copy has type errors: %v", pkg.TypeErrors)
+		}
+		return lint.Run(pkg, []*lint.Analyzer{az})
+	}
+
+	if diags := runScratch(); len(diags) != 0 {
+		t.Fatalf("pristine kv copy is not clean under guardedby: %v", diags)
+	}
+
+	// Delete the lock acquisition and its deferred release from Tables by
+	// source range, leaving `return len(db.tables)` outside any guard.
+	path := filepath.Join(scratch, "store.go")
+	src, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fset := token.NewFileSet()
+	parsed, err := parser.ParseFile(fset, path, src, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var cut []ast.Stmt
+	for _, decl := range parsed.Decls {
+		fd, ok := decl.(*ast.FuncDecl)
+		if !ok || fd.Name.Name != "Tables" || fd.Body == nil {
+			continue
+		}
+		for _, stmt := range fd.Body.List {
+			text := func(n ast.Node) string {
+				return string(src[fset.Position(n.Pos()).Offset:fset.Position(n.End()).Offset])
+			}
+			s := text(stmt)
+			if strings.Contains(s, "db.mu.Lock") || strings.Contains(s, "db.mu.Unlock") {
+				cut = append(cut, stmt)
+			}
+		}
+	}
+	if len(cut) != 2 {
+		t.Fatalf("expected to cut the Lock and deferred Unlock from Tables, found %d statements", len(cut))
+	}
+	var mutated []byte
+	prev := 0
+	for _, stmt := range cut {
+		a, b := fset.Position(stmt.Pos()).Offset, fset.Position(stmt.End()).Offset
+		mutated = append(mutated, src[prev:a]...)
+		prev = b
+	}
+	mutated = append(mutated, src[prev:]...)
+	if err := os.WriteFile(path, mutated, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	re := regexp.MustCompile(`DB\.tables is guarded by DB\.mu .* but this access does not hold db\.mu`)
+	found := false
+	for _, d := range runScratch() {
+		if filepath.Base(d.Pos.Filename) == "store.go" && re.MatchString(d.Message) {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("unguarded db.tables read in Tables was not caught by guardedby")
 	}
 }
 

@@ -11,6 +11,8 @@ import (
 	"path/filepath"
 	"sort"
 	"strings"
+
+	"repro/internal/lint/flow"
 )
 
 // Package is one loaded, type-checked package.
@@ -24,6 +26,10 @@ type Package struct {
 	// TypeErrors holds soft type-check errors. Analysis still runs; the CLI
 	// surfaces them as warnings so a broken build never silently passes.
 	TypeErrors []error
+
+	// flowIdx caches the interprocedural index (call graph + summaries) so
+	// the four concurrency analyzers build it once per package.
+	flowIdx *flow.Index
 }
 
 // Loader loads and type-checks packages of one module from source. Imports

@@ -25,7 +25,7 @@ func buildRows(it *iter) []row {
 	var rows []row
 	for it.Next() {
 		rows = append(rows, row{
-			key: it.Key(), // want "Key\(\) result retained in a composite literal"
+			key: it.Key(),   // want "Key\(\) result retained in a composite literal"
 			val: it.Value(), // want "Value\(\) result retained in a composite literal"
 		})
 	}

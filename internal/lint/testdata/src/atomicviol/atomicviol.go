@@ -1,0 +1,45 @@
+// Package atomicviol seeds violations for the atomicmix analyzer: variables
+// accessed through the old-style sync/atomic functions in one place and
+// plainly in another — races the race detector only catches when the
+// schedule cooperates.
+package atomicviol
+
+import "sync/atomic"
+
+type stats struct {
+	ops  int64
+	errs int64
+}
+
+func (s *stats) inc() {
+	atomic.AddInt64(&s.ops, 1)
+}
+
+func (s *stats) read() int64 {
+	return s.ops // want "s.ops is accessed with atomic.AddInt64 elsewhere"
+}
+
+// loadOK goes through sync/atomic like every other access of ops: clean.
+func (s *stats) loadOK() int64 {
+	return atomic.LoadInt64(&s.ops)
+}
+
+// errsPlain is clean: errs is never touched atomically, so plain access is
+// the (single) convention.
+func (s *stats) errsPlain() int64 {
+	return s.errs
+}
+
+var hits int64
+
+func bump() {
+	atomic.AddInt64(&hits, 1)
+}
+
+func peek() int64 {
+	return hits // want "hits is accessed with atomic.AddInt64 elsewhere"
+}
+
+func store(n int64) {
+	hits = n // want "hits is accessed with atomic.AddInt64 elsewhere"
+}

@@ -20,10 +20,10 @@ func pair() (int, error) { return 0, nil }
 
 func dropped(w io.Writer) {
 	var c closer
-	c.Close()           // want "result of c.Close includes an error that is discarded"
-	fails()             // want "result of fails includes an error that is discarded"
-	pair()              // want "result of pair includes an error that is discarded"
-	fmt.Fprintf(w, "x") // want "result of fmt.Fprintf includes an error that is discarded"
+	c.Close()              // want "result of c.Close includes an error that is discarded"
+	fails()                // want "result of fails includes an error that is discarded"
+	pair()                 // want "result of pair includes an error that is discarded"
+	fmt.Fprintf(w, "x")    // want "result of fmt.Fprintf includes an error that is discarded"
 	io.WriteString(w, "x") // want "result of io.WriteString includes an error that is discarded"
 }
 

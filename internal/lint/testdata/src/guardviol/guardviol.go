@@ -1,0 +1,85 @@
+// Package guardviol seeds violations for the guardedby analyzer: fields
+// whose guarding mutex is inferred from majority-locked accesses (or forced
+// by a //lint:guardedby directive) accessed without that mutex held, plus a
+// write performed under only the read half of an RWMutex.
+package guardviol
+
+import "sync"
+
+type gauge struct {
+	mu   sync.Mutex
+	hits int
+	// peak is maintained out-of-band by the flusher, so inference would not
+	// see a majority; the directive forces the association.
+	//lint:guardedby mu
+	peak int
+	// approx is a monotone hint readers may see stale; deliberately unguarded.
+	//lint:guardedby -
+	approx int
+}
+
+func (g *gauge) add(n int) {
+	g.mu.Lock()
+	g.hits += n
+	if g.hits > g.peak {
+		g.peak = g.hits
+	}
+	g.approx++
+	g.mu.Unlock()
+}
+
+func (g *gauge) reset() {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.hits = 0
+	g.addLocked(0)
+}
+
+// addLocked is only ever called with g.mu held, so the entry-held pass
+// credits it the lock: its access is counted as guarded, not flagged.
+func (g *gauge) addLocked(n int) {
+	g.hits += n
+}
+
+func (g *gauge) peek() int {
+	return g.hits // want "gauge.hits is guarded by gauge.mu .* but this access does not hold g.mu"
+}
+
+func (g *gauge) bump() {
+	g.peak++ // want "gauge.peak is declared guarded by gauge.mu"
+}
+
+func (g *gauge) estimate() int {
+	return g.approx // opted out: never flagged
+}
+
+// newGauge touches fields of a freshly constructed value: pre-publication,
+// no guard obligation.
+func newGauge() *gauge {
+	g := &gauge{}
+	g.hits = 1
+	return g
+}
+
+type table struct {
+	mu sync.RWMutex
+	m  map[string]int
+}
+
+func (t *table) set(k string, v int) {
+	t.mu.Lock()
+	t.m[k] = v
+	t.mu.Unlock()
+}
+
+func (t *table) get(k string) int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.m[k]
+}
+
+func (t *table) sneak(k string) {
+	t.mu.RLock()
+	t.m[k] = 0 // want "write to table.m holds only t.mu.RLock; writes need the write lock"
+	t.mu.RUnlock()
+}

@@ -149,7 +149,6 @@ func Open(cfg Config) (*Store, error) {
 // index values) from the row keys already on disk. The filter rejects every
 // row, so only keys are visited and nothing is shipped.
 func (s *Store) recoverMeta() error {
-	var mu sync.Mutex
 	_, err := s.cluster.Scan(context.Background(), cluster.ScanRequest{
 		Ranges: []cluster.KeyRange{{}},
 		Filter: func(key, _ []byte) bool {
@@ -161,14 +160,17 @@ func (s *Store) recoverMeta() error {
 			if err != nil {
 				return false
 			}
-			mu.Lock()
+			// Scan workers invoke the filter concurrently: serialize on the
+			// same s.mu that guards these fields everywhere else, not a
+			// recovery-local mutex no other access path can see.
+			s.mu.Lock()
 			s.count++
 			s.keyBytes += int64(len(key))
 			s.resHist[seq.Len()]++
 			s.codeHist[code]++
 			s.values[v]++
 			s.valuesDirty = true
-			mu.Unlock()
+			s.mu.Unlock()
 			return false
 		},
 	})

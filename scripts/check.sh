@@ -8,9 +8,13 @@
 # everything:
 #
 #   lint       go build ./..., go vet ./..., trasslint ./... (project-specific
-#              analyzers, internal/lint, including the flow-aware
-#              durability/concurrency checks), plus an explicit self-host
-#              pass over internal/lint and cmd/trasslint
+#              analyzers, internal/lint: the syntactic checks, the flow-aware
+#              durability/concurrency checks, and the interprocedural
+#              concurrency suite — guardedby, atomicmix, golifetime,
+#              lockheldio — built on call-graph summaries), plus an explicit
+#              self-host pass over internal/lint and cmd/trasslint.
+#              trasslint supports -only/-skip to bisect a finding to one
+#              analyzer locally; the gate always runs all of them.
 #   torture    deterministic crash/error-injection suites (kv + cluster);
 #              SHORT=1 runs the strided subset, otherwise every fault point
 #   test       refinement-executor and streaming-pipeline race tests (always
