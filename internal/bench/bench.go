@@ -387,6 +387,7 @@ var Runners = []struct {
 	{"ablation", "contribution of each TraSS design choice", Ablation},
 	{"refine", "parallel refinement executor: sequential vs 4-worker refine wall-clock per measure", Refine},
 	{"stream", "streaming scan pipeline: collect-all vs bounded-queue scan/refine overlap under RPC latency", Stream},
+	{"commit", "group-commit WAL: fsync amortization and throughput vs concurrent synced writers", Commit},
 }
 
 // Describe returns the one-line description of an experiment, or "".

@@ -1,0 +1,115 @@
+package bench
+
+import (
+	"fmt"
+	"path/filepath"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/kv"
+	"repro/internal/vfs"
+)
+
+// The commit experiment measures what the group-commit WAL buys over
+// one-fsync-per-write: W concurrent writers race synced Puts into one store
+// while the committer coalesces consecutive requests into a single WAL append
+// + fsync. The store runs on the fault-injection filesystem with a simulated
+// fsync latency (the in-memory FS would otherwise "sync" in nanoseconds and
+// no queue would ever form), and the filesystem's per-path sync counters
+// provide the ground truth the table divides by — not the store's own stats,
+// so a store that lied about its syncs would be caught.
+//
+// The CI bench-smoke job records the JSON output (BENCH_commit.json). The
+// fsyncs/op column is the contract: at 8 writers it must be well below 1 —
+// the run errors out otherwise, failing the job rather than quietly shipping
+// a regression to the write path's core amortization.
+
+const (
+	commitPutsPerWriter = 400
+	commitSyncLatency   = 200 * time.Microsecond
+	commitValueBytes    = 64
+)
+
+// Commit regenerates the group-commit amortization table.
+func Commit(cfg Config) ([]*Table, error) {
+	tab := &Table{
+		Title: fmt.Sprintf("Commit — group-commit WAL: fsync amortization vs concurrent synced writers (%d puts/writer, %v fsync latency)",
+			commitPutsPerWriter, commitSyncLatency),
+		Columns: []string{"writers", "puts", "elapsed", "puts/s", "wal fsyncs", "fsyncs/op", "groups", "ops/group"},
+	}
+	for _, writers := range []int{1, 2, 4, 8} {
+		fsys := vfs.NewFault()
+		fsys.SetInject(func(op vfs.Op) vfs.Fault {
+			if op.Kind == vfs.OpSync {
+				time.Sleep(commitSyncLatency)
+			}
+			return vfs.FaultNone
+		})
+		dir := "commit"
+		db, err := kv.Open(kv.Options{
+			Dir:           dir,
+			FS:            fsys,
+			SyncWrites:    true,
+			MemtableBytes: 64 << 20, // no flushes: isolate the commit path
+			CompactAt:     -1,
+		})
+		if err != nil {
+			return nil, err
+		}
+		walSyncsBefore := fsys.SyncCalls(filepath.Join(dir, "wal.log"))
+
+		total := int64(writers * commitPutsPerWriter)
+		var next atomic.Int64
+		val := []byte(strings.Repeat("v", commitValueBytes))
+		var wg sync.WaitGroup
+		var firstErr atomic.Value
+		t0 := time.Now()
+		for w := 0; w < writers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				for {
+					i := next.Add(1)
+					if i > total {
+						return
+					}
+					if err := db.Put([]byte(fmt.Sprintf("w%d-%08d", w, i)), val); err != nil {
+						firstErr.CompareAndSwap(nil, err)
+						return
+					}
+				}
+			}(w)
+		}
+		wg.Wait()
+		elapsed := time.Since(t0)
+		if err, ok := firstErr.Load().(error); ok && err != nil {
+			_ = db.Close()
+			return nil, fmt.Errorf("commit: writer failed: %w", err)
+		}
+		snap := db.Stats()
+		if err := db.Close(); err != nil {
+			return nil, err
+		}
+
+		fsyncs := fsys.SyncCalls(filepath.Join(dir, "wal.log")) - walSyncsBefore
+		perOp := float64(fsyncs) / float64(total)
+		opsPerGroup := float64(snap.Puts) / float64(max(snap.GroupCommits, 1))
+		if writers == 8 && perOp >= 1 {
+			return nil, fmt.Errorf("commit: %d writers ran at %.3f fsyncs/op; group commit is not amortizing", writers, perOp)
+		}
+		tab.AddRow(
+			fmt.Sprintf("%d", writers),
+			fmt.Sprintf("%d", total),
+			elapsed.Round(time.Millisecond).String(),
+			fmt.Sprintf("%.0f", float64(total)/elapsed.Seconds()),
+			fmt.Sprintf("%d", fsyncs),
+			fmt.Sprintf("%.3f", perOp),
+			fmt.Sprintf("%d", snap.GroupCommits),
+			fmt.Sprintf("%.2f", opsPerGroup),
+		)
+		cfg.logf("commit %d writers done: %.3f fsyncs/op", writers, perOp)
+	}
+	return []*Table{tab}, nil
+}

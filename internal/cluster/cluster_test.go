@@ -1,8 +1,8 @@
 package cluster
 
 import (
-	"context"
 	"bytes"
+	"context"
 	"fmt"
 	"math/rand"
 	"sort"

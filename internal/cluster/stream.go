@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"context"
 	"errors"
+	"math/rand"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -274,10 +275,19 @@ func (c *Cluster) scanRegionStream(ctx context.Context, t regionTask, filter Fil
 		if attempt >= attempts || !isTransient(err) {
 			return st.emitted, err
 		}
+		// Equal jitter: half the delay is fixed, half uniformly random, so
+		// regions that failed together (one sick store fans out to many
+		// region scans) retry spread out instead of in lockstep, while the
+		// cap still bounds the worst case. The timer (rather than
+		// time.After) is stopped on cancellation so an aborted backoff frees
+		// it immediately.
+		d := delay/2 + time.Duration(rand.Int63n(int64(delay/2)+1))
+		timer := time.NewTimer(d)
 		select {
 		case <-ctx.Done():
+			timer.Stop()
 			return st.emitted, ctx.Err()
-		case <-time.After(delay):
+		case <-timer.C:
 		}
 		if delay *= 2; delay > maxDelay {
 			delay = maxDelay

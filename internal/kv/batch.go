@@ -1,10 +1,9 @@
 package kv
 
-import "fmt"
-
-// Batch collects writes to apply atomically-in-order under one lock
-// acquisition and one WAL buffer flush — the bulk-load path. A Batch is not
-// safe for concurrent use; build it on one goroutine, then Apply it.
+// Batch collects writes to apply atomically-in-order as one commit-queue
+// request — the bulk-load path: one enqueue, one group commit (sharing its
+// fsync with any concurrent writers), one memtable application. A Batch is
+// not safe for concurrent use; build it on one goroutine, then Apply it.
 type Batch struct {
 	entries []batchEntry
 	bytes   int
@@ -44,44 +43,23 @@ func (b *Batch) Reset() {
 }
 
 // Apply writes the whole batch. Later operations on the same key win, as if
-// applied in order.
+// applied in order. The batch travels to the committer as a single request:
+// its entries commit (and fsync, with SyncWrites) together with whatever
+// group they land in, and a failure anywhere in that group fails the batch
+// as a whole.
+//
+// Entries were copied at queue time; the memtable takes ownership of them,
+// so the Batch must not be mutated until Apply returns (Reset-and-reuse
+// afterwards is fine — it installs fresh slices rather than scribbling on
+// the old ones).
 func (db *DB) Apply(b *Batch) error {
 	if b.Len() == 0 {
 		return nil
-	}
-	db.mu.Lock()
-	defer db.mu.Unlock()
-	if db.closed {
-		return ErrClosed
-	}
-	// See DB.write: a poisoned WAL is healed by flush + rotation before any
-	// new record is accepted.
-	if db.wal.poisoned() {
-		//lint:ignore lockheldio WAL healing must be exclusive: flush+rotate under db.mu is the recovery path for a poisoned log, not the steady-state write path the group-commit ROADMAP item will unlock
-		if err := db.flushLocked(); err != nil {
-			return fmt.Errorf("kv: wal unavailable: %w", err)
-		}
 	}
 	for _, e := range b.entries {
 		if len(e.key) == 0 {
 			return errEmptyKey
 		}
-		n, err := db.wal.append(e.kind, e.key, e.value)
-		if err != nil {
-			return err
-		}
-		db.stats.BytesWritten.Add(int64(n))
-		db.stats.Puts.Add(1)
-		// Batch entries were copied at queue time; the memtable can own them.
-		db.mem.set(e.key, e.value, e.kind)
 	}
-	if db.opts.SyncWrites {
-		if err := db.wal.sync(); err != nil {
-			return err
-		}
-	}
-	if db.mem.bytes >= db.opts.MemtableBytes {
-		return db.flushLocked()
-	}
-	return nil
+	return db.commit.submit(&commitReq{entries: b.entries, done: make(chan error, 1)})
 }

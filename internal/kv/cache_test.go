@@ -179,9 +179,9 @@ func TestBatchSurvivesCrash(t *testing.T) {
 	if err := db.Apply(&b); err != nil {
 		t.Fatal(err)
 	}
-	db.mu.Lock()
-	db.wal.flush()
-	db.mu.Unlock()
+	if err := db.runOnCommitter(func() error { return db.wal.flush() }); err != nil {
+		t.Fatal(err)
+	}
 	// Reopen without closing: batched writes replay from the WAL.
 	db2, err := Open(Options{Dir: dir})
 	if err != nil {

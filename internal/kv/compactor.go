@@ -1,0 +1,172 @@
+package kv
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"time"
+)
+
+// Background compaction. Merging SSTables used to run inline on whichever
+// Put tripped the flush threshold, stalling that writer (and, under db.mu,
+// every other one) for the whole merge. The compactor moves the merge onto a
+// supervised background goroutine: the committer schedules a round after a
+// flush leaves the table count at or above CompactAt, the compactor does the
+// heavy merge I/O off every lock, and only the final install — the in-memory
+// table-set swap plus the manifest commit — runs back on the committer
+// goroutine, serialized with flushes without holding db.mu across I/O.
+//
+// A failed round whose error is transient (errors.As to interface{
+// Transient() bool }, the same contract the cluster retry path uses) retries
+// with capped exponential backoff. When the error is permanent or the retry
+// budget runs out, the compactor marks the store degraded in Stats instead of
+// wedging writers: writes keep committing, reads keep merging the unmerged
+// tables, and the next successful round clears the flag. One goroutine runs
+// at most one merge at a time — that, plus the backoff, is the rate limit.
+
+// compactRequest is a synchronous full-compaction demand (DB.Compact).
+type compactRequest struct {
+	done chan error
+}
+
+type compactor struct {
+	db *DB
+
+	mu      sync.Mutex
+	cond    *sync.Cond // broadcast on any state change below
+	pending bool       // an automatic (tier-picked) round is scheduled
+	full    []*compactRequest
+	running bool
+	stopped bool
+}
+
+func newCompactor(db *DB) *compactor {
+	c := &compactor{db: db}
+	c.cond = sync.NewCond(&c.mu)
+	return c
+}
+
+// schedule requests an automatic round. Called by the committer after a
+// flush; coalesces with an already-pending request.
+func (c *compactor) schedule() {
+	c.mu.Lock()
+	c.pending = true
+	c.cond.Broadcast()
+	c.mu.Unlock()
+}
+
+// compactAll runs a full compaction and waits for its result (DB.Compact).
+func (c *compactor) compactAll() error {
+	req := &compactRequest{done: make(chan error, 1)}
+	c.mu.Lock()
+	if c.stopped {
+		c.mu.Unlock()
+		return ErrClosed
+	}
+	c.full = append(c.full, req)
+	c.cond.Broadcast()
+	c.mu.Unlock()
+	return <-req.done
+}
+
+// waitIdle blocks until no round is scheduled or running. DB.Flush uses it so
+// an explicit flush observes the compaction it may have triggered — the
+// pre-background behavior callers (and tests) rely on.
+func (c *compactor) waitIdle() {
+	c.mu.Lock()
+	for (c.pending || c.running || len(c.full) > 0) && !c.stopped {
+		c.cond.Wait()
+	}
+	c.mu.Unlock()
+}
+
+// stop wakes the loop for shutdown; queued full-compaction requests fail with
+// ErrClosed. The caller cancels db.bgCtx alongside so an in-flight backoff
+// aborts immediately.
+func (c *compactor) stop() {
+	c.mu.Lock()
+	c.stopped = true
+	c.cond.Broadcast()
+	c.mu.Unlock()
+}
+
+// loop is the supervisor: wait for work, run one round with retries, publish
+// the outcome. Joined by DB.Close through db.bg.
+func (c *compactor) loop() {
+	for {
+		c.mu.Lock()
+		for !c.pending && len(c.full) == 0 && !c.stopped {
+			c.cond.Wait()
+		}
+		if c.stopped {
+			reqs := c.full
+			c.full = nil
+			c.mu.Unlock()
+			for _, r := range reqs {
+				r.done <- ErrClosed
+			}
+			return
+		}
+		reqs := c.full
+		c.full = nil
+		c.pending = false
+		c.running = true
+		c.mu.Unlock()
+
+		// A queued full request subsumes any pending automatic round.
+		n := compactPickTier
+		if len(reqs) > 0 {
+			n = compactEverything
+		}
+		err := c.runRound(n)
+		for _, r := range reqs {
+			r.done <- err
+		}
+
+		c.mu.Lock()
+		c.running = false
+		c.cond.Broadcast()
+		c.mu.Unlock()
+	}
+}
+
+// runRound attempts one compaction, retrying transient failures with capped
+// exponential backoff, and maintains the degraded-health flag.
+func (c *compactor) runRound(n int) error {
+	db := c.db
+	delay := db.opts.CompactRetryBase
+	for attempt := 0; ; attempt++ {
+		err := db.compactTables(n)
+		if err == nil {
+			db.stats.CompactDegraded.Store(false)
+			return nil
+		}
+		if errors.Is(err, ErrClosed) || errors.Is(err, context.Canceled) {
+			// Shutdown raced the round; not a health signal.
+			return err
+		}
+		if attempt >= db.opts.CompactRetries || !isTransient(err) {
+			db.stats.CompactFailures.Add(1)
+			db.stats.CompactDegraded.Store(true)
+			return err
+		}
+		db.stats.CompactRetries.Add(1)
+		t := time.NewTimer(delay)
+		select {
+		case <-db.bgCtx.Done():
+			t.Stop()
+			return db.bgCtx.Err()
+		case <-t.C:
+		}
+		if delay *= 2; delay > db.opts.CompactRetryMax {
+			delay = db.opts.CompactRetryMax
+		}
+	}
+}
+
+// isTransient mirrors the cluster layer's retry contract: an error is worth
+// retrying iff some error in its chain says so.
+func isTransient(err error) bool {
+	var t interface{ Transient() bool }
+	return errors.As(err, &t) && t.Transient()
+}

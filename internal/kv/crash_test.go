@@ -235,6 +235,10 @@ func TestKVCrashTorture(t *testing.T) {
 		if err == nil {
 			w := &tortureWorkload{db: db, model: model}
 			w.run()
+			// The "process" is dead: stop its background goroutines before
+			// reopening the directory, as a real exit would. Errors are
+			// expected — the WAL handle died with the crash.
+			_ = db.Close()
 		} else if !errors.Is(err, vfs.ErrCrashed) {
 			t.Fatalf("fault point %d: open failed non-crash: %v", point, err)
 		}
@@ -268,6 +272,9 @@ func TestKVErrorTorture(t *testing.T) {
 					if w.crashed {
 						t.Fatalf("fault point %d: error injection caused crash error", point)
 					}
+					// Quiesce the background goroutines before the simulated
+					// power loss; Close may fail on a poisoned WAL.
+					_ = db.Close()
 				}
 				// Power loss after the (possibly degraded) run: only
 				// acknowledged state may be counted on.
@@ -295,9 +302,12 @@ func TestWALTornTailEveryOffset(t *testing.T) {
 		if err := db.Put([]byte(fmt.Sprintf("k%02d", i)), []byte(fmt.Sprintf("value-%02d", i))); err != nil {
 			t.Fatal(err)
 		}
-		db.mu.Lock()
-		boundaries = append(boundaries, db.wal.size)
-		db.mu.Unlock()
+		if err := db.runOnCommitter(func() error {
+			boundaries = append(boundaries, db.wal.size)
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
 	}
 	walPath := filepath.Join(tortureDir, walName)
 	walBytes, err := vfs.ReadFile(fsys, walPath)

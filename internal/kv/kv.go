@@ -63,69 +63,100 @@ type Stats struct {
 	CacheHits     atomic.Int64 // block reads served from the block cache
 	Flushes       atomic.Int64 // memtable flushes
 	Compactions   atomic.Int64 // compaction runs
+
+	WALSyncs     atomic.Int64 // WAL fsyncs issued (one per synced commit group)
+	GroupCommits atomic.Int64 // commit groups committed (≥1 write each)
+
+	CompactRetries  atomic.Int64 // transient compaction failures retried
+	CompactFailures atomic.Int64 // compaction rounds abandoned after retries
+	// CompactDegraded is health, not a counter: set while the last compaction
+	// round failed terminally, cleared by the next successful round. Writes
+	// and reads keep working degraded; the table count just stops shrinking.
+	CompactDegraded atomic.Bool
 }
 
 // StatsSnapshot is a plain-value copy of Stats.
 type StatsSnapshot struct {
-	Puts, Gets, Scans          int64
-	EntriesRead, EntriesWalked int64
-	BlocksRead, BytesRead      int64
-	BytesWritten               int64
-	BloomNegative              int64
-	CacheHits                  int64
-	Flushes, Compactions       int64
+	Puts, Gets, Scans               int64
+	EntriesRead, EntriesWalked      int64
+	BlocksRead, BytesRead           int64
+	BytesWritten                    int64
+	BloomNegative                   int64
+	CacheHits                       int64
+	Flushes, Compactions            int64
+	WALSyncs, GroupCommits          int64
+	CompactRetries, CompactFailures int64
+	CompactDegraded                 bool
 }
 
 func (s *Stats) snapshot() StatsSnapshot {
 	return StatsSnapshot{
-		Puts:          s.Puts.Load(),
-		Gets:          s.Gets.Load(),
-		Scans:         s.Scans.Load(),
-		EntriesRead:   s.EntriesRead.Load(),
-		EntriesWalked: s.EntriesWalked.Load(),
-		BlocksRead:    s.BlocksRead.Load(),
-		BytesRead:     s.BytesRead.Load(),
-		BytesWritten:  s.BytesWritten.Load(),
-		BloomNegative: s.BloomNegative.Load(),
-		CacheHits:     s.CacheHits.Load(),
-		Flushes:       s.Flushes.Load(),
-		Compactions:   s.Compactions.Load(),
+		Puts:            s.Puts.Load(),
+		Gets:            s.Gets.Load(),
+		Scans:           s.Scans.Load(),
+		EntriesRead:     s.EntriesRead.Load(),
+		EntriesWalked:   s.EntriesWalked.Load(),
+		BlocksRead:      s.BlocksRead.Load(),
+		BytesRead:       s.BytesRead.Load(),
+		BytesWritten:    s.BytesWritten.Load(),
+		BloomNegative:   s.BloomNegative.Load(),
+		CacheHits:       s.CacheHits.Load(),
+		Flushes:         s.Flushes.Load(),
+		Compactions:     s.Compactions.Load(),
+		WALSyncs:        s.WALSyncs.Load(),
+		GroupCommits:    s.GroupCommits.Load(),
+		CompactRetries:  s.CompactRetries.Load(),
+		CompactFailures: s.CompactFailures.Load(),
+		CompactDegraded: s.CompactDegraded.Load(),
 	}
 }
 
 // Sub returns the counter-wise difference s - t; used to measure one query.
 func (s StatsSnapshot) Sub(t StatsSnapshot) StatsSnapshot {
 	return StatsSnapshot{
-		Puts:          s.Puts - t.Puts,
-		Gets:          s.Gets - t.Gets,
-		Scans:         s.Scans - t.Scans,
-		EntriesRead:   s.EntriesRead - t.EntriesRead,
-		EntriesWalked: s.EntriesWalked - t.EntriesWalked,
-		BlocksRead:    s.BlocksRead - t.BlocksRead,
-		BytesRead:     s.BytesRead - t.BytesRead,
-		BytesWritten:  s.BytesWritten - t.BytesWritten,
-		BloomNegative: s.BloomNegative - t.BloomNegative,
-		CacheHits:     s.CacheHits - t.CacheHits,
-		Flushes:       s.Flushes - t.Flushes,
-		Compactions:   s.Compactions - t.Compactions,
+		Puts:            s.Puts - t.Puts,
+		Gets:            s.Gets - t.Gets,
+		Scans:           s.Scans - t.Scans,
+		EntriesRead:     s.EntriesRead - t.EntriesRead,
+		EntriesWalked:   s.EntriesWalked - t.EntriesWalked,
+		BlocksRead:      s.BlocksRead - t.BlocksRead,
+		BytesRead:       s.BytesRead - t.BytesRead,
+		BytesWritten:    s.BytesWritten - t.BytesWritten,
+		BloomNegative:   s.BloomNegative - t.BloomNegative,
+		CacheHits:       s.CacheHits - t.CacheHits,
+		Flushes:         s.Flushes - t.Flushes,
+		Compactions:     s.Compactions - t.Compactions,
+		WALSyncs:        s.WALSyncs - t.WALSyncs,
+		GroupCommits:    s.GroupCommits - t.GroupCommits,
+		CompactRetries:  s.CompactRetries - t.CompactRetries,
+		CompactFailures: s.CompactFailures - t.CompactFailures,
+		// Health is a state, not a counter: the difference of two snapshots
+		// keeps the newer (receiver's) state.
+		CompactDegraded: s.CompactDegraded,
 	}
 }
 
 // Add returns the counter-wise sum s + t; used to aggregate across regions.
 func (s StatsSnapshot) Add(t StatsSnapshot) StatsSnapshot {
 	return StatsSnapshot{
-		Puts:          s.Puts + t.Puts,
-		Gets:          s.Gets + t.Gets,
-		Scans:         s.Scans + t.Scans,
-		EntriesRead:   s.EntriesRead + t.EntriesRead,
-		EntriesWalked: s.EntriesWalked + t.EntriesWalked,
-		BlocksRead:    s.BlocksRead + t.BlocksRead,
-		BytesRead:     s.BytesRead + t.BytesRead,
-		BytesWritten:  s.BytesWritten + t.BytesWritten,
-		BloomNegative: s.BloomNegative + t.BloomNegative,
-		CacheHits:     s.CacheHits + t.CacheHits,
-		Flushes:       s.Flushes + t.Flushes,
-		Compactions:   s.Compactions + t.Compactions,
+		Puts:            s.Puts + t.Puts,
+		Gets:            s.Gets + t.Gets,
+		Scans:           s.Scans + t.Scans,
+		EntriesRead:     s.EntriesRead + t.EntriesRead,
+		EntriesWalked:   s.EntriesWalked + t.EntriesWalked,
+		BlocksRead:      s.BlocksRead + t.BlocksRead,
+		BytesRead:       s.BytesRead + t.BytesRead,
+		BytesWritten:    s.BytesWritten + t.BytesWritten,
+		BloomNegative:   s.BloomNegative + t.BloomNegative,
+		CacheHits:       s.CacheHits + t.CacheHits,
+		Flushes:         s.Flushes + t.Flushes,
+		Compactions:     s.Compactions + t.Compactions,
+		WALSyncs:        s.WALSyncs + t.WALSyncs,
+		GroupCommits:    s.GroupCommits + t.GroupCommits,
+		CompactRetries:  s.CompactRetries + t.CompactRetries,
+		CompactFailures: s.CompactFailures + t.CompactFailures,
+		// Aggregating across regions: one degraded store degrades the whole.
+		CompactDegraded: s.CompactDegraded || t.CompactDegraded,
 	}
 }
 

@@ -197,9 +197,9 @@ func TestWALRecovery(t *testing.T) {
 	db.Put([]byte("durable"), []byte("yes"))
 	// Flush the WAL buffer to disk without flushing the memtable, then
 	// simulate a crash by reopening without Close.
-	db.mu.Lock()
-	db.wal.flush()
-	db.mu.Unlock()
+	if err := db.runOnCommitter(func() error { return db.wal.flush() }); err != nil {
+		t.Fatal(err)
+	}
 	db2, err := Open(Options{Dir: dir})
 	if err != nil {
 		t.Fatal(err)
@@ -216,9 +216,9 @@ func TestWALTornTail(t *testing.T) {
 	db := newTestDB(t, Options{Dir: dir})
 	db.Put([]byte("a"), []byte("1"))
 	db.Put([]byte("b"), []byte("2"))
-	db.mu.Lock()
-	db.wal.flush()
-	db.mu.Unlock()
+	if err := db.runOnCommitter(func() error { return db.wal.flush() }); err != nil {
+		t.Fatal(err)
+	}
 	db.Close()
 	// Corrupt the tail of the WAL: the intact prefix must still replay.
 	walPath := filepath.Join(dir, walName)
@@ -696,13 +696,10 @@ func TestPartialCompactionKeepsTombstones(t *testing.T) {
 	db.Flush()
 	db.Put([]byte("extra2"), []byte("v"))
 	db.Flush()
-	db.mu.Lock()
-	err := db.compactTablesLocked(2) // merge the two small tables only
-	nTables := len(db.tables)
-	db.mu.Unlock()
-	if err != nil {
+	if err := db.compactTables(2); err != nil { // merge the two small tables only
 		t.Fatal(err)
 	}
+	nTables := db.Tables()
 	if nTables != 2 {
 		t.Fatalf("tables = %d, want 2 (merged tier + big table)", nTables)
 	}

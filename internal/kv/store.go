@@ -2,6 +2,7 @@ package kv
 
 import (
 	"bytes"
+	"context"
 	"errors"
 	"fmt"
 	"io/fs"
@@ -10,6 +11,7 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"time"
 
 	"repro/internal/vfs"
 )
@@ -24,10 +26,20 @@ type Options struct {
 	// this value. Default 6. Zero keeps the default; negative disables
 	// automatic compaction.
 	CompactAt int
-	// SyncWrites fsyncs the WAL on every write. Default off: the evaluation
-	// workloads are bulk loads where group durability is what HBase offers
-	// too.
+	// SyncWrites fsyncs the WAL before acknowledging a write. Default off:
+	// the evaluation workloads are bulk loads where group durability is what
+	// HBase offers too. Concurrent synced writers share fsyncs: the committer
+	// goroutine syncs once per commit group, not once per write.
 	SyncWrites bool
+	// CompactRetries bounds how many times the background compactor retries
+	// a round whose failure is transient (an error in the chain implementing
+	// interface{ Transient() bool }) before marking the store degraded.
+	// Default 5; negative never retries.
+	CompactRetries int
+	// CompactRetryBase and CompactRetryMax bound the capped exponential
+	// backoff between compaction retries. Defaults 10ms and 1s.
+	CompactRetryBase time.Duration
+	CompactRetryMax  time.Duration
 	// BlockCacheBytes sizes the per-store LRU block cache. Default 8 MiB;
 	// negative disables caching.
 	BlockCacheBytes int64
@@ -44,6 +56,18 @@ func (o *Options) withDefaults() Options {
 	if out.CompactAt == 0 {
 		out.CompactAt = 6
 	}
+	if out.CompactRetries == 0 {
+		out.CompactRetries = 5
+	}
+	if out.CompactRetries < 0 {
+		out.CompactRetries = 0
+	}
+	if out.CompactRetryBase <= 0 {
+		out.CompactRetryBase = 10 * time.Millisecond
+	}
+	if out.CompactRetryMax <= 0 {
+		out.CompactRetryMax = time.Second
+	}
 	if out.BlockCacheBytes == 0 {
 		out.BlockCacheBytes = 8 << 20
 	}
@@ -54,15 +78,31 @@ func (o *Options) withDefaults() Options {
 }
 
 // DB is a single-node LSM store. All methods are safe for concurrent use.
+//
+// Two background goroutines run for the life of the store (joined by Close
+// through bg): the committer (commit.go), which owns the WAL and is the sole
+// mutator of the memtable and the table manifest, and the compactor
+// (compactor.go), which merges SSTables off the write path.
 type DB struct {
 	opts Options
 
 	mu      sync.Mutex
 	mem     *skiplist
-	wal     *wal
 	tables  []*sstReader // newest first
 	nextSeq uint64
 	closed  bool
+
+	// wal is owned by the committer goroutine once Open returns: every
+	// append, sync and rotation happens there. Open (before the goroutines
+	// start) and Close (after bg.Wait joins them) are the only other
+	// touchpoints, so no lock guards it.
+	wal *wal
+
+	commit    *committer
+	compactor *compactor
+	bgCtx     context.Context // cancelled by Close; aborts compaction backoff
+	bgCancel  context.CancelFunc
+	bg        sync.WaitGroup
 
 	cache *blockCache // nil when disabled
 	stats Stats
@@ -110,9 +150,18 @@ func Open(opts Options) (*DB, error) {
 		}
 	}
 
-	live, haveManifest, err := readTables(fsys, opts.Dir)
+	order, haveManifest, err := readTables(fsys, opts.Dir)
 	if err != nil {
 		return nil, err
+	}
+	// rank maps a listed table to its manifest position (0 = newest).
+	rank := make(map[uint64]int, len(order))
+	for i, seq := range order {
+		rank[seq] = i
+	}
+	live := make(map[uint64]bool, len(order))
+	for _, seq := range order {
+		live[seq] = true
 	}
 	for _, name := range names {
 		if strings.HasSuffix(name, tmpSuffix) || !strings.HasSuffix(name, sstSuffix) {
@@ -147,8 +196,17 @@ func Open(opts Options) (*DB, error) {
 		db.releaseAll()
 		return nil, fmt.Errorf("kv: manifest lists %d missing sstable(s) in %s", len(live), opts.Dir)
 	}
-	// Newest first so the merge heap prefers fresher versions.
-	sort.Slice(db.tables, func(i, j int) bool { return db.tables[i].seq > db.tables[j].seq })
+	// Newest first so the merge heap prefers fresher versions. The manifest's
+	// line order is the authority: a background merge's output can carry a
+	// higher sequence number than a concurrently-started flush whose data is
+	// newer, so sorting by seq alone would let old merged versions shadow
+	// acknowledged writes. Without a manifest (first open of a pre-manifest
+	// directory) every table is a plain flush and seq order is recency order.
+	if haveManifest {
+		sort.Slice(db.tables, func(i, j int) bool { return rank[db.tables[i].seq] < rank[db.tables[j].seq] })
+	} else {
+		sort.Slice(db.tables, func(i, j int) bool { return db.tables[i].seq > db.tables[j].seq })
+	}
 
 	// Replay the WAL into the memtable.
 	walPath := filepath.Join(opts.Dir, walName)
@@ -169,7 +227,7 @@ func Open(opts Options) (*DB, error) {
 	if !haveManifest {
 		// First open (or a pre-manifest directory): record the current table
 		// set so later crash cleanup has a baseline.
-		if err := db.writeTablesLocked(); err != nil {
+		if err := db.writeTables(); err != nil {
 			_ = db.wal.close()
 			db.releaseAll()
 			return nil, err
@@ -183,13 +241,33 @@ func Open(opts Options) (*DB, error) {
 		db.releaseAll()
 		return nil, fmt.Errorf("kv: sync dir: %w", err)
 	}
+
+	// Recovery succeeded: start the committer and the compaction supervisor.
+	// Nothing above runs concurrently, so the single-threaded recovery code
+	// could touch the WAL and table set directly.
+	db.bgCtx, db.bgCancel = context.WithCancel(context.Background())
+	db.commit = newCommitter(db)
+	db.compactor = newCompactor(db)
+	db.bg.Add(2)
+	go func() {
+		defer db.bg.Done()
+		db.commit.loop()
+	}()
+	go func() {
+		defer db.bg.Done()
+		db.compactor.loop()
+	}()
 	return db, nil
 }
 
 // readTables parses the TABLES manifest: a header line then one live table
-// sequence number per line. Returns haveManifest=false when the file does
-// not exist.
-func readTables(fsys vfs.FS, dir string) (map[uint64]bool, bool, error) {
+// sequence number per line, newest first. The line order is authoritative —
+// writeTables records the in-memory table order, and with background
+// compaction a merged table's sequence number no longer encodes its recency
+// rank (a flush that began before the merge snapshot can hold newer data
+// under a lower number). Returns haveManifest=false when the file does not
+// exist.
+func readTables(fsys vfs.FS, dir string) ([]uint64, bool, error) {
 	data, err := vfs.ReadFile(fsys, filepath.Join(dir, tablesName))
 	if errors.Is(err, fs.ErrNotExist) {
 		return nil, false, nil
@@ -201,7 +279,7 @@ func readTables(fsys vfs.FS, dir string) (map[uint64]bool, bool, error) {
 	if len(lines) == 0 || lines[0] != "tables v1" {
 		return nil, false, fmt.Errorf("kv: tables manifest has bad header")
 	}
-	live := make(map[uint64]bool, len(lines)-1)
+	order := make([]uint64, 0, len(lines)-1)
 	for _, ln := range lines[1:] {
 		if ln == "" {
 			continue
@@ -210,20 +288,35 @@ func readTables(fsys vfs.FS, dir string) (map[uint64]bool, bool, error) {
 		if err != nil {
 			return nil, false, fmt.Errorf("kv: tables manifest has bad entry %q", ln)
 		}
-		live[seq] = true
+		order = append(order, seq)
 	}
-	return live, true, nil
+	return order, true, nil
 }
 
-// writeTablesLocked atomically replaces the TABLES manifest with the current
-// table set (tmp file + sync + rename + directory fsync). This is the commit
-// point for flushes and compactions: a table not listed here is deleted at
-// the next Open.
-func (db *DB) writeTablesLocked() error {
+// writeTables atomically replaces the TABLES manifest with the current table
+// set (tmp file + sync + rename + directory fsync). This is the commit point
+// for flushes and compactions: a table not listed here is deleted at the next
+// Open. Only recovery (single-threaded) and the committer goroutine call it,
+// so the manifest I/O is serialized without holding db.mu across it.
+func (db *DB) writeTables() error {
+	db.mu.Lock()
+	seqs := make([]uint64, len(db.tables))
+	for i, t := range db.tables {
+		seqs[i] = t.seq
+	}
+	db.mu.Unlock()
+	return db.writeManifest(seqs)
+}
+
+// writeManifest commits an explicit table order (newest first) to the TABLES
+// manifest. flush passes the not-yet-published table ahead of the current
+// set so the manifest commit can precede the in-memory install; everything
+// else goes through writeTables. Committer goroutine (or recovery) only.
+func (db *DB) writeManifest(seqs []uint64) error {
 	var buf bytes.Buffer
 	buf.WriteString("tables v1\n")
-	for _, t := range db.tables {
-		_, _ = fmt.Fprintf(&buf, "%d\n", t.seq)
+	for _, seq := range seqs {
+		_, _ = fmt.Fprintf(&buf, "%d\n", seq)
 	}
 	fsys := db.opts.FS
 	path := filepath.Join(db.opts.Dir, tablesName)
@@ -273,42 +366,21 @@ func (db *DB) Delete(key []byte) error {
 	return db.write(kindTombstone, key, nil)
 }
 
+// write validates and copies one record, then hands it to the committer: the
+// caller blocks until its commit group is durable (one shared fsync when
+// SyncWrites is on) and applied, or until the group's failure fans out. WAL
+// healing, memtable-threshold flushes and compaction scheduling all happen on
+// the committer's side of the queue — no caller holds db.mu across I/O.
 func (db *DB) write(kind byte, key, value []byte) error {
 	if len(key) == 0 {
 		return errEmptyKey
 	}
-	db.mu.Lock()
-	defer db.mu.Unlock()
-	if db.closed {
-		return ErrClosed
-	}
-	// A poisoned WAL (earlier append/sync failure, possibly torn bytes on
-	// disk) must be rotated before accepting new records; flushing first
-	// makes everything acknowledged so far durable in an SSTable.
-	if db.wal.poisoned() {
-		//lint:ignore lockheldio WAL healing must be exclusive: flush+rotate under db.mu is the recovery path for a poisoned log, not the steady-state write path the group-commit ROADMAP item will unlock
-		if err := db.flushLocked(); err != nil {
-			return fmt.Errorf("kv: wal unavailable: %w", err)
-		}
-	}
-	n, err := db.wal.append(kind, key, value)
-	if err != nil {
-		return fmt.Errorf("kv: wal append: %w", err)
-	}
-	if db.opts.SyncWrites {
-		if err := db.wal.sync(); err != nil {
-			return fmt.Errorf("kv: wal sync: %w", err)
-		}
-	}
-	db.stats.BytesWritten.Add(int64(n))
-	db.stats.Puts.Add(1)
 	k := append([]byte(nil), key...)
 	v := append([]byte(nil), value...)
-	db.mem.set(k, v, kind)
-	if db.mem.bytes >= db.opts.MemtableBytes {
-		return db.flushLocked()
-	}
-	return nil
+	return db.commit.submit(&commitReq{
+		entries: []batchEntry{{kind: kind, key: k, value: v}},
+		done:    make(chan error, 1),
+	})
 }
 
 // Get returns the value for key, or ErrNotFound.
@@ -379,40 +451,54 @@ func (db *DB) Scan(start, end []byte) Iterator {
 	return newMergeIter(sources, &db.stats, releases)
 }
 
-// Flush persists the memtable to a new SSTable and truncates the WAL.
+// Flush persists the memtable to a new SSTable and truncates the WAL, then
+// waits for any compaction the flush scheduled to finish — the explicit
+// durability barrier behaves as it did when compaction ran inline. A failed
+// background compaction does not fail Flush; it surfaces as CompactDegraded
+// in Stats.
 func (db *DB) Flush() error {
-	db.mu.Lock()
-	defer db.mu.Unlock()
-	if db.closed {
-		return ErrClosed
+	if err := db.runOnCommitter(db.flush); err != nil {
+		return err
 	}
-	//lint:ignore lockheldio Flush is the explicit durability barrier callers pay for: the SSTable write and WAL rotation must exclude writers until the group-commit ROADMAP item decouples them
-	return db.flushLocked()
+	db.compactor.waitIdle()
+	return nil
 }
 
-// flushLocked persists the memtable as an SSTable, commits it to the TABLES
+// flush persists the memtable as an SSTable, commits it to the TABLES
 // manifest and rotates the WAL. Crash ordering: the table file is durable
-// before the manifest lists it, and the manifest lists it before the WAL
-// (whose records it supersedes) is deleted — a crash between any two steps
-// recovers every acknowledged record from either the table or the WAL.
+// before the manifest lists it, the manifest lists it before the memtable is
+// swapped or the table enters the in-memory set, and the WAL (whose records
+// the table supersedes) is deleted last — a crash or failure between any two
+// steps recovers every acknowledged record from either the table or the WAL.
 //
 // A flush also heals a poisoned WAL (see wal): once the memtable — which
 // holds every acknowledged record — is durable in a table, the torn log can
 // be rotated away. An empty memtable with a poisoned WAL rotates without
 // writing a table.
-func (db *DB) flushLocked() error {
-	if db.mem.length == 0 {
+//
+// flush runs only on the committer goroutine (explicit Flush, the group
+// commit's memtable-threshold check, and WAL healing all route through it),
+// which is the memtable's sole mutator — so the long SSTable write needs no
+// lock, only the table-set install does.
+func (db *DB) flush() error {
+	db.mu.Lock()
+	mem := db.mem
+	db.mu.Unlock()
+	if mem.length == 0 {
 		if db.wal.poisoned() {
-			return db.rotateWALLocked()
+			return db.rotateWAL()
 		}
 		return nil
 	}
+	db.mu.Lock()
 	seq := db.nextSeq
-	sw, err := newSSTWriter(db.opts.FS, db.opts.Dir, seq, db.mem.length)
+	db.nextSeq++
+	db.mu.Unlock()
+	sw, err := newSSTWriter(db.opts.FS, db.opts.Dir, seq, mem.length)
 	if err != nil {
 		return err
 	}
-	it := db.mem.iter(nil, nil)
+	it := mem.iter(nil, nil)
 	for it.Next() {
 		if err := sw.add(it.Kind(), it.Key(), it.Value()); err != nil {
 			sw.abort()
@@ -428,35 +514,52 @@ func (db *DB) flushLocked() error {
 		return err
 	}
 	sr.retain()
-	db.nextSeq++
 	db.stats.BytesWritten.Add(size)
-	db.stats.Flushes.Add(1)
+
+	// Commit point: the manifest lists the new table BEFORE it enters the
+	// in-memory table set or the memtable is swapped. If this fails, nothing
+	// in memory has changed — the memtable and WAL remain the authoritative
+	// copy of these records, so a later WAL heal cannot rotate away their
+	// only committed copy (the table file, unlisted, is deleted at the next
+	// Open). The reverse order lost acknowledged writes: a failed manifest
+	// commit after the swap left an empty memtable, and the empty-memtable
+	// heal below would then rotate the WAL while the flushed table was not
+	// durable in the manifest.
+	db.mu.Lock()
+	seqs := make([]uint64, 0, len(db.tables)+1)
+	seqs = append(seqs, seq)
+	for _, t := range db.tables {
+		seqs = append(seqs, t.seq)
+	}
+	db.mu.Unlock()
+	if err := db.writeManifest(seqs); err != nil {
+		sr.release()
+		return err
+	}
+	db.mu.Lock()
 	db.tables = append([]*sstReader{sr}, db.tables...)
 	db.mem = newSkiplist(int64(seq))
-
-	// Commit point: without this the new table is deleted at the next Open
-	// (and its records recovered from the still-intact WAL instead).
-	if err := db.writeTablesLocked(); err != nil {
-		return err
-	}
+	nTables := len(db.tables)
+	db.mu.Unlock()
+	db.stats.Flushes.Add(1)
 
 	// The WAL's contents are durable in the committed SSTable now.
-	if err := db.rotateWALLocked(); err != nil {
+	if err := db.rotateWAL(); err != nil {
 		return err
 	}
 
-	if db.opts.CompactAt > 0 && len(db.tables) >= db.opts.CompactAt {
-		return db.compactTablesLocked(db.pickTierLocked())
+	if db.opts.CompactAt > 0 && nTables >= db.opts.CompactAt {
+		db.compactor.schedule()
 	}
 	return nil
 }
 
-// rotateWALLocked replaces the WAL with a fresh, empty one. Callers must
-// ensure every acknowledged record is durable elsewhere first. On failure
-// the store keeps a permanently-poisoned WAL so writes keep failing (and
-// keep retrying the rotation) rather than silently appending to a log in an
-// unknown state.
-func (db *DB) rotateWALLocked() error {
+// rotateWAL replaces the WAL with a fresh, empty one; committer-goroutine
+// only, like everything touching db.wal. Callers must ensure every
+// acknowledged record is durable elsewhere first. On failure the store keeps
+// a permanently-poisoned WAL so writes keep failing (and keep retrying the
+// rotation) rather than silently appending to a log in an unknown state.
+func (db *DB) rotateWAL() error {
 	fsys := db.opts.FS
 	// Close errors are deliberately ignored: the file is about to be
 	// deleted, and a poisoned WAL cannot flush its buffer anyway.
@@ -504,49 +607,92 @@ func (db *DB) pickTierLocked() int {
 }
 
 // Compact merges every SSTable into one, dropping shadowed versions and
-// tombstones. The memtable is flushed first.
+// tombstones. The memtable is flushed first, then the full merge runs on the
+// compaction supervisor (synchronously for this caller).
 func (db *DB) Compact() error {
-	db.mu.Lock()
-	defer db.mu.Unlock()
-	if db.closed {
-		return ErrClosed
+	if err := db.runOnCommitter(db.flush); err != nil {
+		return err
 	}
-	if db.mem.length > 0 {
-		//lint:ignore lockheldio Compact drains the memtable under db.mu so the merged output supersedes everything; the long I/O tail after this flush already runs outside the lock
-		if err := db.flushLocked(); err != nil {
-			return err
-		}
-	}
-	return db.compactTablesLocked(len(db.tables))
+	return db.compactor.compactAll()
 }
 
-// compactTablesLocked merges the n newest tables into one. Tombstones are
-// dropped only when every table participates — a partial merge must keep
-// them so they continue to shadow versions in the older tables.
-func (db *DB) compactTablesLocked(n int) error {
-	if n > len(db.tables) {
+// compactTables selectors: how many of the newest tables to merge.
+const (
+	compactPickTier   = 0  // choose by the size-tiered heuristic
+	compactEverything = -1 // merge every table
+)
+
+// compactTables merges the n newest tables into one (n as above, or an
+// explicit count for tests). Tombstones are dropped only when every table
+// participates — a partial merge must keep them so they continue to shadow
+// versions in the older tables.
+//
+// Only the compaction supervisor (and tests, with automatic compaction off)
+// may run this: the victim snapshot must stay a contiguous run of db.tables
+// for the install splice, which holds because concurrent flushes only
+// prepend and nobody else removes tables. The heavy merge I/O runs with no
+// lock held; the install — table-set splice plus manifest commit — is handed
+// to the committer goroutine, which serializes it with flushes.
+func (db *DB) compactTables(n int) error {
+	db.mu.Lock()
+	if db.closed {
+		db.mu.Unlock()
+		return ErrClosed
+	}
+	if len(db.tables) == 0 {
+		db.mu.Unlock()
+		return nil
+	}
+	if n == compactEverything || n > len(db.tables) {
 		n = len(db.tables)
+	} else if n == compactPickTier {
+		n = db.pickTierLocked()
 	}
 	if n <= 1 {
+		db.mu.Unlock()
 		return nil
 	}
 	full := n == len(db.tables)
-	victims := db.tables[:n]
-
-	sources := make([]kvIter, 0, n)
+	victims := make([]*sstReader, n)
+	copy(victims, db.tables[:n])
 	var total int64
 	for _, t := range victims {
-		sources = append(sources, t.iter(nil, nil))
+		t.retain()
 		total += t.count
 	}
+	// Allocate the merged table's sequence number now, under the same lock
+	// as the snapshot: tables flushed while the merge runs get higher
+	// numbers, so on reopen the seq order still ranks them newer than the
+	// merged output they stack on top of.
 	seq := db.nextSeq
+	db.nextSeq++
+	db.mu.Unlock()
+	defer func() {
+		for _, t := range victims {
+			t.release()
+		}
+	}()
+
+	sources := make([]kvIter, 0, n)
+	for _, t := range victims {
+		sources = append(sources, t.iter(nil, nil))
+	}
 	sw, err := newSSTWriter(db.opts.FS, db.opts.Dir, seq, int(total))
 	if err != nil {
 		return err
 	}
 	merged := newMergeIter(sources, nil, nil)
 	merged.keepTombstones = !full
+	rows := 0
 	for merged.Next() {
+		if rows++; rows&1023 == 0 {
+			// Amortized shutdown check so Close never waits out a big merge.
+			if err := db.bgCtx.Err(); err != nil {
+				sw.abort()
+				_ = merged.Close()
+				return err
+			}
+		}
 		if err := sw.add(merged.kind, merged.Key(), merged.Value()); err != nil {
 			sw.abort()
 			_ = merged.Close()
@@ -571,11 +717,40 @@ func (db *DB) compactTablesLocked(n int) error {
 		return err
 	}
 	sr.retain()
-	db.nextSeq++
 	db.stats.BytesWritten.Add(size)
+	if err := db.runOnCommitter(func() error { return db.installCompaction(victims, sr) }); err != nil {
+		// Not installed (e.g. the store closed mid-merge): the merged file is
+		// unlisted on disk, so the next Open deletes it.
+		sr.release()
+		return err
+	}
+	return nil
+}
+
+// installCompaction publishes a finished merge: splice the merged table over
+// its victims in the table set, then commit the manifest. Runs on the
+// committer goroutine.
+func (db *DB) installCompaction(victims []*sstReader, sr *sstReader) error {
+	db.mu.Lock()
+	idx := -1
+	for i, t := range db.tables {
+		if t == victims[0] {
+			idx = i
+			break
+		}
+	}
+	if idx < 0 {
+		// Unreachable while the single-supervisor invariant holds.
+		db.mu.Unlock()
+		return fmt.Errorf("kv: compaction victims no longer in table set")
+	}
+	next := make([]*sstReader, 0, len(db.tables)-len(victims)+1)
+	next = append(next, db.tables[:idx]...)
+	next = append(next, sr)
+	next = append(next, db.tables[idx+len(victims):]...)
+	db.tables = next
+	db.mu.Unlock()
 	db.stats.Compactions.Add(1)
-	remainder := db.tables[n:]
-	db.tables = append([]*sstReader{sr}, remainder...)
 
 	// Commit point: the manifest swap makes the merged table live and the
 	// victims stale in one atomic step. This is what keeps a full
@@ -583,7 +758,7 @@ func (db *DB) compactTablesLocked(n int) error {
 	// outlives a crash (its deletion below was not yet durable), Open sees
 	// it is unlisted and deletes it, so a dropped tombstone's shadowed
 	// versions cannot resurrect.
-	if err := db.writeTablesLocked(); err != nil {
+	if err := db.writeTables(); err != nil {
 		// The merged table serves reads in this process but is stale on
 		// disk; at the next Open it is deleted and the still-listed victims
 		// (whose files remain, not marked obsolete) take over. Identical
@@ -648,17 +823,29 @@ func (db *DB) Tables() int {
 	return len(db.tables)
 }
 
-// Close flushes the WAL buffer and releases every table. Open iterators keep
-// their retained tables alive until they are closed.
+// Close stops the background goroutines, flushes the WAL buffer and releases
+// every table. Commit groups already in flight finish and acknowledge their
+// real result; requests still queued behind them drain with ErrClosed — a
+// waiter always hears an answer. Open iterators keep their retained tables
+// alive until they are closed.
 func (db *DB) Close() error {
 	db.mu.Lock()
-	defer db.mu.Unlock()
 	if db.closed {
+		db.mu.Unlock()
 		return nil
 	}
 	db.closed = true
+	db.mu.Unlock()
+
+	db.commit.close()
+	db.compactor.stop()
+	db.bgCancel() // aborts a compaction backoff or mid-merge wait immediately
+	db.bg.Wait()
+
 	err := db.wal.close()
+	db.mu.Lock()
 	db.releaseAll()
+	db.mu.Unlock()
 	return err
 }
 

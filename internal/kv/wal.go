@@ -26,7 +26,10 @@ import (
 // more records after one would silently lose them even if their own writes
 // succeeded. The store clears the poison by rotating to a fresh WAL, which is
 // safe only once the memtable (which holds every acknowledged record) has
-// been flushed; see DB.flushLocked.
+// been flushed; see DB.flush.
+//
+// A wal is not concurrency-safe on its own: after Open returns, the
+// committer goroutine is its sole user (see commit.go).
 
 type wal struct {
 	f    vfs.File
@@ -122,6 +125,10 @@ func (w *wal) close() error {
 
 // replayWAL feeds every intact record to fn in order. A corrupt or truncated
 // tail ends replay without error.
+//
+// The kind/key/value arguments alias a payload buffer that is overwritten by
+// the next record: fn must not retain them past its return — copy anything it
+// keeps (recovery in Open does).
 func replayWAL(fsys vfs.FS, path string, fn func(kind byte, key, value []byte)) error {
 	f, err := fsys.Open(path)
 	if errors.Is(err, fs.ErrNotExist) {
@@ -134,6 +141,7 @@ func replayWAL(fsys vfs.FS, path string, fn func(kind byte, key, value []byte)) 
 
 	r := bufio.NewReaderSize(f, 64<<10)
 	var hdr [8]byte
+	var payload []byte // grown once, reused across records
 	for {
 		if _, err := io.ReadFull(r, hdr[:]); err != nil {
 			return nil // clean EOF or torn header: stop
@@ -143,7 +151,10 @@ func replayWAL(fsys vfs.FS, path string, fn func(kind byte, key, value []byte)) 
 		if n > 1<<30 {
 			return nil // implausible length: treat as torn tail
 		}
-		payload := make([]byte, n)
+		if uint32(cap(payload)) < n {
+			payload = make([]byte, n)
+		}
+		payload = payload[:n]
 		if _, err := io.ReadFull(r, payload); err != nil {
 			return nil
 		}

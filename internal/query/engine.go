@@ -20,10 +20,10 @@ import (
 type Engine struct {
 	store         *store.Store
 	measure       dist.Measure
-	budget        int // global-pruning element budget (0 = default)
-	refineWorkers int // refinement pool size (0 = default, see refineParallelism)
-	streamBatch   int // rows per scan batch (0 = cluster default)
-	streamDepth   int // candidate-queue depth (0 = default, see streamQueueDepth)
+	budget        int  // global-pruning element budget (0 = default)
+	refineWorkers int  // refinement pool size (0 = default, see refineParallelism)
+	streamBatch   int  // rows per scan batch (0 = cluster default)
+	streamDepth   int  // candidate-queue depth (0 = default, see streamQueueDepth)
 	collectAll    bool // true: disable streaming, collect scans before refining
 	tuning        Tuning
 }

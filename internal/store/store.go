@@ -66,6 +66,11 @@ type Config struct {
 	// even after retries: surviving regions' rows are used and the failures
 	// are reported in the scan result instead of failing the query.
 	DegradedScans bool
+	// CompactRetryBase and CompactRetryMax bound the capped exponential
+	// backoff each region's background compactor applies to transient
+	// failures. Zero keeps the kv defaults.
+	CompactRetryBase time.Duration
+	CompactRetryMax  time.Duration
 }
 
 func (c *Config) withDefaults() Config {
@@ -124,6 +129,8 @@ func Open(cfg Config) (*Store, error) {
 		FS:                  cfg.FS,
 	}
 	clusterCfg.KV.SyncWrites = cfg.SyncWrites
+	clusterCfg.KV.CompactRetryBase = cfg.CompactRetryBase
+	clusterCfg.KV.CompactRetryMax = cfg.CompactRetryMax
 	cl, err := cluster.Open(clusterCfg)
 	if err != nil {
 		return nil, err

@@ -134,6 +134,11 @@ type FaultFS struct {
 	durFiles map[string]*memFile
 	durDirs  map[string]bool
 	allDirs  map[string]bool // every dir ever created: the tracked namespace
+
+	// syncs counts successful File.Sync calls per path — the observable a
+	// group-commit benchmark divides by its write count to prove fsync
+	// amortization. Survives Crash: it counts calls, not durable state.
+	syncs map[string]int
 }
 
 type memFile struct {
@@ -149,7 +154,26 @@ func NewFault() *FaultFS {
 		durFiles: make(map[string]*memFile),
 		durDirs:  make(map[string]bool),
 		allDirs:  make(map[string]bool),
+		syncs:    make(map[string]int),
 	}
+}
+
+// SyncCalls returns how many File.Sync calls on path succeeded so far.
+func (f *FaultFS) SyncCalls(path string) int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.syncs[clean(path)]
+}
+
+// SyncStats returns a copy of the per-path successful File.Sync counts.
+func (f *FaultFS) SyncStats() map[string]int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	out := make(map[string]int, len(f.syncs))
+	for k, v := range f.syncs {
+		out[k] = v
+	}
+	return out
 }
 
 // SetInject installs (or with nil removes) the fault hook consulted before
@@ -540,6 +564,7 @@ func (h *faultFile) Sync() error {
 		return err
 	}
 	h.inode.durable = len(h.inode.data)
+	h.fs.syncs[h.path]++
 	return nil
 }
 

@@ -353,3 +353,66 @@ func TestOSImpl(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestFaultFSSyncCounting covers the per-path successful-Sync counters the
+// group-commit benchmark divides by: failed syncs don't count, counts follow
+// the path (not the handle), and a crash preserves them — they tally calls,
+// not durable state.
+func TestFaultFSSyncCounting(t *testing.T) {
+	fsys := NewFault()
+	if err := fsys.MkdirAll("d"); err != nil {
+		t.Fatal(err)
+	}
+	f, err := fsys.Create("d/a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	writeAll(t, f, "x")
+	if err := f.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if got := fsys.SyncCalls("d/a"); got != 2 {
+		t.Fatalf("SyncCalls(d/a) = %d, want 2", got)
+	}
+	if got := fsys.SyncCalls("d/b"); got != 0 {
+		t.Fatalf("SyncCalls(d/b) = %d, want 0", got)
+	}
+
+	// A failed sync must not count.
+	fsys.SetInject(func(op Op) Fault {
+		if op.Kind == OpSync {
+			return FaultErr
+		}
+		return FaultNone
+	})
+	if err := f.Sync(); err == nil {
+		t.Fatal("injected sync unexpectedly succeeded")
+	}
+	fsys.SetInject(nil)
+	if got := fsys.SyncCalls("d/a"); got != 2 {
+		t.Fatalf("SyncCalls(d/a) after failed sync = %d, want 2", got)
+	}
+
+	// A second handle on the same path accumulates into the same counter, and
+	// SyncStats snapshots every path at once.
+	g, err := fsys.OpenAppend("d/a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	stats := fsys.SyncStats()
+	if stats["d/a"] != 3 {
+		t.Fatalf("SyncStats[d/a] = %d, want 3", stats["d/a"])
+	}
+
+	// Crash keeps the counters: they record calls, not surviving bytes.
+	fsys.Crash()
+	if got := fsys.SyncCalls("d/a"); got != 3 {
+		t.Fatalf("SyncCalls(d/a) after crash = %d, want 3", got)
+	}
+}

@@ -1,7 +1,7 @@
 #!/usr/bin/env bash
 # check.sh — the full verification gate, runnable locally and in CI.
 #
-#   usage: check.sh [lint|torture|test|all]     (default: all)
+#   usage: check.sh [lint|torture|concurrency|test|all]     (default: all)
 #
 # The optional argument selects a step group, so CI can fan the gate out
 # across parallel jobs while one local `./scripts/check.sh` still runs
@@ -17,6 +17,12 @@
 #              analyzer locally; the gate always runs all of them.
 #   torture    deterministic crash/error-injection suites (kv + cluster);
 #              SHORT=1 runs the strided subset, otherwise every fault point
+#   concurrency  the concurrent-writer torture suites under -race: N writer
+#              goroutines race group commits and background compactions while
+#              faults fire at sampled points — crash, injected errors,
+#              close-during-inflight, and WAL poison fan-out. Always -race
+#              (the whole point is racing the committer and the compaction
+#              supervisor); SHORT=1 samples fewer fault points
 #   test       refinement-executor and streaming-pipeline race tests (always
 #              under -race: the parallel refine pool and the bounded
 #              scan-to-refine stream are the code most worth racing), then
@@ -39,8 +45,8 @@ cd "$(dirname "$0")/.."
 
 MODE="${1:-all}"
 case "$MODE" in
-    lint|torture|test|all) ;;
-    *) echo "check.sh: unknown step group '$MODE' (want lint, torture, test, or all)" >&2; exit 2 ;;
+    lint|torture|concurrency|test|all) ;;
+    *) echo "check.sh: unknown step group '$MODE' (want lint, torture, concurrency, test, or all)" >&2; exit 2 ;;
 esac
 
 step() { printf '\n== %s ==\n' "$*"; }
@@ -67,12 +73,29 @@ if [[ "$MODE" == "torture" || "$MODE" == "all" ]]; then
     # Crash-safety torture: enumerate fault points and crash/fail at each one.
     # Deterministic (seeded workloads, FS-lock-ordered op numbering), so a
     # failure always names a reproducible fault point.
+    # -skip Concurrent: the concurrent-writer suites belong to the
+    # `concurrency` group, which always runs them under -race.
     if [[ "${SHORT:-0}" == "1" ]]; then
         step "crash torture (strided subset)"
-        go test -short -count=1 -run 'Torture|TornTail' ./internal/kv ./internal/cluster
+        go test -short -count=1 -run 'Torture|TornTail' -skip 'Concurrent' ./internal/kv ./internal/cluster
     else
         step "crash torture (every fault point)"
-        go test -count=1 -run 'Torture|TornTail' ./internal/kv ./internal/cluster
+        go test -count=1 -run 'Torture|TornTail' -skip 'Concurrent' ./internal/kv ./internal/cluster
+    fi
+fi
+
+if [[ "$MODE" == "concurrency" || "$MODE" == "all" ]]; then
+    # Concurrent-writer torture: writers race mid-group-commit and
+    # mid-background-compaction while faults fire. Nondeterministic
+    # interleavings by design, so fault points are sampled rather than
+    # enumerated; the acked-writes oracle holds for any interleaving.
+    # Always under -race — these suites exist to race the committer.
+    if [[ "${SHORT:-0}" == "1" ]]; then
+        step "concurrent torture (race, sampled subset)"
+        go test -race -short -count=1 -run 'Concurrent|PoisonFanout|ManifestOrder|RetryAndDegraded' ./internal/kv ./internal/cluster
+    else
+        step "concurrent torture (race)"
+        go test -race -count=1 -run 'Concurrent|PoisonFanout|ManifestOrder|RetryAndDegraded' ./internal/kv ./internal/cluster
     fi
 fi
 

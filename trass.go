@@ -27,7 +27,9 @@ package trass
 import (
 	"context"
 	"fmt"
+	"time"
 
+	"repro/internal/cluster"
 	"repro/internal/dist"
 	"repro/internal/geo"
 	"repro/internal/kv"
@@ -173,6 +175,19 @@ func WithDegradedScans() Option {
 	return func(sc *store.Config, _ *config) { sc.DegradedScans = true }
 }
 
+// WithCompactionBackoff bounds the capped exponential backoff each region's
+// background compactor applies when a compaction fails with a transient
+// error: retries start at base and double up to max. Zero values keep the
+// storage defaults (10ms base, 1s cap). When retries run out — or the error
+// is permanent — the store keeps serving reads and writes and reports the
+// condition via StorageStats().KV.CompactDegraded instead of wedging writers.
+func WithCompactionBackoff(base, max time.Duration) Option {
+	return func(sc *store.Config, _ *config) {
+		sc.CompactRetryBase = base
+		sc.CompactRetryMax = max
+	}
+}
+
 // DB is an open trajectory store with its query engine.
 type DB struct {
 	store  *store.Store
@@ -211,6 +226,19 @@ func (db *DB) Compact() error { return db.store.Compact() }
 
 // Count returns the number of stored trajectories.
 func (db *DB) Count() int64 { return db.store.Count() }
+
+// StorageStats aggregates the storage layer's counters across every region:
+// write and read volumes, flush/compaction activity, group-commit and WAL
+// fsync counts, scan RPCs and retries. KV.CompactDegraded reports whether any
+// region's background compaction is failing — the store keeps serving reads
+// and writes in that state, but merges are behind; see WithCompactionBackoff.
+type StorageStats = cluster.Stats
+
+// StorageStats returns a snapshot of the storage layer's health and activity
+// counters, or an error on a closed database.
+func (db *DB) StorageStats() (StorageStats, error) {
+	return db.store.Cluster().Stats()
+}
 
 // Get fetches one stored trajectory by id, or ErrNotFound.
 func (db *DB) Get(id string) (*Trajectory, error) {
