@@ -42,7 +42,21 @@
 //
 //	0  every analyzed package is clean
 //	1  at least one diagnostic was reported
-//	2  the module or a requested package failed to load
+//	2  the module or a requested package failed to load, an analyzer
+//	   panicked, or the -maxwall budget was exceeded
+//
+// An analyzer panic is recovered per analyzer — the rest of the suite still
+// runs and its findings are still printed — but the run exits 2, the panic
+// is reported like a finding (in -format=json with the goroutine stack in a
+// "stack" field), and the stack goes to stderr in text mode. A crash must
+// fail the gate loudly rather than silently dropping one analyzer's
+// coverage.
+//
+// Wall-time budget:
+//
+//	-maxwall=DURATION   exit 2 if the whole run exceeds this wall time
+//
+// CI's bench-smoke uses this as a regression tripwire for lint cost.
 //
 // A summary timing line (packages, findings, elapsed) is always written to
 // stderr so CI logs show where lint time goes; it never pollutes stdout,
@@ -70,8 +84,9 @@ func main() {
 	only := flag.String("only", "", "comma-separated analyzers to run (default: all)")
 	skip := flag.String("skip", "", "comma-separated analyzers to exclude")
 	timingJSON := flag.String("timingjson", "", "write per-analyzer timing JSON to this path")
+	maxWall := flag.Duration("maxwall", 0, "fail (exit 2) if the run exceeds this wall time; 0 disables")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: trasslint [-tests] [-v] [-format=text|json|github] [-only=a,b] [-skip=c] [-timingjson=path] [./... | dirs]\n")
+		fmt.Fprintf(os.Stderr, "usage: trasslint [-tests] [-v] [-format=text|json|github] [-only=a,b] [-skip=c] [-timingjson=path] [-maxwall=30s] [./... | dirs]\n")
 		fmt.Fprintf(os.Stderr, "exit status: 0 clean, 1 findings, 2 load error\n\nAnalyzers:\n")
 		for _, a := range lint.All() {
 			fmt.Fprintf(os.Stderr, "  %-12s %s\n", a.Name, a.Doc)
@@ -150,6 +165,7 @@ func main() {
 		timings = map[string]time.Duration{}
 	}
 	var diags []lint.Diagnostic
+	var panics []lint.AnalyzerPanic
 	for _, pkg := range pkgs {
 		if *verbose {
 			fmt.Fprintf(os.Stderr, "trasslint: %s\n", pkg.Path)
@@ -157,23 +173,33 @@ func main() {
 		for _, terr := range pkg.TypeErrors {
 			fmt.Fprintf(os.Stderr, "trasslint: warning: %s: %v\n", pkg.Path, terr)
 		}
-		for _, d := range lint.RunTimed(pkg, analyzers, timings) {
+		pkgDiags, pkgPanics := lint.RunTimed(pkg, analyzers, timings)
+		for _, d := range pkgDiags {
 			if r, err := filepath.Rel(cwd, d.Pos.Filename); err == nil && !strings.HasPrefix(r, "..") {
 				d.Pos.Filename = r
 			}
 			diags = append(diags, d)
 		}
+		panics = append(panics, pkgPanics...)
 	}
 
-	emit(*format, diags)
+	emit(*format, diags, panics)
 	if *timingJSON != "" {
 		if err := writeTimings(*timingJSON, analyzers, timings, diags, len(pkgs), start); err != nil {
 			fatal(err)
 		}
 	}
-	fmt.Fprintf(os.Stderr, "trasslint: %d packages, %d findings, %s elapsed\n",
-		len(pkgs), len(diags), time.Since(start).Round(time.Millisecond))
-	if len(diags) > 0 {
+	elapsed := time.Since(start)
+	fmt.Fprintf(os.Stderr, "trasslint: %d packages, %d findings, %d panics, %s elapsed\n",
+		len(pkgs), len(diags), len(panics), elapsed.Round(time.Millisecond))
+	switch {
+	case len(panics) > 0:
+		os.Exit(2)
+	case *maxWall > 0 && elapsed > *maxWall:
+		fmt.Fprintf(os.Stderr, "trasslint: wall time %s exceeded -maxwall=%s budget\n",
+			elapsed.Round(time.Millisecond), *maxWall)
+		os.Exit(2)
+	case len(diags) > 0:
 		os.Exit(1)
 	}
 }
@@ -308,22 +334,28 @@ func defaultFormat() string {
 }
 
 // jsonDiag is the machine-readable finding shape: flat, stable field names.
+// Stack is only set on analyzer-panic rows.
 type jsonDiag struct {
 	File     string `json:"file"`
 	Line     int    `json:"line"`
 	Col      int    `json:"col"`
 	Analyzer string `json:"analyzer"`
 	Message  string `json:"message"`
+	Stack    string `json:"stack,omitempty"`
 }
 
-func emit(format string, diags []lint.Diagnostic) {
+func emit(format string, diags []lint.Diagnostic, panics []lint.AnalyzerPanic) {
 	switch format {
 	case "text":
 		for _, d := range diags {
 			fmt.Println(d.String())
 		}
+		for _, p := range panics {
+			fmt.Printf("%s: [%s] PANIC: %v\n", p.Package, p.Analyzer, p.Value)
+			fmt.Fprintf(os.Stderr, "trasslint: %v\n%s\n", p.Error(), p.Stack)
+		}
 	case "json":
-		out := make([]jsonDiag, 0, len(diags))
+		out := make([]jsonDiag, 0, len(diags)+len(panics))
 		for _, d := range diags {
 			out = append(out, jsonDiag{
 				File:     d.Pos.Filename,
@@ -331,6 +363,14 @@ func emit(format string, diags []lint.Diagnostic) {
 				Col:      d.Pos.Column,
 				Analyzer: d.Analyzer,
 				Message:  d.Message,
+			})
+		}
+		for _, p := range panics {
+			out = append(out, jsonDiag{
+				File:     p.Package,
+				Analyzer: p.Analyzer,
+				Message:  p.Error(),
+				Stack:    p.Stack,
 			})
 		}
 		enc := json.NewEncoder(os.Stdout)
@@ -343,6 +383,10 @@ func emit(format string, diags []lint.Diagnostic) {
 			fmt.Printf("::error file=%s,line=%d,col=%d,title=trasslint(%s)::%s\n",
 				escapeProperty(d.Pos.Filename), d.Pos.Line, d.Pos.Column,
 				escapeProperty(d.Analyzer), escapeData(d.Message))
+		}
+		for _, p := range panics {
+			fmt.Printf("::error title=trasslint(%s) panic::%s\n",
+				escapeProperty(p.Analyzer), escapeData(p.Error()))
 		}
 	}
 }

@@ -79,19 +79,21 @@ func (j *JUST) Build(trajs []*traj.Trajectory) (time.Duration, error) {
 	if err != nil {
 		return 0, err
 	}
-	j.cluster = cl
 	for _, t := range trajs {
 		value := j.ix.Assign(t.Points)
 		rec := &traj.Record{ID: t.ID, Points: t.Points, Features: traj.ComputeFeatures(t, 0.01)}
 		if err := cl.Put(j.rowKey(value, t.ID), traj.EncodeRecord(rec)); err != nil {
 			_ = cl.Close()
-			j.cluster = nil
 			return 0, err
 		}
 	}
 	if err := cl.Flush(); err != nil {
+		_ = cl.Close()
 		return 0, err
 	}
+	// Ownership transfers only once the load fully succeeds: an error above
+	// closes the half-built cluster instead of leaving it attached.
+	j.cluster = cl
 	return time.Since(start), nil
 }
 

@@ -32,6 +32,7 @@ type snapEntry struct {
 func snapshotMem(mem *skiplist, start, end []byte) *memSnapshotIter {
 	var entries []snapEntry
 	it := mem.iter(start, end)
+	defer it.Close()
 	for it.Next() {
 		entries = append(entries, snapEntry{
 			key:   append([]byte(nil), it.Key()...),

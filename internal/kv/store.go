@@ -499,6 +499,7 @@ func (db *DB) flush() error {
 		return err
 	}
 	it := mem.iter(nil, nil)
+	defer it.Close()
 	for it.Next() {
 		if err := sw.add(it.Kind(), it.Key(), it.Value()); err != nil {
 			sw.abort()

@@ -1,0 +1,120 @@
+package flow_test
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"strings"
+	"testing"
+
+	"repro/internal/lint/flow"
+)
+
+// FuzzFlowIndex throws mutated Go source at the whole flow layer: parse,
+// type-check with errors ignored, then build the index and force every
+// derived computation — CFGs, summaries, lock order, obligations. The
+// invariant is purely "never panic": ill-typed and half-typed input must be
+// skipped or analyzed conservatively, because the real driver feeds the
+// analyzers packages whose type check produced soft errors.
+func FuzzFlowIndex(f *testing.F) {
+	f.Add(obligSrc)
+	f.Add(`package p
+func f() {
+	defer g()
+	go g()
+}
+func g() {}
+`)
+	f.Add(`package p
+
+type T struct{ n int }
+
+func (t *T) Close() error { return nil }
+func (t *T) Lock()        {}
+func (t *T) Unlock()      {}
+
+func open() *T { return &T{} }
+
+func f(c bool) *T {
+	t := open()
+	t.Lock()
+	defer t.Unlock()
+	if c {
+		return t
+	}
+	_ = t.Close()
+	return nil
+}
+`)
+	f.Add(`package p
+
+type Box struct{ r *T }
+
+type T struct{}
+
+func (t *T) Close() error { return nil }
+func (b *Box) Close() error { return b.r.Close() }
+
+func g(b *Box, ch chan *T) {
+	r := &T{}
+	select {
+	case ch <- r:
+	default:
+		b.r = r
+	}
+	for range ch {
+		panic("x")
+	}
+}
+`)
+
+	f.Fuzz(func(t *testing.T, src string) {
+		if len(src) > 64<<10 {
+			t.Skip("oversized input")
+		}
+		// A fresh FileSet per exec: a shared one would retain every parsed
+		// file's position table for the life of the worker, and the growing
+		// heap turns long fuzz runs into pure GC.
+		fset := token.NewFileSet()
+		file, err := parser.ParseFile(fset, "fuzz.go", src, parser.ParseComments)
+		if err != nil {
+			t.Skip("parse error")
+		}
+		// Imports are skipped wholesale: the source importer costs seconds
+		// per worker process, which starves the fuzz budget. Lock-specific
+		// paths (which need package sync) are covered by the unit tests; the
+		// fuzzer's job is the parser-shaped surface — CFGs, summaries,
+		// obligations over arbitrary self-contained programs.
+		if len(file.Imports) > 0 {
+			t.Skip("imports are out of fuzz scope")
+		}
+		info := &types.Info{
+			Types:      map[ast.Expr]types.TypeAndValue{},
+			Defs:       map[*ast.Ident]types.Object{},
+			Uses:       map[*ast.Ident]types.Object{},
+			Selections: map[*ast.SelectorExpr]*types.Selection{},
+			Implicits:  map[ast.Node]types.Object{},
+			Scopes:     map[ast.Node]*types.Scope{},
+		}
+		conf := types.Config{
+			Error: func(error) {}, // keep going; partial info is the point
+		}
+		pkg, _ := conf.Check("p", fset, []*ast.File{file}, info)
+		if pkg == nil {
+			t.Skip("no package object")
+		}
+		ix := flow.NewIndex([]*ast.File{file}, info, pkg, flow.Options{})
+		for _, n := range ix.Graph().Nodes {
+			ix.Summary(n)
+			ix.Obligations(n)
+		}
+		edges, reacquires := ix.LockOrder()
+		for _, e := range edges {
+			if !strings.Contains(flow.FormatEdgeWitness(fset, e), "acquired while") {
+				t.Fatalf("malformed witness for edge %+v", e)
+			}
+		}
+		_ = reacquires
+	})
+}

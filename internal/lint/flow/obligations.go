@@ -1,0 +1,577 @@
+package flow
+
+// Resource-obligation tracking: a local bound to a call result whose type
+// carries a Close/Release/Stop method is an obligation of the function that
+// made the call. The obligation is met by releasing the value, and it is
+// handed off — not leaked — by returning the value, passing it to another
+// call, storing it into a struct field whose owner releases it, aliasing it,
+// or capturing it in a function literal (including goroutine bodies). The
+// mustclose analyzer reports obligations met on no path.
+//
+// Path sensitivity comes from a MAY dataflow over the function's CFG with one
+// bit per obligation: a *use* of the value (r.Next(), f.Write(...), ranging
+// over it) sets the bit, a release or hand-off clears it, and a set bit at
+// the exit block means some path used the resource and reached the end of the
+// function without releasing it. Seeding on use rather than on creation is
+// what makes the `r, err := open(...); if err != nil { return err }` idiom
+// clean: the error path never touches r, so it carries no obligation — while
+// an error return *between* a use and the release still leaks, which is the
+// "error-return paths count" rule.
+//
+// Deliberate approximations:
+//
+//   - only `:=` bindings to direct call results are tracked; a resource
+//     threaded through struct literals or pre-declared vars is invisible;
+//   - every hand-off is trusted: passing a value to any call or storing it
+//     anywhere except a releaser-less field ends the caller's obligation;
+//   - a deferred release counts as an immediate release (a defer registered
+//     on only some paths is credited on all of them);
+//   - types are resource-like by method name only (Close/Release/Stop and
+//     their unexported spellings, niladic), restricted to module-local types
+//     so stdlib values do not drown the signal.
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// Obligation is one tracked resource of a function.
+type Obligation struct {
+	// Obj is the local the resource is bound to; Name its source name.
+	Obj  types.Object
+	Name string
+	// Type is the resource type, printed relative to the package.
+	Type string
+	// Pos is the creation site (the binding assignment).
+	Pos token.Pos
+	// Leaked: some path uses the resource and reaches function exit without a
+	// release or hand-off (or the value is never mentioned again at all).
+	Leaked bool
+	// NeverReleased: no release and no hand-off anywhere in the body.
+	NeverReleased bool
+	// BadStore, when non-empty, explains a field store that did not count as
+	// a hand-off: the owning type has no releaser method touching the field.
+	BadStore string
+}
+
+// maxObligations bounds tracked resources per function: one dataflow bit each.
+const maxObligations = 64
+
+// Obligations computes (and caches) the resource obligations of n.
+func (ix *Index) Obligations(n *CallNode) []Obligation {
+	if ix.obligations == nil {
+		ix.obligations = map[*CallNode][]Obligation{}
+	}
+	if obs, ok := ix.obligations[n]; ok {
+		return obs
+	}
+	obs := ix.computeObligations(n)
+	ix.obligations[n] = obs
+	return obs
+}
+
+func (ix *Index) computeObligations(n *CallNode) []Obligation {
+	body := n.Body()
+	if body == nil {
+		return nil
+	}
+	obs, byObj := ix.collectObligations(n)
+	if len(obs) == 0 {
+		return nil
+	}
+	ev := ix.classifyEvents(body, obs, byObj)
+
+	fl := ix.locks[n]
+	g := fl.g
+	tf := func(node ast.Node, in Facts) Facts {
+		kill, gen := ev.nodeEvents(node)
+		return in&^kill | gen&^kill
+	}
+	sol := g.Forward(0, May, tf)
+	exit := sol[g.Exit.Index] &^ ev.exitKill
+	for i := range obs {
+		ob := &obs[i]
+		ob.NeverReleased = !ev.released[i] && !ev.handedOff[i]
+		ob.BadStore = ev.badStore[i]
+		ob.Leaked = exit&(1<<uint(i)) != 0 ||
+			(ob.NeverReleased && !ev.used[i])
+	}
+	return obs
+}
+
+// collectObligations finds `r := open(...)` / `r, err := open(...)` bindings
+// whose bound result type is a module-local resource type.
+func (ix *Index) collectObligations(n *CallNode) ([]Obligation, map[types.Object]int) {
+	var obs []Obligation
+	byObj := map[types.Object]int{}
+	add := func(id *ast.Ident, t types.Type) {
+		if id.Name == "_" || len(obs) >= maxObligations {
+			return
+		}
+		obj := ix.info.Defs[id]
+		if obj == nil {
+			return
+		}
+		if _, exists := byObj[obj]; exists {
+			return
+		}
+		name, ok := ix.resourceType(t)
+		if !ok {
+			return
+		}
+		byObj[obj] = len(obs)
+		obs = append(obs, Obligation{Obj: obj, Name: id.Name, Type: name, Pos: id.Pos()})
+	}
+	inspectNoLitNode(n.Body(), func(x ast.Node) bool {
+		as, ok := x.(*ast.AssignStmt)
+		if !ok || as.Tok != token.DEFINE {
+			return true
+		}
+		if len(as.Rhs) == 1 {
+			call, ok := ast.Unparen(as.Rhs[0]).(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			t := ix.typeOf(call)
+			if tuple, isTuple := t.(*types.Tuple); isTuple {
+				for j, lhs := range as.Lhs {
+					if id, ok := lhs.(*ast.Ident); ok && j < tuple.Len() {
+						add(id, tuple.At(j).Type())
+					}
+				}
+			} else if len(as.Lhs) == 1 {
+				if id, ok := as.Lhs[0].(*ast.Ident); ok {
+					add(id, t)
+				}
+			}
+			return true
+		}
+		for j, rhs := range as.Rhs {
+			call, ok := ast.Unparen(rhs).(*ast.CallExpr)
+			if !ok || j >= len(as.Lhs) {
+				continue
+			}
+			if id, ok := as.Lhs[j].(*ast.Ident); ok {
+				add(id, ix.typeOf(call))
+			}
+		}
+		return true
+	})
+	return obs, byObj
+}
+
+// resourceType reports whether t is a module-local named (or pointer to
+// named, or interface) type carrying a niladic releaser method.
+func (ix *Index) resourceType(t types.Type) (string, bool) {
+	if t == nil {
+		return "", false
+	}
+	named, ok := derefType(t).(*types.Named)
+	if !ok {
+		return "", false
+	}
+	obj := named.Obj()
+	if obj == nil || !ix.moduleLocal(obj.Pkg()) {
+		return "", false
+	}
+	if !hasReleaser(named) {
+		return "", false
+	}
+	return types.TypeString(t, relativeTo(ix.pkg)), true
+}
+
+func relativeTo(pkg *types.Package) types.Qualifier {
+	return func(other *types.Package) string {
+		if other == pkg {
+			return ""
+		}
+		return other.Name()
+	}
+}
+
+func (ix *Index) moduleLocal(pkg *types.Package) bool {
+	if pkg == nil || ix.pkg == nil {
+		return false
+	}
+	if pkg == ix.pkg {
+		return true
+	}
+	return firstPathSegment(pkg.Path()) == firstPathSegment(ix.pkg.Path())
+}
+
+func firstPathSegment(path string) string {
+	if i := strings.IndexByte(path, '/'); i >= 0 {
+		return path[:i]
+	}
+	return path
+}
+
+func releaserName(name string) bool {
+	switch name {
+	case "Close", "close", "Release", "release", "Stop", "stop":
+		return true
+	}
+	return false
+}
+
+// hasReleaser reports a niladic releaser in the method set of T or *T.
+func hasReleaser(named *types.Named) bool {
+	for _, ms := range []*types.MethodSet{
+		types.NewMethodSet(named),
+		types.NewMethodSet(types.NewPointer(named)),
+	} {
+		for i := 0; i < ms.Len(); i++ {
+			fn, ok := ms.At(i).Obj().(*types.Func)
+			if !ok || !releaserName(fn.Name()) {
+				continue
+			}
+			if sig, ok := fn.Type().(*types.Signature); ok && sig.Params().Len() == 0 {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// --- event classification --------------------------------------------------
+
+type obEventKind int
+
+const (
+	evNone obEventKind = iota
+	evUse
+	evRelease
+	evHandOff
+	evBadStore // a field store that does NOT hand off: counts as a use
+)
+
+// obEvents indexes per-ident events plus literal captures, and accumulates
+// whole-function booleans per obligation.
+type obEvents struct {
+	ident    map[*ast.Ident]obEvent
+	captures map[*ast.FuncLit][]int
+	// exitKill holds obligations discharged by deferred releases (and
+	// captures inside deferred literals): defers run at return, after the
+	// dataflow's exit facts, so their kills apply there — not at the defer
+	// statement, where a later use would re-establish the obligation.
+	exitKill Facts
+
+	used, released, handedOff []bool
+	badStore                  []string
+}
+
+type obEvent struct {
+	ob   int
+	kind obEventKind
+}
+
+// nodeEvents folds the events inside one CFG node into kill/gen bit sets.
+func (ev *obEvents) nodeEvents(node ast.Node) (kill, gen Facts) {
+	ast.Inspect(node, func(x ast.Node) bool {
+		if lit, ok := x.(*ast.FuncLit); ok {
+			for _, i := range ev.captures[lit] {
+				kill |= 1 << uint(i)
+			}
+			return false
+		}
+		id, ok := x.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		e, ok := ev.ident[id]
+		if !ok {
+			return true
+		}
+		switch e.kind {
+		case evRelease, evHandOff:
+			kill |= 1 << uint(e.ob)
+		case evUse, evBadStore:
+			gen |= 1 << uint(e.ob)
+		}
+		return true
+	})
+	return kill, gen
+}
+
+// classifyEvents walks the body once, classifying every mention of a tracked
+// resource by its syntactic context.
+func (ix *Index) classifyEvents(body *ast.BlockStmt, obs []Obligation, byObj map[types.Object]int) *obEvents {
+	ev := &obEvents{
+		ident:     map[*ast.Ident]obEvent{},
+		captures:  map[*ast.FuncLit][]int{},
+		used:      make([]bool, len(obs)),
+		released:  make([]bool, len(obs)),
+		handedOff: make([]bool, len(obs)),
+		badStore:  make([]string, len(obs)),
+	}
+	var stack []ast.Node
+	var curLit *ast.FuncLit
+	ast.Inspect(body, func(x ast.Node) bool {
+		if x == nil {
+			top := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			if top == curLit {
+				curLit = nil
+				for _, n := range stack {
+					if lit, ok := n.(*ast.FuncLit); ok {
+						curLit = lit
+					}
+				}
+			}
+			return true
+		}
+		stack = append(stack, x)
+		if lit, ok := x.(*ast.FuncLit); ok && curLit == nil {
+			curLit = lit
+		}
+		id, ok := x.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		obj := ix.info.Uses[id]
+		if obj == nil {
+			return true
+		}
+		i, tracked := byObj[obj]
+		if !tracked {
+			return true
+		}
+		inDefer := false
+		for _, anc := range stack {
+			if _, ok := anc.(*ast.DeferStmt); ok {
+				inDefer = true
+			}
+		}
+		if curLit != nil {
+			// Captured by a literal (closure or goroutine body): the literal
+			// owns the obligation now.
+			ev.handedOff[i] = true
+			if inDefer {
+				ev.exitKill |= 1 << uint(i)
+			} else {
+				ev.captures[curLit] = append(ev.captures[curLit], i)
+			}
+			return true
+		}
+		kind, why := ix.classifyUse(stack, id)
+		if inDefer && (kind == evRelease || kind == evHandOff) {
+			if kind == evRelease {
+				ev.released[i] = true
+			} else {
+				ev.handedOff[i] = true
+			}
+			ev.exitKill |= 1 << uint(i)
+			return true
+		}
+		switch kind {
+		case evUse:
+			ev.used[i] = true
+		case evRelease:
+			ev.released[i] = true
+		case evHandOff:
+			ev.handedOff[i] = true
+		case evBadStore:
+			ev.used[i] = true
+			if ev.badStore[i] == "" {
+				ev.badStore[i] = why
+			}
+		case evNone:
+			return true
+		}
+		ev.ident[id] = obEvent{ob: i, kind: kind}
+		return true
+	})
+	return ev
+}
+
+// classifyUse decides what one mention of a tracked resource means. stack
+// ends at the ident itself.
+func (ix *Index) classifyUse(stack []ast.Node, id *ast.Ident) (obEventKind, string) {
+	// Walk upward, skipping wrappers that do not change meaning.
+	cur := ast.Node(id)
+	for k := len(stack) - 2; k >= 0; k-- {
+		switch p := stack[k].(type) {
+		case *ast.ParenExpr, *ast.StarExpr:
+			cur = p
+			continue
+		case *ast.SelectorExpr:
+			if p.X != cur {
+				return evNone, ""
+			}
+			if k > 0 {
+				if call, ok := stack[k-1].(*ast.CallExpr); ok && call.Fun == p &&
+					releaserName(p.Sel.Name) && len(call.Args) == 0 {
+					return evRelease, ""
+				}
+			}
+			return evUse, ""
+		case *ast.CallExpr:
+			for _, arg := range p.Args {
+				if arg == cur {
+					return evHandOff, ""
+				}
+			}
+			return evUse, ""
+		case *ast.UnaryExpr:
+			if p.Op == token.AND {
+				return evHandOff, ""
+			}
+			return evUse, ""
+		case *ast.BinaryExpr:
+			// Comparisons (it != nil) neither use nor release.
+			return evNone, ""
+		case *ast.ReturnStmt:
+			return evHandOff, ""
+		case *ast.CompositeLit, *ast.KeyValueExpr:
+			return evHandOff, ""
+		case *ast.IndexExpr, *ast.SliceExpr, *ast.TypeAssertExpr:
+			return evHandOff, ""
+		case *ast.AssignStmt:
+			return ix.classifyStore(p, cur)
+		case *ast.RangeStmt:
+			if p.X == cur {
+				return evUse, ""
+			}
+			return evNone, ""
+		case *ast.SendStmt:
+			if p.Value == cur {
+				return evHandOff, ""
+			}
+			return evUse, ""
+		default:
+			return evNone, ""
+		}
+	}
+	return evNone, ""
+}
+
+// classifyStore handles a tracked resource appearing directly on the RHS of
+// an assignment: stores hand the obligation off, except a store into a field
+// whose owning type has no releaser method touching that field.
+func (ix *Index) classifyStore(as *ast.AssignStmt, rhs ast.Node) (obEventKind, string) {
+	idx := -1
+	for j, r := range as.Rhs {
+		if r == rhs {
+			idx = j
+		}
+	}
+	if idx < 0 || idx >= len(as.Lhs) || len(as.Lhs) != len(as.Rhs) {
+		return evNone, "" // LHS mention or unmatched shape: not a store of the value
+	}
+	sel, ok := ast.Unparen(as.Lhs[idx]).(*ast.SelectorExpr)
+	if !ok {
+		return evHandOff, "" // var, element or blank store: trust the new owner
+	}
+	selection := ix.info.Selections[sel]
+	if selection == nil {
+		return evHandOff, ""
+	}
+	field, ok := selection.Obj().(*types.Var)
+	if !ok {
+		return evHandOff, ""
+	}
+	owner, held := derefType(selection.Recv()).(*types.Named)
+	if !held || owner.Obj() == nil {
+		return evHandOff, ""
+	}
+	if owner.Obj().Pkg() != ix.pkg {
+		return evHandOff, "" // foreign owner: its release path is invisible here
+	}
+	if ix.ownerReleasesField(owner, field) {
+		return evHandOff, ""
+	}
+	return evBadStore, "stored in " + owner.Obj().Name() + "." + field.Name() +
+		", but no releaser method of " + owner.Obj().Name() + " touches that field"
+}
+
+// ownerReleasesField reports whether some releaser method of owner (Close,
+// Release, Stop, or unexported spellings) mentions field, directly or through
+// a same-receiver callee — the lenient "the owner's Close releases it" check.
+func (ix *Index) ownerReleasesField(owner *types.Named, field *types.Var) bool {
+	for _, n := range ix.graph.Nodes {
+		if n.Recv == nil || n.Decl == nil || !releaserName(n.Decl.Name.Name) {
+			continue
+		}
+		recv, ok := derefType(n.Recv.Type()).(*types.Named)
+		if !ok || recv.Obj() != owner.Obj() {
+			continue
+		}
+		sum := ix.sums[n]
+		if sum == nil {
+			continue
+		}
+		for _, f := range sum.TouchedRecvFields {
+			if f == field {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// --- receiver-field summaries ---------------------------------------------
+
+// collectRecvFields records which receiver struct fields a method mentions
+// (function literals included: a field closed inside a closure still counts).
+func (ix *Index) collectRecvFields(n *CallNode, sum *Summary) {
+	if n.Recv == nil || n.Body() == nil {
+		return
+	}
+	recv, ok := derefType(n.Recv.Type()).(*types.Named)
+	if !ok {
+		return
+	}
+	ast.Inspect(n.Body(), func(x ast.Node) bool {
+		sel, ok := x.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		root, path, ok := ExprRootPath(ix.info, sel)
+		if !ok || root != n.Recv {
+			return true
+		}
+		seg, _, ok := nextPathSegment(path)
+		if !ok {
+			return true
+		}
+		obj, _, _ := types.LookupFieldOrMethod(recv, true, ix.pkg, seg)
+		if f, isField := obj.(*types.Var); isField {
+			sum.addRecvField(f)
+		}
+		return true
+	})
+}
+
+// foldRecvFields unions a same-receiver static callee's touched fields into
+// the caller's summary (db.Close → db.closeLocked chains).
+func (ix *Index) foldRecvFields(n *CallNode, e *CallEdge, sum *Summary) {
+	if n.Recv == nil || e.Kind != EdgeStatic || e.Call == nil || e.Callee.Recv == nil {
+		return
+	}
+	cs := ix.sums[e.Callee]
+	if cs == nil || len(cs.TouchedRecvFields) == 0 {
+		return
+	}
+	sel, ok := ast.Unparen(e.Call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	root, path, ok := ExprRootPath(ix.info, sel.X)
+	if !ok || root != n.Recv || path != "" {
+		return
+	}
+	for _, f := range cs.TouchedRecvFields {
+		sum.addRecvField(f)
+	}
+}
+
+func (sum *Summary) addRecvField(f *types.Var) {
+	for _, have := range sum.TouchedRecvFields {
+		if have == f {
+			return
+		}
+	}
+	sum.TouchedRecvFields = append(sum.TouchedRecvFields, f)
+}

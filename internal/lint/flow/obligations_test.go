@@ -1,0 +1,180 @@
+package flow_test
+
+import (
+	"testing"
+
+	"repro/internal/lint/flow"
+)
+
+const obligSrc = `package p
+
+type R struct{ n int }
+
+func (r *R) Close() error { return nil }
+func (r *R) use()         {}
+
+func open() *R            { return &R{} }
+func openErr() (*R, error) { return &R{}, nil }
+
+func sink(r *R) {}
+
+type Box struct{ r *R }
+
+func (b *Box) Close() { b.r.Close() }
+
+type Sack struct{ r *R }
+
+func leak() {
+	r := open()
+	r.use()
+}
+
+func branchLeak(c bool) {
+	r := open()
+	r.use()
+	if c {
+		return
+	}
+	r.Close()
+}
+
+func deferred() {
+	r := open()
+	defer r.Close()
+	r.use()
+}
+
+func errPath() error {
+	r, err := openErr()
+	if err != nil {
+		return err
+	}
+	r.use()
+	return r.Close()
+}
+
+func returned() *R {
+	r := open()
+	r.use()
+	return r
+}
+
+func handOff() {
+	r := open()
+	r.use()
+	sink(r)
+}
+
+func storeGood(b *Box) {
+	r := open()
+	r.use()
+	b.r = r
+}
+
+func storeBad(s *Sack) {
+	r := open()
+	r.use()
+	s.r = r
+}
+
+func spawned() {
+	r := open()
+	go func() { r.Close() }()
+}
+
+func neverTouched() {
+	r := open()
+	_ = 1
+	_ = r.n
+}
+`
+
+func obligationNamed(t *testing.T, obs []flow.Obligation, name string) *flow.Obligation {
+	t.Helper()
+	for i := range obs {
+		if obs[i].Name == name {
+			return &obs[i]
+		}
+	}
+	t.Fatalf("no obligation named %q in %+v", name, obs)
+	return nil
+}
+
+func obligationsOf(t *testing.T, ix *flow.Index, fn string) []flow.Obligation {
+	t.Helper()
+	return ix.Obligations(declNamed(t, ix, fn))
+}
+
+func TestObligationLeaks(t *testing.T) {
+	ix := buildIndex(t, obligSrc)
+	cases := []struct {
+		fn     string
+		leaked bool
+	}{
+		{"leak", true},
+		{"branchLeak", true}, // the early return after use leaks
+		{"deferred", false},
+		{"errPath", false}, // the err != nil return carries no obligation
+		{"returned", false},
+		{"handOff", false},
+		{"storeGood", false},
+		{"storeBad", true},
+		{"spawned", false}, // the goroutine owns it now
+	}
+	for _, c := range cases {
+		obs := obligationsOf(t, ix, c.fn)
+		ob := obligationNamed(t, obs, "r")
+		if ob.Leaked != c.leaked {
+			t.Errorf("%s: Leaked = %v, want %v (%+v)", c.fn, ob.Leaked, c.leaked, *ob)
+		}
+	}
+}
+
+func TestObligationBadStoreWhy(t *testing.T) {
+	ix := buildIndex(t, obligSrc)
+	ob := obligationNamed(t, obligationsOf(t, ix, "storeBad"), "r")
+	if ob.BadStore == "" {
+		t.Fatalf("storeBad: expected BadStore explanation, got none: %+v", *ob)
+	}
+	if ob.Leaked != true {
+		t.Errorf("storeBad: store into releaser-less Sack must leak")
+	}
+}
+
+func TestObligationNeverReleased(t *testing.T) {
+	ix := buildIndex(t, obligSrc)
+	ob := obligationNamed(t, obligationsOf(t, ix, "leak"), "r")
+	if !ob.NeverReleased {
+		t.Errorf("leak: NeverReleased = false, want true")
+	}
+	ob = obligationNamed(t, obligationsOf(t, ix, "branchLeak"), "r")
+	if ob.NeverReleased {
+		t.Errorf("branchLeak: NeverReleased = true, but a release exists on one path")
+	}
+}
+
+func TestObligationTypeNames(t *testing.T) {
+	ix := buildIndex(t, obligSrc)
+	ob := obligationNamed(t, obligationsOf(t, ix, "leak"), "r")
+	if ob.Type != "*R" {
+		t.Errorf("obligation type = %q, want *R", ob.Type)
+	}
+}
+
+// TestObligationForeignTypesIgnored: stdlib values with Close-like methods
+// are not obligations — only module-local resource types are tracked.
+func TestObligationForeignTypesIgnored(t *testing.T) {
+	ix := buildIndex(t, `package p
+
+import "strings"
+
+func reader() {
+	r := strings.NewReader("x")
+	r.Len()
+}
+`)
+	obs := ix.Obligations(declNamed(t, ix, "reader"))
+	if len(obs) != 0 {
+		t.Errorf("foreign type tracked as obligation: %+v", obs)
+	}
+}

@@ -1,0 +1,324 @@
+package flow
+
+// Lock-acquisition-order recording. The lock dataflow in summary.go answers
+// "which locks are held HERE"; this file records the *ordering* those answers
+// imply — every site where one lock is acquired while another is held — and
+// canonicalizes per-function lock keys into package-wide lock classes so the
+// orderings compose into a single graph. The lockorder analyzer walks that
+// graph for cycles (the ABBA deadlock shape).
+//
+// Canonicalization: a LockKey is rooted at a per-function object ("db" in one
+// method, "c" in another), which is useless across functions. A LockClass
+// re-roots the key at the *type that declares the mutex field*: db.mu and
+// d.mu both become DB.mu, and db.commit.mu becomes committer.mu because the
+// innermost named type along the selector chain is committer. Package-level
+// mutexes keep their variable as the class. The coarsening is deliberate —
+// lock hierarchies are properties of types, not instances — and it is also
+// the soundness caveat: two distinct instances of one type collapse into one
+// class, so instance-level ordering (hand-over-hand locking over a list of
+// same-typed nodes) is outside this analysis and self-edges are dropped.
+//
+// Witnesses: each edge carries the function containing the acquisition site
+// and, when the acquisition happens inside a callee, the call chain to it
+// (from Summary.MayAcquire). Deferred calls and goroutine launches generate
+// no edges — a deferred acquisition runs at return and a goroutine acquires
+// on another stack, so neither orders against the locks held at the site.
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// LockClass is the package-wide identity of a mutex: the named type declaring
+// it (receiver-rooted locks) or the package-level variable, plus the selector
+// path from that owner (".mu"; "" for a bare package-level mutex var).
+type LockClass struct {
+	Obj  types.Object // *types.TypeName (owning type) or package-level *types.Var
+	Path string
+}
+
+func (c LockClass) String() string {
+	if c.Obj == nil {
+		return strings.TrimPrefix(c.Path, ".")
+	}
+	return c.Obj.Name() + c.Path
+}
+
+// AcquireFact is one lock class a function may acquire on some path, directly
+// or through a callee, with the call chain as witness.
+type AcquireFact struct {
+	Class LockClass
+	// Expr is the lock expression as written at the acquisition site.
+	Expr string
+	// Pos is the acquisition site (inside this function or a callee).
+	Pos token.Pos
+	// Chain is the call chain from this function to the acquisition
+	// ("runOnCommitter → submit"); "" for a direct acquisition.
+	Chain string
+}
+
+// LockOrderEdge records one observed ordering: To was acquired at Pos inside
+// Fn (directly, or through Chain) while From was held.
+type LockOrderEdge struct {
+	From, To LockClass
+	// FromExpr/ToExpr are the lock expressions as written, for diagnostics.
+	FromExpr, ToExpr string
+	Fn               *CallNode
+	Pos              token.Pos
+	// Chain is the call chain from Fn to the acquisition; "" when Fn acquires
+	// To directly.
+	Chain string
+}
+
+// Reacquire is a write-acquisition of a lock key that is provably already
+// write-held at the site — a guaranteed self-deadlock for sync.Mutex.
+type Reacquire struct {
+	Fn   *CallNode
+	Pos  token.Pos
+	Expr string
+}
+
+// LockClassOf canonicalizes a per-function lock key into its package-wide
+// class. It fails for keys the analysis cannot root (nil Root) and for roots
+// whose selector chain never crosses a package-local named type or
+// package-level variable (foreign types, unnamed locals).
+func (ix *Index) LockClassOf(key LockKey) (LockClass, bool) {
+	root := key.Root
+	if root == nil {
+		return LockClass{}, false
+	}
+	var owner types.Object
+	ownerPath := ""
+	note := func(t types.Type, rest string) {
+		if named, ok := derefType(t).(*types.Named); ok {
+			obj := named.Obj()
+			if obj != nil && obj.Pkg() == ix.pkg {
+				owner, ownerPath = obj, rest
+			}
+		}
+	}
+	t := root.Type()
+	rest := key.Path
+	note(t, rest)
+	for rest != "" {
+		seg, tail, ok := nextPathSegment(rest)
+		if !ok {
+			break
+		}
+		obj, _, _ := types.LookupFieldOrMethod(derefType(t), true, ix.pkg, seg)
+		field, isField := obj.(*types.Var)
+		if !isField {
+			break
+		}
+		t, rest = field.Type(), tail
+		if rest != "" {
+			note(t, rest)
+		}
+	}
+	if owner != nil {
+		return LockClass{Obj: owner, Path: ownerPath}, true
+	}
+	if isPackageLevel(root, ix.pkg) {
+		return LockClass{Obj: root, Path: key.Path}, true
+	}
+	return LockClass{}, false
+}
+
+func derefType(t types.Type) types.Type {
+	if t == nil {
+		return nil
+	}
+	if ptr, ok := t.Underlying().(*types.Pointer); ok {
+		return ptr.Elem()
+	}
+	return t
+}
+
+// nextPathSegment splits ".commit.mu" into ("commit", ".mu").
+func nextPathSegment(path string) (seg, tail string, ok bool) {
+	rest, found := strings.CutPrefix(path, ".")
+	if !found || rest == "" {
+		return "", "", false
+	}
+	if i := strings.IndexByte(rest, '.'); i >= 0 {
+		return rest[:i], rest[i:], true
+	}
+	return rest, "", true
+}
+
+// acquireOp reports a blocking lock acquisition (Lock/RLock; Try* variants
+// never block, so they cannot participate in a deadlock).
+func (ix *Index) acquireOp(call *ast.CallExpr) (LockKey, string, bool) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || strings.HasPrefix(sel.Sel.Name, "Try") {
+		return LockKey{}, "", false
+	}
+	key, expr, kind := ix.lockOp(call)
+	if kind != lockWrite && kind != lockRead {
+		return LockKey{}, "", false
+	}
+	return key, expr, true
+}
+
+// addAcquire folds one acquisition fact into sum, first class wins.
+func (sum *Summary) addAcquire(f AcquireFact) bool {
+	for _, have := range sum.MayAcquire {
+		if have.Class == f.Class {
+			return false
+		}
+	}
+	sum.MayAcquire = append(sum.MayAcquire, f)
+	return true
+}
+
+// LockOrder returns every acquisition-order edge observed in the package,
+// plus the provable same-key write reacquisitions. Computed once and cached.
+func (ix *Index) LockOrder() ([]LockOrderEdge, []Reacquire) {
+	if !ix.orderDone {
+		ix.computeLockOrder()
+		ix.orderDone = true
+	}
+	// Copies, not the cached slices: callers keep their results across later
+	// index use (and loopretain holds this package to its own rules).
+	edges := append([]LockOrderEdge(nil), ix.orderEdges...)
+	reacquires := append([]Reacquire(nil), ix.reacquires...)
+	return edges, reacquires
+}
+
+func (ix *Index) computeLockOrder() {
+	for _, n := range ix.graph.Nodes {
+		ix.orderEdgesOf(n)
+	}
+}
+
+func (ix *Index) orderEdgesOf(n *CallNode) {
+	fl := ix.locks[n]
+	if fl == nil || n.Body() == nil {
+		return
+	}
+	// seen dedupes (From, To) per function: one witness per ordered pair and
+	// function is enough for cycle reporting.
+	type pair struct{ from, to LockClass }
+	seen := map[pair]bool{}
+	edgesBySite := map[*ast.CallExpr][]*CallEdge{}
+	for _, e := range n.Out {
+		if e.Call != nil && e.Kind != EdgeConservative {
+			edgesBySite[e.Call] = append(edgesBySite[e.Call], e)
+		}
+	}
+	inspectNoLitNode(n.Body(), func(x ast.Node) bool {
+		switch x.(type) {
+		case *ast.DeferStmt, *ast.GoStmt:
+			// Deferred acquisitions run at return; goroutines acquire on
+			// another stack. Neither orders against the locks held here.
+			return false
+		}
+		call, ok := x.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		var acquired []AcquireFact
+		if key, expr, ok := ix.acquireOp(call); ok {
+			if class, cok := ix.LockClassOf(key); cok {
+				acquired = append(acquired, AcquireFact{Class: class, Expr: expr, Pos: call.Pos()})
+			}
+			ix.noteReacquire(n, call, key, expr)
+		} else if !fl.async[call] {
+			for _, e := range edgesBySite[call] {
+				sum := ix.sums[e.Callee]
+				if sum == nil {
+					continue
+				}
+				for _, f := range sum.MayAcquire {
+					chain := e.Callee.Name
+					if f.Chain != "" {
+						chain += " → " + f.Chain
+					}
+					acquired = append(acquired, AcquireFact{Class: f.Class, Expr: f.Expr, Pos: call.Pos(), Chain: chain})
+				}
+			}
+		}
+		if len(acquired) == 0 {
+			return true
+		}
+		held := ix.HeldAt(n, call)
+		for _, h := range held {
+			from, ok := ix.LockClassOf(h.Key)
+			if !ok {
+				continue
+			}
+			for _, a := range acquired {
+				if from == a.Class || seen[pair{from, a.Class}] {
+					continue
+				}
+				seen[pair{from, a.Class}] = true
+				ix.orderEdges = append(ix.orderEdges, LockOrderEdge{
+					From: from, To: a.Class,
+					FromExpr: h.Expr, ToExpr: a.Expr,
+					Fn: n, Pos: a.Pos, Chain: a.Chain,
+				})
+			}
+		}
+		return true
+	})
+}
+
+// noteReacquire records a write acquisition of a key already write-held on
+// every path to the site: mu.Lock() with mu provably held self-deadlocks.
+func (ix *Index) noteReacquire(n *CallNode, call *ast.CallExpr, key LockKey, expr string) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Lock" {
+		return
+	}
+	for _, h := range ix.HeldAt(n, call) {
+		if h.Key == key && h.Write {
+			ix.reacquires = append(ix.reacquires, Reacquire{Fn: n, Pos: call.Pos(), Expr: expr})
+			return
+		}
+	}
+}
+
+// collectAcquires contributes n's direct blocking acquisitions to its
+// summary; called from summarize so the SCC fixpoint folds callee facts.
+func (ix *Index) collectAcquires(n *CallNode, sum *Summary) {
+	inspectNoLitNode(n.Body(), func(x ast.Node) bool {
+		switch x.(type) {
+		case *ast.DeferStmt, *ast.GoStmt:
+			return false
+		}
+		call, ok := x.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		key, expr, ok := ix.acquireOp(call)
+		if !ok {
+			return true
+		}
+		if class, cok := ix.LockClassOf(key); cok {
+			sum.addAcquire(AcquireFact{Class: class, Expr: expr, Pos: call.Pos()})
+		}
+		return true
+	})
+}
+
+// FormatEdgeWitness renders one edge's acquisition witness for diagnostics:
+// "committer.mu (db.commit.mu) acquired while DB.mu held in (*DB).flush via
+// runOnCommitter → submit (store.go:487)".
+func FormatEdgeWitness(fset *token.FileSet, e LockOrderEdge) string {
+	s := fmt.Sprintf("%s (%s) acquired while %s (%s) held in %s", e.To, e.ToExpr, e.From, e.FromExpr, e.Fn.Name)
+	if e.Chain != "" {
+		s += " via " + e.Chain
+	}
+	pos := fset.Position(e.Pos)
+	return fmt.Sprintf("%s (%s:%d)", s, shortFile(pos.Filename), pos.Line)
+}
+
+func shortFile(path string) string {
+	if i := strings.LastIndexByte(path, '/'); i >= 0 {
+		return path[i+1:]
+	}
+	return path
+}

@@ -1,0 +1,168 @@
+package flow_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/lint/flow"
+)
+
+const orderSrc = `package p
+
+import "sync"
+
+type DB struct {
+	mu     sync.Mutex
+	commit *committer
+}
+
+type committer struct {
+	mu sync.Mutex
+}
+
+func (db *DB) flush() {
+	db.mu.Lock()
+	db.commit.mu.Lock()
+	db.commit.mu.Unlock()
+	db.mu.Unlock()
+}
+
+func (c *committer) drain(db *DB) {
+	c.mu.Lock()
+	db.mu.Lock()
+	db.mu.Unlock()
+	c.mu.Unlock()
+}
+
+var a, b sync.Mutex
+
+func helper() { b.Lock(); b.Unlock() }
+
+func outer() { a.Lock(); helper(); a.Unlock() }
+
+func tryOnly() { a.Lock(); b.TryLock(); a.Unlock() }
+`
+
+func findEdge(edges []flow.LockOrderEdge, from, to string) *flow.LockOrderEdge {
+	for i := range edges {
+		if edges[i].From.String() == from && edges[i].To.String() == to {
+			return &edges[i]
+		}
+	}
+	return nil
+}
+
+// TestLockOrderEdges verifies direct nested acquisitions become class edges,
+// with the nested receiver path canonicalized to the inner declaring type:
+// db.commit.mu is committer.mu, not DB.commit.mu — otherwise the two halves
+// of an ABBA pair would never meet in the graph.
+func TestLockOrderEdges(t *testing.T) {
+	ix := buildIndex(t, orderSrc)
+	edges, _ := ix.LockOrder()
+	if e := findEdge(edges, "DB.mu", "committer.mu"); e == nil {
+		t.Errorf("missing edge DB.mu → committer.mu (canonicalization through db.commit failed?)")
+	} else if !strings.Contains(e.Fn.Name, "flush") {
+		t.Errorf("edge DB.mu → committer.mu attributed to %q", e.Fn.Name)
+	}
+	if findEdge(edges, "committer.mu", "DB.mu") == nil {
+		t.Errorf("missing edge committer.mu → DB.mu from drain")
+	}
+	// TryLock never blocks: no a → b edge may come from tryOnly. The only
+	// a → b witnesses must involve helper.
+	if e := findEdge(edges, "a", "b"); e == nil {
+		t.Errorf("missing interprocedural edge a → b (outer holds a, helper acquires b)")
+	}
+}
+
+// TestLockOrderChainWitness verifies the caller-side edge carries the call
+// chain to the acquisition.
+func TestLockOrderChainWitness(t *testing.T) {
+	ix := buildIndex(t, orderSrc)
+	edges, _ := ix.LockOrder()
+	found := false
+	for _, e := range edges {
+		if e.From.String() == "a" && e.To.String() == "b" && e.Chain == "helper" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("no a → b edge with chain \"helper\"; edges: %+v", edges)
+	}
+}
+
+// TestMayAcquireSummary pins the summary-level acquisition facts the edges
+// are built from.
+func TestMayAcquireSummary(t *testing.T) {
+	ix := buildIndex(t, orderSrc)
+	outer := declNamed(t, ix, "outer")
+	sum := ix.Summary(outer)
+	var classes []string
+	for _, f := range sum.MayAcquire {
+		classes = append(classes, f.Class.String())
+	}
+	want := map[string]bool{"a": false, "b": false}
+	for _, c := range classes {
+		if _, ok := want[c]; ok {
+			want[c] = true
+		}
+	}
+	for c, ok := range want {
+		if !ok {
+			t.Errorf("outer.MayAcquire missing class %s (have %v)", c, classes)
+		}
+	}
+}
+
+// TestReacquireDetected: a second Lock() of a provably held mutex is the
+// self-deadlock shape.
+func TestReacquireDetected(t *testing.T) {
+	ix := buildIndex(t, `package p
+
+import "sync"
+
+var mu sync.Mutex
+
+func again() {
+	mu.Lock()
+	mu.Lock()
+}
+
+func fine() {
+	mu.Lock()
+	mu.Unlock()
+	mu.Lock()
+	mu.Unlock()
+}
+`)
+	_, re := ix.LockOrder()
+	if len(re) != 1 {
+		t.Fatalf("want exactly one reacquisition, got %+v", re)
+	}
+	if re[0].Expr != "mu" {
+		t.Errorf("reacquisition names %q, want mu", re[0].Expr)
+	}
+}
+
+// TestLockOrderSkipsDeferAndGo: acquisitions in deferred calls and goroutine
+// bodies do not order against locks held at the spawn site.
+func TestLockOrderSkipsDeferAndGo(t *testing.T) {
+	ix := buildIndex(t, `package p
+
+import "sync"
+
+var a, b sync.Mutex
+
+func grab() { b.Lock(); b.Unlock() }
+
+func spawn() {
+	a.Lock()
+	go grab()
+	defer grab()
+	a.Unlock()
+}
+`)
+	edges, _ := ix.LockOrder()
+	if e := findEdge(edges, "a", "b"); e != nil {
+		t.Errorf("async acquisition produced an order edge: %+v", *e)
+	}
+}

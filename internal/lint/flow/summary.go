@@ -82,6 +82,16 @@ type Summary struct {
 	// ReleasesAtExit: locks this function releases on some path without
 	// having acquired them (unlock-helper shape).
 	ReleasesAtExit []LockKey
+	// MayAcquire: lock classes some path through this function or its
+	// synchronous callees may acquire (blocking acquisitions only), each with
+	// a call-chain witness. The lockorder analyzer joins these with held-lock
+	// facts into the package's acquisition-order graph.
+	MayAcquire []AcquireFact
+	// TouchedRecvFields: receiver struct fields this method (or a static
+	// callee invoked on the same receiver) mentions. mustclose consults this
+	// on the releaser methods of a type to decide whether storing a resource
+	// into one of its fields hands the release obligation to the owner.
+	TouchedRecvFields []*types.Var
 }
 
 // Options configures an Index.
@@ -112,6 +122,14 @@ type Index struct {
 	frames map[*CallNode]*litFrame
 
 	accesses map[*CallNode][]FieldAccess
+
+	// Lock-order recording (order.go), computed lazily.
+	orderDone  bool
+	orderEdges []LockOrderEdge
+	reacquires []Reacquire
+	// obligations is the per-function resource-obligation cache
+	// (obligations.go).
+	obligations map[*CallNode][]Obligation
 }
 
 // funcLocks is the per-function lock dataflow state.
@@ -698,6 +716,9 @@ func (ix *Index) summarize(n *CallNode) bool {
 	sum := ix.sums[n]
 	before := *sum
 	ix.directFacts(n, sum)
+	ix.collectAcquires(n, sum)
+	ix.collectRecvFields(n, sum)
+	fl := ix.locks[n]
 	for _, e := range n.Out {
 		if e.Kind == EdgeConservative {
 			// A reference is not a call: the callee may never run, or run on
@@ -716,9 +737,24 @@ func (ix *Index) summarize(n *CallNode) bool {
 		}
 		sum.Blocks = sum.Blocks || cs.Blocks
 		sum.Lifecycle = sum.Lifecycle || cs.Lifecycle
+		// Acquisition facts fold only through synchronous call sites: a
+		// deferred call acquires at return and a goroutine on another stack,
+		// so neither orders against locks held at this site.
+		if e.Call != nil && (fl == nil || !fl.async[e.Call]) {
+			for _, f := range cs.MayAcquire {
+				chain := e.Callee.Name
+				if f.Chain != "" {
+					chain += " → " + f.Chain
+				}
+				sum.addAcquire(AcquireFact{Class: f.Class, Expr: f.Expr, Pos: f.Pos, Chain: chain})
+			}
+		}
+		ix.foldRecvFields(n, e, sum)
 	}
 	return before.IO != sum.IO || before.Sleeps != sum.Sleeps ||
-		before.Blocks != sum.Blocks || before.Lifecycle != sum.Lifecycle
+		before.Blocks != sum.Blocks || before.Lifecycle != sum.Lifecycle ||
+		len(before.MayAcquire) != len(sum.MayAcquire) ||
+		len(before.TouchedRecvFields) != len(sum.TouchedRecvFields)
 }
 
 // directFacts scans n's own body (nested literals excluded — they are their

@@ -22,6 +22,7 @@ import (
 	"go/ast"
 	"go/token"
 	"go/types"
+	"runtime/debug"
 	"sort"
 	"strings"
 	"time"
@@ -41,8 +42,10 @@ type Analyzer struct {
 
 // All returns the full analyzer suite in stable order: the five syntactic
 // analyzers from PR 1, the four flow-aware ones built on internal/lint/flow,
-// and the four interprocedural concurrency analyzers built on the call-graph
-// summary layer.
+// the four interprocedural concurrency analyzers built on the call-graph
+// summary layer, and the three deadlock/lifetime analyzers built on the
+// lock-order and obligation passes. waiverhygiene must stay last: it judges
+// the directives every earlier analyzer consulted.
 func All() []*Analyzer {
 	return []*Analyzer{
 		LocksAnalyzer,
@@ -58,6 +61,9 @@ func All() []*Analyzer {
 		AtomicMixAnalyzer,
 		GoLifetimeAnalyzer,
 		LockHeldIOAnalyzer,
+		LockOrderAnalyzer,
+		MustCloseAnalyzer,
+		WaiverHygieneAnalyzer,
 	}
 }
 
@@ -80,9 +86,26 @@ type Pass struct {
 	Pkg      *types.Package
 	Info     *types.Info
 
-	pkg     *Package
-	diags   *[]Diagnostic
-	ignores map[ignoreKey]bool
+	pkg   *Package
+	diags *[]Diagnostic
+	run   *runState
+}
+
+// runState is shared by every pass of one Run: which analyzers have completed
+// and which suppression directives exist (and were consulted). waiverhygiene
+// reads it last to flag stale waivers.
+type runState struct {
+	executed   map[string]bool
+	directives []*ignoreDirective
+	byKey      map[ignoreKey]*ignoreDirective
+}
+
+// ignoreDirective is one parsed //lint:ignore comment.
+type ignoreDirective struct {
+	pos      token.Pos
+	analyzer string
+	// used flips when the directive suppresses a finding.
+	used bool
 }
 
 // FlowIndex returns the package's interprocedural index (call graph, lock
@@ -105,12 +128,16 @@ type ignoreKey struct {
 }
 
 // Report records a diagnostic at pos unless a lint:ignore directive covers it.
+// A directive that suppresses a finding is marked used, so waiverhygiene can
+// flag the ones that never fire.
 func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 	position := p.Fset.Position(pos)
 	for _, line := range []int{position.Line, position.Line - 1} {
-		if p.ignores[ignoreKey{position.Filename, line, p.Analyzer.Name}] ||
-			p.ignores[ignoreKey{position.Filename, line, "all"}] {
-			return
+		for _, name := range []string{p.Analyzer.Name, "all"} {
+			if d := p.run.byKey[ignoreKey{position.Filename, line, name}]; d != nil {
+				d.used = true
+				return
+			}
 		}
 	}
 	*p.diags = append(*p.diags, Diagnostic{
@@ -136,21 +163,43 @@ func (p *Pass) TypeOf(e ast.Expr) types.Type {
 	return nil
 }
 
+// AnalyzerPanic records an analyzer crash recovered by the runner. The suite
+// keeps going — one broken analyzer must not hide the other fifteen — but the
+// crash is a hard failure for the caller (trasslint exits 2 and prints the
+// stack).
+type AnalyzerPanic struct {
+	Analyzer string
+	Package  string
+	Value    any
+	Stack    string
+}
+
+func (p AnalyzerPanic) Error() string {
+	return fmt.Sprintf("analyzer %s panicked on %s: %v", p.Analyzer, p.Package, p.Value)
+}
+
 // Run executes the analyzers over pkg and returns their diagnostics sorted by
 // position. Malformed lint:ignore directives are reported under analyzer
-// "lint".
+// "lint". An analyzer panic propagates (tests want the stack at the crash
+// site); use RunTimed to recover them instead.
 func Run(pkg *Package, analyzers []*Analyzer) []Diagnostic {
-	return RunTimed(pkg, analyzers, nil)
+	diags, panics := RunTimed(pkg, analyzers, nil)
+	if len(panics) > 0 {
+		panic(panics[0].Error() + "\n" + panics[0].Stack)
+	}
+	return diags
 }
 
 // RunTimed is Run with per-analyzer wall time accumulated into timings
-// (keyed by analyzer name) when timings is non-nil. The first analyzer to
+// (keyed by analyzer name) when timings is non-nil, and with analyzer panics
+// recovered and returned instead of propagated. The first analyzer to
 // touch the flow index pays its construction cost; that attribution is
 // deliberate — it shows up in exactly the configurations that build it.
-func RunTimed(pkg *Package, analyzers []*Analyzer, timings map[string]time.Duration) []Diagnostic {
+func RunTimed(pkg *Package, analyzers []*Analyzer, timings map[string]time.Duration) ([]Diagnostic, []AnalyzerPanic) {
 	var diags []Diagnostic
-	ignores, bad := collectIgnores(pkg.Fset, pkg.Files)
+	run, bad := collectIgnores(pkg.Fset, pkg.Files)
 	diags = append(diags, bad...)
+	var panics []AnalyzerPanic
 	for _, a := range analyzers {
 		pass := &Pass{
 			Analyzer: a,
@@ -160,10 +209,14 @@ func RunTimed(pkg *Package, analyzers []*Analyzer, timings map[string]time.Durat
 			Info:     pkg.Info,
 			pkg:      pkg,
 			diags:    &diags,
-			ignores:  ignores,
+			run:      run,
 		}
 		start := time.Now()
-		a.Run(pass)
+		if p := protectedRun(a, pass); p != nil {
+			panics = append(panics, *p)
+		} else {
+			run.executed[a.Name] = true
+		}
 		if timings != nil {
 			timings[a.Name] += time.Since(start)
 		}
@@ -178,14 +231,34 @@ func RunTimed(pkg *Package, analyzers []*Analyzer, timings map[string]time.Durat
 		}
 		return a.Column < b.Column
 	})
-	return diags
+	return diags, panics
+}
+
+// protectedRun executes one analyzer, converting a panic into an
+// AnalyzerPanic with the goroutine stack attached.
+func protectedRun(a *Analyzer, pass *Pass) (ap *AnalyzerPanic) {
+	defer func() {
+		if r := recover(); r != nil {
+			ap = &AnalyzerPanic{
+				Analyzer: a.Name,
+				Package:  pass.pkg.Path,
+				Value:    r,
+				Stack:    string(debug.Stack()),
+			}
+		}
+	}()
+	a.Run(pass)
+	return nil
 }
 
 // collectIgnores indexes lint:ignore directives by (file, line, analyzer).
 // A directive must name an analyzer and give a non-empty reason; anything
 // else is reported so suppressions stay auditable.
-func collectIgnores(fset *token.FileSet, files []*ast.File) (map[ignoreKey]bool, []Diagnostic) {
-	ignores := make(map[ignoreKey]bool)
+func collectIgnores(fset *token.FileSet, files []*ast.File) (*runState, []Diagnostic) {
+	run := &runState{
+		executed: make(map[string]bool),
+		byKey:    make(map[ignoreKey]*ignoreDirective),
+	}
 	var bad []Diagnostic
 	for _, f := range files {
 		for _, cg := range f.Comments {
@@ -204,11 +277,13 @@ func collectIgnores(fset *token.FileSet, files []*ast.File) (map[ignoreKey]bool,
 					})
 					continue
 				}
-				ignores[ignoreKey{pos.Filename, pos.Line, fields[0]}] = true
+				d := &ignoreDirective{pos: c.Pos(), analyzer: fields[0]}
+				run.directives = append(run.directives, d)
+				run.byKey[ignoreKey{pos.Filename, pos.Line, fields[0]}] = d
 			}
 		}
 	}
-	return ignores, bad
+	return run, bad
 }
 
 // --- shared type helpers -------------------------------------------------

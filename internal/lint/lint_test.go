@@ -74,12 +74,20 @@ func wantsOf(t *testing.T, pkg *lint.Package) []expectation {
 // verifies the diagnostics match the `// want` markers one-to-one.
 func checkFixture(t *testing.T, fixture string, az *lint.Analyzer) {
 	t.Helper()
+	checkFixtureMulti(t, fixture, []*lint.Analyzer{az})
+}
+
+// checkFixtureMulti is checkFixture for analyzers that only make sense in
+// combination — waiverhygiene needs the analyzer whose waivers it audits to
+// run in the same pass.
+func checkFixtureMulti(t *testing.T, fixture string, azs []*lint.Analyzer) {
+	t.Helper()
 	pkg := loadFixture(t, fixture)
 	wants := wantsOf(t, pkg)
 	if len(wants) == 0 {
 		t.Fatalf("fixture %s has no want markers; it proves nothing", fixture)
 	}
-	diags := lint.Run(pkg, []*lint.Analyzer{az})
+	diags := lint.Run(pkg, azs)
 
 	matched := make([]bool, len(wants))
 	for _, d := range diags {
@@ -145,12 +153,33 @@ func TestLockheldioFixture(t *testing.T) {
 	checkFixture(t, "heldioviol", analyzerByName(t, "lockheldio"))
 }
 
-// TestAllAnalyzers pins the analyzer roster: thirteen analyzers, distinct
-// non-empty names, each with documentation.
+func TestLockorderFixture(t *testing.T) {
+	checkFixture(t, "orderviol", analyzerByName(t, "lockorder"))
+}
+func TestMustcloseFixture(t *testing.T) {
+	checkFixture(t, "mustviol", analyzerByName(t, "mustclose"))
+}
+
+// TestWaiverhygieneFixture runs floatcmp together with waiverhygiene: the
+// used waiver stays silent, the stale one and the typo'd one are findings,
+// and the comparison the typo failed to waive surfaces as well.
+func TestWaiverhygieneFixture(t *testing.T) {
+	checkFixtureMulti(t, "waiverviol", []*lint.Analyzer{
+		analyzerByName(t, "floatcmp"),
+		analyzerByName(t, "waiverhygiene"),
+	})
+}
+
+// TestAllAnalyzers pins the analyzer roster: sixteen analyzers, distinct
+// non-empty names, each with documentation, and waiverhygiene last — it
+// audits the directives every earlier analyzer consulted.
 func TestAllAnalyzers(t *testing.T) {
 	all := lint.All()
-	if len(all) != 13 {
-		t.Fatalf("All() returned %d analyzers, want 13", len(all))
+	if len(all) != 16 {
+		t.Fatalf("All() returned %d analyzers, want 16", len(all))
+	}
+	if all[len(all)-1].Name != "waiverhygiene" {
+		t.Errorf("waiverhygiene must run last, roster ends with %q", all[len(all)-1].Name)
 	}
 	seen := map[string]bool{}
 	for _, az := range all {
@@ -162,6 +191,36 @@ func TestAllAnalyzers(t *testing.T) {
 		}
 		seen[az.Name] = true
 	}
+}
+
+// TestAnalyzerPanicRecovered: one crashing analyzer must not take down the
+// suite — RunTimed recovers it with a stack, the other analyzers' findings
+// survive, and Run (the strict entry point) re-panics.
+func TestAnalyzerPanicRecovered(t *testing.T) {
+	pkg := loadFixture(t, "floatviol")
+	boom := &lint.Analyzer{Name: "boom", Doc: "always panics", Run: func(*lint.Pass) { panic("kaboom") }}
+	diags, panics := lint.RunTimed(pkg, []*lint.Analyzer{boom, analyzerByName(t, "floatcmp")}, nil)
+	if len(panics) != 1 {
+		t.Fatalf("want 1 recovered panic, got %+v", panics)
+	}
+	p := panics[0]
+	if p.Analyzer != "boom" || p.Value != "kaboom" {
+		t.Errorf("panic misattributed: %+v", p)
+	}
+	if !strings.Contains(p.Stack, "goroutine") {
+		t.Errorf("panic carries no stack: %q", p.Stack)
+	}
+	if len(diags) == 0 {
+		t.Errorf("floatcmp findings lost after another analyzer panicked")
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Errorf("Run did not propagate the analyzer panic")
+			}
+		}()
+		lint.Run(pkg, []*lint.Analyzer{boom})
+	}()
 }
 
 // TestIgnoreDirectiveRequiresReason verifies that a bare lint:ignore without
@@ -417,6 +476,135 @@ func TestGuardedByCatchesDroppedLock(t *testing.T) {
 	}
 	if !found {
 		t.Fatal("unguarded db.tables read in Tables was not caught by guardedby")
+	}
+}
+
+// TestLockOrderCatchesSplicedCycle is the deadlock-contract acceptance test:
+// copy internal/kv into a scratch package, verify the pristine copy has no
+// lock-order cycle, then splice an inverted acquisition into each side —
+// flush takes db.commit.mu while holding db.mu, submit takes c.db.mu while
+// holding c.mu — and verify lockorder reports the DB.mu/committer.mu cycle
+// with a witness chain for each direction.
+func TestLockOrderCatchesSplicedCycle(t *testing.T) {
+	az := analyzerByName(t, "lockorder")
+	scratch := copyKVScratch(t, "scratch_lockorder")
+
+	runScratch := func() []lint.Diagnostic {
+		t.Helper()
+		loader, err := lint.NewLoader(scratch)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pkg, err := loader.LoadDir(scratch)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(pkg.TypeErrors) > 0 {
+			t.Fatalf("scratch kv copy has type errors: %v", pkg.TypeErrors)
+		}
+		return lint.Run(pkg, []*lint.Analyzer{az})
+	}
+
+	if diags := runScratch(); len(diags) != 0 {
+		t.Fatalf("pristine kv copy is not clean under lockorder: %v", diags)
+	}
+
+	// Insert each half of the inversion immediately before a statement that
+	// is provably inside the other lock's critical section.
+	splice := func(file, anchor, inserted string) {
+		t.Helper()
+		path := filepath.Join(scratch, file)
+		src, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		i := strings.Index(string(src), anchor)
+		if i < 0 {
+			t.Fatalf("anchor %q not found in %s", anchor, file)
+		}
+		mutated := string(src[:i]) + inserted + string(src[i:])
+		if err := os.WriteFile(path, []byte(mutated), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// flush holds db.mu around `mem := db.mem`; submit holds c.mu around the
+	// queue append.
+	splice("store.go", "mem := db.mem", "db.commit.mu.Lock()\n\tdb.commit.mu.Unlock()\n\t")
+	splice("commit.go", "c.queue = append(c.queue, req)", "c.db.mu.Lock()\n\tc.db.mu.Unlock()\n\t")
+
+	cycleRe := regexp.MustCompile(`lock-order cycle DB\.mu → committer\.mu → DB\.mu`)
+	abRe := regexp.MustCompile(`committer\.mu \(db\.commit\.mu\) acquired while DB\.mu \(db\.mu\) held in .*flush`)
+	baRe := regexp.MustCompile(`DB\.mu \(c\.db\.mu\) acquired while committer\.mu \(c\.mu\) held in .*submit`)
+	var found bool
+	for _, d := range runScratch() {
+		if !cycleRe.MatchString(d.Message) {
+			continue
+		}
+		found = true
+		if !abRe.MatchString(d.Message) {
+			t.Errorf("cycle diagnostic lacks the flush-side witness: %s", d.Message)
+		}
+		if !baRe.MatchString(d.Message) {
+			t.Errorf("cycle diagnostic lacks the submit-side witness: %s", d.Message)
+		}
+	}
+	if !found {
+		t.Fatal("spliced DB.mu/committer.mu inversion was not reported by lockorder")
+	}
+}
+
+// TestMustCloseCatchesDeletedClose is the resource-lifetime acceptance test:
+// copy internal/kv into a scratch package, verify the pristine copy is clean
+// under mustclose, then delete the `defer it.Close()` guarding the memtable
+// iterator in DB.flush and verify the leaked iterator is named.
+func TestMustCloseCatchesDeletedClose(t *testing.T) {
+	az := analyzerByName(t, "mustclose")
+	scratch := copyKVScratch(t, "scratch_mustclose")
+
+	runScratch := func() []lint.Diagnostic {
+		t.Helper()
+		loader, err := lint.NewLoader(scratch)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pkg, err := loader.LoadDir(scratch)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(pkg.TypeErrors) > 0 {
+			t.Fatalf("scratch kv copy has type errors: %v", pkg.TypeErrors)
+		}
+		return lint.Run(pkg, []*lint.Analyzer{az})
+	}
+
+	if diags := runScratch(); len(diags) != 0 {
+		t.Fatalf("pristine kv copy is not clean under mustclose: %v", diags)
+	}
+
+	path := filepath.Join(scratch, "store.go")
+	src, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const closer = "defer it.Close()\n"
+	i := strings.Index(string(src), closer)
+	if i < 0 {
+		t.Fatalf("no %q in store.go to delete", strings.TrimSpace(closer))
+	}
+	mutated := string(src[:i]) + string(src[i+len(closer):])
+	if err := os.WriteFile(path, []byte(mutated), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	re := regexp.MustCompile(`it \(\*skipIter\) is leaked: .*flush`)
+	found := false
+	for _, d := range runScratch() {
+		if filepath.Base(d.Pos.Filename) == "store.go" && re.MatchString(d.Message) {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("deleted defer it.Close() in flush was not caught by mustclose")
 	}
 }
 

@@ -1,0 +1,267 @@
+package lint
+
+import (
+	"go/token"
+	"sort"
+	"strings"
+
+	"repro/internal/lint/flow"
+)
+
+// LockOrderAnalyzer builds the package-level lock acquisition-order graph
+// from the interprocedural summaries and reports every cycle: two functions
+// that nest the same pair of lock classes in opposite orders can deadlock
+// when they race, even though each function on its own is correct. Each
+// cycle diagnostic carries one witness chain per direction so the reader
+// sees both halves of the ABBA without re-deriving them.
+//
+// It also reports re-acquisitions — a second mu.Lock() while mu is provably
+// held, the single-goroutine self-deadlock — because they fall out of the
+// same lock dataflow.
+//
+// An intentional hierarchy that the analyzer cannot see to be safe (e.g. a
+// global ordering enforced by construction) is pinned with
+//
+//	//lint:lockorder <classA> <classB> <reason>
+//
+// which sanctions edges between the two classes in either direction; cycles
+// consisting only of pinned pairs are suppressed. A pin naming a pair with
+// no edge in the graph is itself a finding — pins must decay with the code
+// they excuse.
+var LockOrderAnalyzer = &Analyzer{
+	Name: "lockorder",
+	Doc:  "detect lock-order cycles (ABBA deadlocks) and re-acquisitions across the package call graph",
+	Run:  runLockOrder,
+}
+
+// lockPin is one parsed //lint:lockorder directive.
+type lockPin struct {
+	pos  token.Pos
+	a, b string
+	used bool
+}
+
+func runLockOrder(pass *Pass) {
+	ix := pass.FlowIndex()
+	edges, reacquires := ix.LockOrder()
+	pins := collectLockPins(pass)
+
+	for _, r := range reacquires {
+		pass.Reportf(r.Pos, "%s.Lock() while %s is already held in %s: a sync.Mutex is not reentrant, this goroutine deadlocks against itself",
+			r.Expr, r.Expr, r.Fn.Name)
+	}
+
+	// Adjacency over class strings; keep the first witness edge per (from, to)
+	// pair (flow already dedups per function, this dedups across functions).
+	witness := make(map[[2]string]flow.LockOrderEdge)
+	adj := make(map[string][]string)
+	var classes []string
+	seen := make(map[string]bool)
+	note := func(c string) {
+		if !seen[c] {
+			seen[c] = true
+			classes = append(classes, c)
+		}
+	}
+	for _, e := range edges {
+		from, to := e.From.String(), e.To.String()
+		note(from)
+		note(to)
+		k := [2]string{from, to}
+		if _, ok := witness[k]; !ok {
+			witness[k] = e
+			adj[from] = append(adj[from], to)
+		}
+	}
+	sort.Strings(classes)
+	for _, c := range classes {
+		sort.Strings(adj[c])
+	}
+
+	pinned := func(a, b string) bool {
+		ok := false
+		for i := range pins {
+			p := &pins[i]
+			if (p.a == a && p.b == b) || (p.a == b && p.b == a) {
+				p.used = true
+				ok = true
+			}
+		}
+		return ok
+	}
+
+	// Every cycle lives inside a strongly connected component. Within each
+	// SCC report the 2-cycles (the common ABBA shape) pair by pair; if an
+	// SCC has no 2-cycle, surface one representative longer cycle so the
+	// component never goes unreported.
+	for _, scc := range lockSCCs(classes, adj) {
+		if len(scc) < 2 {
+			continue
+		}
+		in := make(map[string]bool, len(scc))
+		for _, c := range scc {
+			in[c] = true
+		}
+		reported := false
+		for _, a := range scc {
+			for _, b := range adj[a] {
+				if a >= b || !in[b] {
+					continue
+				}
+				ab, okAB := witness[[2]string{a, b}]
+				ba, okBA := witness[[2]string{b, a}]
+				if !okAB || !okBA {
+					continue
+				}
+				reported = true
+				if pinned(a, b) {
+					continue
+				}
+				pass.Reportf(ab.Pos, "lock-order cycle %s → %s → %s: %s; %s — acquire these locks in one global order everywhere, or pin the hierarchy with //lint:lockorder %s %s <reason>",
+					a, b, a, flow.FormatEdgeWitness(pass.Fset, ab), flow.FormatEdgeWitness(pass.Fset, ba), a, b)
+			}
+		}
+		if !reported {
+			if cyc := findCycle(scc[0], adj, in); len(cyc) > 1 {
+				allPinned := true
+				var parts []string
+				for i := 0; i < len(cyc); i++ {
+					from, to := cyc[i], cyc[(i+1)%len(cyc)]
+					if !pinned(from, to) {
+						allPinned = false
+					}
+					parts = append(parts, flow.FormatEdgeWitness(pass.Fset, witness[[2]string{from, to}]))
+				}
+				if !allPinned {
+					first := witness[[2]string{cyc[0], cyc[1]}]
+					pass.Reportf(first.Pos, "lock-order cycle %s → %s: %s — acquire these locks in one global order everywhere",
+						strings.Join(cyc, " → "), cyc[0], strings.Join(parts, "; "))
+				}
+			}
+		}
+	}
+
+	for i := range pins {
+		if !pins[i].used {
+			pass.Reportf(pins[i].pos, "lockorder pin %s / %s matches no acquisition-order edge in this package; delete the stale pin",
+				pins[i].a, pins[i].b)
+		}
+	}
+}
+
+// collectLockPins parses //lint:lockorder directives. A pin needs two class
+// names and a reason; less than that is reported and dropped.
+func collectLockPins(pass *Pass) []lockPin {
+	var pins []lockPin
+	for _, f := range pass.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text, ok := strings.CutPrefix(c.Text, "//lint:lockorder")
+				if !ok {
+					continue
+				}
+				fields := strings.Fields(text)
+				if len(fields) < 3 {
+					pass.Reportf(c.Pos(), "lint:lockorder needs two lock classes and a reason: //lint:lockorder <classA> <classB> <reason>")
+					continue
+				}
+				pins = append(pins, lockPin{pos: c.Pos(), a: fields[0], b: fields[1]})
+			}
+		}
+	}
+	return pins
+}
+
+// lockSCCs is Tarjan's algorithm over the class digraph, iterative so a
+// pathological graph cannot blow the stack. Components come back in a
+// deterministic order because classes and adjacency lists are sorted.
+func lockSCCs(classes []string, adj map[string][]string) [][]string {
+	index := make(map[string]int, len(classes))
+	low := make(map[string]int, len(classes))
+	onStack := make(map[string]bool, len(classes))
+	var stack []string
+	var sccs [][]string
+	next := 0
+
+	type frame struct {
+		v  string
+		ei int
+	}
+	for _, root := range classes {
+		if _, ok := index[root]; ok {
+			continue
+		}
+		work := []frame{{v: root}}
+		index[root], low[root] = next, next
+		next++
+		stack = append(stack, root)
+		onStack[root] = true
+		for len(work) > 0 {
+			f := &work[len(work)-1]
+			if f.ei < len(adj[f.v]) {
+				w := adj[f.v][f.ei]
+				f.ei++
+				if _, ok := index[w]; !ok {
+					index[w], low[w] = next, next
+					next++
+					stack = append(stack, w)
+					onStack[w] = true
+					work = append(work, frame{v: w})
+				} else if onStack[w] && index[w] < low[f.v] {
+					low[f.v] = index[w]
+				}
+				continue
+			}
+			v := f.v
+			work = work[:len(work)-1]
+			if len(work) > 0 {
+				p := work[len(work)-1].v
+				if low[v] < low[p] {
+					low[p] = low[v]
+				}
+			}
+			if low[v] == index[v] {
+				var scc []string
+				for {
+					w := stack[len(stack)-1]
+					stack = stack[:len(stack)-1]
+					onStack[w] = false
+					scc = append(scc, w)
+					if w == v {
+						break
+					}
+				}
+				sort.Strings(scc)
+				sccs = append(sccs, scc)
+			}
+		}
+	}
+	return sccs
+}
+
+// findCycle walks from start inside one SCC and returns the nodes of the
+// first cycle found, in acquisition order.
+func findCycle(start string, adj map[string][]string, in map[string]bool) []string {
+	var path []string
+	onPath := make(map[string]int)
+	var dfs func(v string) []string
+	dfs = func(v string) []string {
+		onPath[v] = len(path)
+		path = append(path, v)
+		for _, w := range adj[v] {
+			if !in[w] {
+				continue
+			}
+			if i, ok := onPath[w]; ok {
+				return append([]string(nil), path[i:]...)
+			}
+			if cyc := dfs(w); cyc != nil {
+				return cyc
+			}
+		}
+		path = path[:len(path)-1]
+		delete(onPath, v)
+		return nil
+	}
+	return dfs(start)
+}

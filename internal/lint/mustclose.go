@@ -1,0 +1,45 @@
+package lint
+
+// MustCloseAnalyzer enforces resource-lifetime obligations: a function that
+// obtains a module-local resource — any value whose type carries a niladic
+// Close/Release/Stop method, e.g. a vfs.File or a KV iterator — must release
+// it on every path out of the function, including error returns. Releasing
+// means any of: calling the releaser (directly or deferred), returning the
+// value, handing it to another function or goroutine, or storing it in a
+// struct field whose owner's own releaser provably touches that field. A
+// store into a field nobody ever closes is the slow-leak shape and counts
+// as a leak, not a hand-off.
+//
+// The path sensitivity comes from the May-dataflow in internal/lint/flow:
+// the obligation is seeded at the value's first use, so the idiomatic
+//
+//	f, err := vfs.Open(p)
+//	if err != nil { return err }
+//
+// carries nothing across the error return, while an early return between
+// first use and the release is reported.
+var MustCloseAnalyzer = &Analyzer{
+	Name: "mustclose",
+	Doc:  "resources with a Close/Release/Stop method must be released on every path, error returns included",
+	Run:  runMustClose,
+}
+
+func runMustClose(pass *Pass) {
+	ix := pass.FlowIndex()
+	for _, n := range ix.Graph().Nodes {
+		for _, ob := range ix.Obligations(n) {
+			if !ob.Leaked {
+				continue
+			}
+			why := "a path reaches the end of " + n.Name + " without releasing it"
+			switch {
+			case ob.BadStore != "":
+				why = ob.BadStore
+			case ob.NeverReleased:
+				why = "no path through " + n.Name + " releases or hands it off"
+			}
+			pass.Reportf(ob.Pos, "%s (%s) is leaked: %s; release it on every path, defer the release, return it, or store it in an owner whose releaser closes it",
+				ob.Name, ob.Type, why)
+		}
+	}
+}

@@ -1,0 +1,69 @@
+// Package orderviol seeds lock-order violations for the lockorder analyzer:
+// an ABBA pair across two functions, a re-acquisition self-deadlock, a
+// pinned (sanctioned) inversion, and a stale pin. The clean() function shows
+// the non-violation: consistent ordering everywhere.
+package orderviol
+
+import "sync"
+
+var a, b sync.Mutex
+
+func ab() {
+	a.Lock()
+	b.Lock() // want "lock-order cycle a → b → a"
+	b.Unlock()
+	a.Unlock()
+}
+
+func ba() {
+	b.Lock()
+	a.Lock()
+	a.Unlock()
+	b.Unlock()
+}
+
+func again() {
+	a.Lock()
+	a.Lock() // want "a\.Lock\(\) while a is already held"
+	a.Unlock()
+	a.Unlock()
+}
+
+// c and d invert too, but the hierarchy is pinned: no cycle finding.
+var c, d sync.Mutex
+
+//lint:lockorder c d both orders are startup-only and never race
+
+func cd() {
+	c.Lock()
+	d.Lock()
+	d.Unlock()
+	c.Unlock()
+}
+
+func dc() {
+	d.Lock()
+	c.Lock()
+	c.Unlock()
+	d.Unlock()
+}
+
+// A pin naming locks with no order edge is itself stale.
+//lint:lockorder x y no such nesting exists // want "matches no acquisition-order edge"
+
+// e and f are always taken in the same order: clean.
+var e, f sync.Mutex
+
+func clean1() {
+	e.Lock()
+	f.Lock()
+	f.Unlock()
+	e.Unlock()
+}
+
+func clean2() {
+	e.Lock()
+	f.Lock()
+	f.Unlock()
+	e.Unlock()
+}

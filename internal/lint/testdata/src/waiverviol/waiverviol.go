@@ -1,0 +1,23 @@
+// Package waiverviol seeds suppression-directive violations for the
+// waiverhygiene analyzer. The fixture is checked with floatcmp and
+// waiverhygiene running together: the first waiver legitimately suppresses
+// a floatcmp finding (hygienic, silent), the second waives a line floatcmp
+// has nothing to say about (stale), and the third names an analyzer that
+// does not exist (so the float comparison it meant to waive is reported
+// too).
+package waiverviol
+
+func used(a, b float64) bool {
+	//lint:ignore floatcmp exact equality is the contract under test
+	return a == b
+}
+
+func stale(a, b int) bool {
+	//lint:ignore floatcmp ints compare exactly // want "stale waiver: floatcmp reports no finding here"
+	return a == b
+}
+
+func typo(a, b float64) bool {
+	//lint:ignore floatcmpp suppressed by a typo // want "unknown analyzer \"floatcmpp\""
+	return a == b // want "=="
+}

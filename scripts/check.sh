@@ -10,9 +10,11 @@
 #   lint       go build ./..., go vet ./..., trasslint ./... (project-specific
 #              analyzers, internal/lint: the syntactic checks, the flow-aware
 #              durability/concurrency checks, and the interprocedural
-#              concurrency suite — guardedby, atomicmix, golifetime,
-#              lockheldio — built on call-graph summaries), plus an explicit
-#              self-host pass over internal/lint and cmd/trasslint.
+#              suite — guardedby, atomicmix, golifetime, lockheldio,
+#              lockorder, mustclose — built on call-graph summaries, plus
+#              waiverhygiene policing the lint:ignore inventory), and an
+#              explicit self-host pass over internal/lint, cmd/..., and
+#              examples/... .
 #              trasslint supports -only/-skip to bisect a finding to one
 #              analyzer locally; the gate always runs all of them.
 #   torture    deterministic crash/error-injection suites (kv + cluster);
@@ -62,11 +64,13 @@ if [[ "$MODE" == "lint" || "$MODE" == "all" ]]; then
     go run ./cmd/trasslint -format="${TRASSLINT_FORMAT:-text}" ./...
 
     # Self-hosting: the analyzers, the flow engine, and the driver are linted
-    # like any other package. The ./... walk above already covers them; this
-    # explicit pass keeps the self-host guarantee visible and loud even if the
-    # walk ever learns to skip tool packages.
-    step "trasslint self-host"
-    go run ./cmd/trasslint -format="${TRASSLINT_FORMAT:-text}" ./internal/lint ./internal/lint/flow ./cmd/trasslint
+    # like any other package, and so are every command and example — the
+    # packages most likely to accumulate quick-and-dirty resource handling.
+    # The ./... walk above already covers them; this explicit pass keeps the
+    # guarantee visible and loud even if the walk ever learns to skip tool or
+    # example packages.
+    step "trasslint self-host (lint, cmds, examples)"
+    go run ./cmd/trasslint -format="${TRASSLINT_FORMAT:-text}" ./internal/lint ./internal/lint/flow ./cmd/... ./examples/...
 fi
 
 if [[ "$MODE" == "torture" || "$MODE" == "all" ]]; then
