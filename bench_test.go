@@ -1,4 +1,4 @@
-package trass
+package trass_test
 
 // One testing.B benchmark per evaluation figure. Each iteration regenerates
 // the figure end to end on a reduced workload; run cmd/trassbench for
@@ -10,11 +10,12 @@ import (
 	"os"
 	"testing"
 
+	trass "repro"
 	"repro/internal/bench"
 	"repro/internal/gen"
 )
 
-func benchDataset() []*Trajectory {
+func benchDataset() []*trass.Trajectory {
 	return gen.TDrive(gen.TDriveOptions{Seed: 5, N: 5000})
 }
 
@@ -47,9 +48,9 @@ func BenchmarkAblation(b *testing.B)            { benchmarkFigure(b, "ablation")
 
 // Micro-benchmarks of the public API's two query paths on a mid-sized store.
 
-func newBenchDB(b *testing.B) (*DB, []*Trajectory) {
+func newBenchDB(b *testing.B) (*trass.DB, []*trass.Trajectory) {
 	b.Helper()
-	db, err := Open(b.TempDir())
+	db, err := trass.Open(b.TempDir())
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -90,7 +91,7 @@ func BenchmarkTopKSearch(b *testing.B) {
 }
 
 func BenchmarkPut(b *testing.B) {
-	db, err := Open(b.TempDir())
+	db, err := trass.Open(b.TempDir())
 	if err != nil {
 		b.Fatal(err)
 	}

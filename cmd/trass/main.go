@@ -6,10 +6,13 @@
 //	trass load -db /data/taxis -in taxis.txt
 //	trass query -db /data/taxis -id td000042 -eps 0.01deg
 //	trass query -db /data/taxis -id td000042 -k 50
+//	trass query -server http://127.0.0.1:7474 -id td000042 -eps 0.01deg
+//	trass query -server http://127.0.0.1:7474 -stream -id td000042 -k 50
 //	trass stats -db /data/taxis
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -19,6 +22,7 @@ import (
 
 	trass "repro"
 	"repro/internal/gen"
+	"repro/internal/server"
 	"repro/internal/traj"
 )
 
@@ -58,7 +62,8 @@ func usage() {
 commands:
   gen    generate a synthetic dataset (T-Drive-like or Lorry-like)
   load   load a dataset file into a store
-  query  run a threshold or top-k similarity search
+  query  run a threshold or top-k similarity search (embedded, or against a
+         running trassd with -server, optionally -stream)
   stats  print store statistics
   export convert a dataset file to GeoJSON for map inspection
 
@@ -149,7 +154,9 @@ func parseEps(s string) (float64, error) {
 
 func cmdQuery(args []string) error {
 	fs := flag.NewFlagSet("query", flag.ExitOnError)
-	dbDir := fs.String("db", "", "store directory (required)")
+	dbDir := fs.String("db", "", "store directory (required unless -server)")
+	srvURL := fs.String("server", "", "query a running trassd at this URL instead of opening a store")
+	stream := fs.Bool("stream", false, "with -server: NDJSON streaming delivery (matches print as they arrive)")
 	in := fs.String("in", "", "dataset file holding the query trajectory (default: look -id up in the store)")
 	id := fs.String("id", "", "query trajectory id (required)")
 	epsStr := fs.String("eps", "", "threshold (normalized, or degrees with deg suffix)")
@@ -157,6 +164,12 @@ func cmdQuery(args []string) error {
 	measure := fs.String("measure", "frechet", "similarity measure: frechet | hausdorff | dtw")
 	showStats := fs.Bool("stats", false, "print per-query statistics")
 	_ = fs.Parse(args)
+	if *srvURL != "" {
+		return serverQuery(*srvURL, *stream, *in, *id, *epsStr, *k, *showStats)
+	}
+	if *stream {
+		return fmt.Errorf("query: -stream requires -server")
+	}
 	if *dbDir == "" {
 		return fmt.Errorf("query: -db is required")
 	}
@@ -238,6 +251,97 @@ func cmdQuery(args []string) error {
 			stats.PruneTime.Round(time.Microsecond), stats.ScanTime.Round(time.Microsecond),
 			stats.RefineTime.Round(time.Microsecond), stats.Ranges,
 			stats.RowsScanned, stats.Retrieved, stats.Precision())
+	}
+	return nil
+}
+
+// serverQuery runs the query against a trassd server instead of an embedded
+// store. Match lines print in the exact format the embedded path uses, so a
+// non-streaming server query over the same store is byte-identical to
+// `trass query -db` — the serve-e2e check in scripts/check.sh compares them
+// with cmp. Streamed delivery arrives in refinement-completion order.
+func serverQuery(srvURL string, stream bool, in, id, epsStr string, k int, showStats bool) error {
+	if id == "" {
+		return fmt.Errorf("query: -id is required")
+	}
+	if (epsStr == "") == (k == 0) {
+		return fmt.Errorf("query: exactly one of -eps or -k is required")
+	}
+	req := server.QueryRequest{QueryID: id}
+	if in != "" {
+		// Ship the trajectory inline: the server need not have it stored.
+		trajs, err := gen.ReadFile(in)
+		if err != nil {
+			return err
+		}
+		var q *traj.Trajectory
+		for _, t := range trajs {
+			if t.ID == id {
+				q = t
+				break
+			}
+		}
+		if q == nil {
+			return fmt.Errorf("trajectory %q not found in %s", id, in)
+		}
+		req.QueryID = ""
+		req.Points = make([][2]float64, len(q.Points))
+		for i, p := range q.Points {
+			req.Points[i] = [2]float64{p.X, p.Y}
+		}
+	}
+	if epsStr != "" {
+		eps, err := parseEps(epsStr)
+		if err != nil {
+			return fmt.Errorf("bad -eps: %v", err)
+		}
+		req.Kind = server.KindThreshold
+		req.Eps = eps
+	} else {
+		req.Kind = server.KindTopK
+		req.K = k
+	}
+
+	client := server.NewClient(srvURL)
+	ctx := context.Background()
+	printMatch := func(m server.WireMatch) error {
+		_, err := fmt.Printf("%s\t%.9f\n", m.ID, m.Distance)
+		return err
+	}
+	var stats *server.WireStats
+	var n int
+	start := time.Now()
+	if stream {
+		st, err := client.QueryStream(ctx, req, func(m server.WireMatch) error {
+			n++
+			return printMatch(m)
+		})
+		if err != nil {
+			return err
+		}
+		stats = st
+	} else {
+		matches, st, err := client.QueryAll(ctx, req)
+		if err != nil {
+			return err
+		}
+		for _, m := range matches {
+			if err := printMatch(m); err != nil {
+				return err
+			}
+		}
+		n = len(matches)
+		stats = st
+	}
+	elapsed := time.Since(start)
+	fmt.Fprintf(os.Stderr, "%d results in %v\n", n, elapsed.Round(time.Microsecond))
+	if showStats && stats != nil {
+		fmt.Fprintf(os.Stderr,
+			"prune %v | scan %v | refine %v | ranges %d | rows scanned %d | retrieved %d | retries %d | partial %d\n",
+			time.Duration(stats.PruneNS).Round(time.Microsecond),
+			time.Duration(stats.ScanNS).Round(time.Microsecond),
+			time.Duration(stats.RefineNS).Round(time.Microsecond),
+			stats.Ranges, stats.RowsScanned, stats.Retrieved, stats.Retries, stats.PartialErrors)
 	}
 	return nil
 }

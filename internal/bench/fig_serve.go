@@ -1,0 +1,135 @@
+package bench
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"path/filepath"
+	"time"
+
+	trass "repro"
+	"repro/internal/gen"
+	"repro/internal/server"
+	"repro/internal/server/loadgen"
+)
+
+// The serve experiment measures the network layer the ROADMAP's first open
+// item asked for: trassd's HTTP/JSON + NDJSON serving path under concurrent
+// clients, one latency histogram per query path (threshold / top-k / range /
+// point-kNN). The server runs in-process on a loopback listener — the wire,
+// JSON codec, chunked streaming, admission control and ctx plumbing are all
+// exercised; only the physical network is missing. CI records the JSON
+// output (BENCH_serve.json) per commit, so a serving-layer latency
+// regression shows up as a diffable artifact exactly like an executor or
+// write-path one.
+
+const (
+	serveConns    = 4  // concurrent client workers per path
+	serveRequests = 48 // requests per path
+	serveTopK     = 10
+	serveKNNK     = 10
+)
+
+// Serve regenerates the served-query latency table: p50/p99/p999 per query
+// path, streamed and collected, under concurrent connections.
+func Serve(cfg Config) ([]*Table, error) {
+	trajs := cfg.dataset(dsTDrive)
+
+	dir := filepath.Join(cfg.Dir, "serve")
+	db, err := trass.Open(dir, trass.WithShards(8))
+	if err != nil {
+		return nil, err
+	}
+	if err := db.PutBatch(trajs); err != nil {
+		_ = db.Close()
+		return nil, err
+	}
+	if err := db.Flush(); err != nil {
+		_ = db.Close()
+		return nil, err
+	}
+
+	srv := server.New(db, server.Config{MaxInFlight: 2 * serveConns})
+	lis, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		_ = db.Close()
+		return nil, err
+	}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- srv.Serve(lis) }()
+	defer func() {
+		sctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		_ = srv.Shutdown(sctx) // closes db
+		<-serveErr
+	}()
+	baseURL := "http://" + lis.Addr().String()
+
+	// One query trajectory drives every path; its MBR center is the kNN/range
+	// anchor. Fixed seed → fixed workload, commit over commit.
+	queries := gen.Queries(trajs, cfg.Seed+7, 1)
+	if len(queries) == 0 {
+		return nil, fmt.Errorf("serve: empty query set")
+	}
+	q := queries[0]
+	pts := make([][2]float64, len(q.Points))
+	var cx, cy float64
+	for i, p := range q.Points {
+		pts[i] = [2]float64{p.X, p.Y}
+		cx += p.X
+		cy += p.Y
+	}
+	cx /= float64(len(q.Points))
+	cy /= float64(len(q.Points))
+	eps := gen.DegreesToNorm(0.01)
+	span := gen.DegreesToNorm(0.05)
+	rect := [4]float64{cx - span, cy - span, cx + span, cy + span}
+
+	paths := []struct {
+		name   string
+		stream bool
+		req    server.QueryRequest
+	}{
+		{"threshold/stream", true, server.QueryRequest{Kind: server.KindThreshold, Points: pts, Eps: eps}},
+		{"threshold/collect", false, server.QueryRequest{Kind: server.KindThreshold, Points: pts, Eps: eps}},
+		{"topk/stream", true, server.QueryRequest{Kind: server.KindTopK, Points: pts, K: serveTopK}},
+		{"range/stream", true, server.QueryRequest{Kind: server.KindRange, Rect: &rect}},
+		{"knn/collect", false, server.QueryRequest{Kind: server.KindKNN, Point: &[2]float64{cx, cy}, K: serveKNNK}},
+	}
+
+	tab := &Table{
+		Title: fmt.Sprintf("Serve — trassd latency under %d concurrent connections (%d requests/path, T-Drive %d)",
+			serveConns, serveRequests, len(trajs)),
+		Columns: []string{"path", "requests", "matches", "p50", "p99", "p999", "max", "req/s", "errors", "shed"},
+	}
+	ctx := context.Background()
+	for _, p := range paths {
+		res, err := loadgen.Run(ctx, loadgen.Config{
+			BaseURL:  baseURL,
+			Conns:    serveConns,
+			Requests: serveRequests,
+			Request:  p.req,
+			Stream:   p.stream,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("serve: %s: %w", p.name, err)
+		}
+		if res.Errors > 0 {
+			// The harness is also a gate: a served path that fails under
+			// smoke-level concurrency is a regression, not a data point.
+			return nil, fmt.Errorf("serve: %s: %d/%d requests failed", p.name, res.Errors, res.Requests)
+		}
+		tab.AddRow(p.name,
+			fmt.Sprintf("%d", res.Requests),
+			fmt.Sprintf("%d", res.Matches),
+			res.P50.Round(time.Microsecond).String(),
+			res.P99.Round(time.Microsecond).String(),
+			res.P999.Round(time.Microsecond).String(),
+			res.Max.Round(time.Microsecond).String(),
+			fmt.Sprintf("%.0f", res.Throughput()),
+			fmt.Sprintf("%d", res.Errors),
+			fmt.Sprintf("%d", res.Shed))
+		cfg.logf("serve %s done: %s", p.name, res)
+	}
+	return []*Table{tab}, nil
+}

@@ -2,6 +2,7 @@ package lint
 
 import (
 	"go/ast"
+	"go/token"
 	"go/types"
 )
 
@@ -22,13 +23,25 @@ import (
 //
 // Calls into other packages are not inspected (their bodies are out of
 // reach); such launches are the caller's responsibility.
+//
+// The analyzer also covers the handler layer: any function receiving a
+// *net/http.Request must not mint a fresh root context with
+// context.Background() or context.TODO(). Query work rooted there keeps
+// running after the client disconnects and ignores per-request deadlines —
+// handlers must derive from r.Context() so cancellation propagates into the
+// engine's ctx plumbing.
 var CtxLeakAnalyzer = &Analyzer{
 	Name: "ctxleak",
-	Doc:  "goroutine launched without a cancellation or completion path",
+	Doc:  "goroutine launched without a cancellation or completion path, or handler work rooted outside the request context",
 	Run:  runCtxLeak,
 }
 
 func runCtxLeak(pass *Pass) {
+	runCtxLeakGoroutines(pass)
+	runCtxLeakHandlers(pass)
+}
+
+func runCtxLeakGoroutines(pass *Pass) {
 	// Bodies of package-level functions, for resolving `go fn(...)`.
 	decls := map[types.Object]*ast.FuncDecl{}
 	for _, file := range pass.Files {
@@ -64,6 +77,64 @@ func runCtxLeak(pass *Pass) {
 			return true
 		})
 	}
+}
+
+// runCtxLeakHandlers flags context.Background()/context.TODO() calls inside
+// any function with a *net/http.Request parameter (including goroutines the
+// handler spawns): the request already carries the context the work must
+// derive from.
+func runCtxLeakHandlers(pass *Pass) {
+	reported := map[token.Pos]bool{} // a nested handler literal is walked twice
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			var ft *ast.FuncType
+			var body *ast.BlockStmt
+			switch fn := n.(type) {
+			case *ast.FuncDecl:
+				ft, body = fn.Type, fn.Body
+			case *ast.FuncLit:
+				ft, body = fn.Type, fn.Body
+			default:
+				return true
+			}
+			if body == nil || !hasRequestParam(pass, ft) {
+				return true
+			}
+			ast.Inspect(body, func(m ast.Node) bool {
+				call, ok := m.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				sel, ok := call.Fun.(*ast.SelectorExpr)
+				if !ok || (sel.Sel.Name != "Background" && sel.Sel.Name != "TODO") {
+					return true
+				}
+				id, ok := sel.X.(*ast.Ident)
+				if !ok {
+					return true
+				}
+				if pkg, ok := pass.Info.Uses[id].(*types.PkgName); ok && pkg.Imported().Path() == "context" && !reported[call.Pos()] {
+					reported[call.Pos()] = true
+					pass.Reportf(call.Pos(), "handler creates a fresh root context with context.%s; derive from the request's Context() so client disconnects and deadlines propagate", sel.Sel.Name)
+				}
+				return true
+			})
+			return true
+		})
+	}
+}
+
+// hasRequestParam reports whether the signature receives a *net/http.Request.
+func hasRequestParam(pass *Pass, ft *ast.FuncType) bool {
+	if ft.Params == nil {
+		return false
+	}
+	for _, f := range ft.Params.List {
+		if t := pass.TypeOf(f.Type); t != nil && isPkgType(t, "net/http", "Request") {
+			return true
+		}
+	}
+	return false
 }
 
 // hasLifecycleSignal scans a function body for any lifetime-coordination

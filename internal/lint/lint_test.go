@@ -130,6 +130,9 @@ func TestFloatcmpFixture(t *testing.T) { checkFixture(t, "floatviol", analyzerBy
 func TestErrcheckFixture(t *testing.T) { checkFixture(t, "errviol", analyzerByName(t, "errcheck")) }
 func TestKeyaliasFixture(t *testing.T) { checkFixture(t, "aliasviol", analyzerByName(t, "keyalias")) }
 func TestCtxleakFixture(t *testing.T)  { checkFixture(t, "ctxviol", analyzerByName(t, "ctxleak")) }
+func TestCtxleakHandlerFixture(t *testing.T) {
+	checkFixture(t, "handlerviol", analyzerByName(t, "ctxleak"))
+}
 
 func TestVfsseamFixture(t *testing.T) { checkFixture(t, "seamviol", analyzerByName(t, "vfsseam")) }
 func TestSyncrenameFixture(t *testing.T) {

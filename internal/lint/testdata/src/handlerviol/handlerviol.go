@@ -1,0 +1,48 @@
+// Package handlerviol seeds violations for ctxleak's handler-layer rule: an
+// HTTP handler that roots query work in a fresh context instead of deriving
+// from r.Context(), so the work outlives disconnected clients and ignores
+// per-request deadlines.
+package handlerviol
+
+import (
+	"context"
+	"net/http"
+)
+
+func search(ctx context.Context) {}
+
+// The seeded violation: the handler mints its own root context, so killing
+// the connection cannot cancel the query.
+func badHandler(w http.ResponseWriter, r *http.Request) {
+	ctx := context.Background() // want "handler creates a fresh root context with context.Background"
+	search(ctx)
+}
+
+func badTODO(w http.ResponseWriter, r *http.Request) {
+	search(context.TODO()) // want "handler creates a fresh root context with context.TODO"
+}
+
+// Work the handler spawns inherits the obligation: the goroutine below has a
+// completion channel (so the goroutine rule is satisfied) but still roots
+// its query outside the request.
+func badSpawned(w http.ResponseWriter, r *http.Request) {
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		search(context.Background()) // want "handler creates a fresh root context with context.Background"
+	}()
+	<-done
+}
+
+// Deriving from the request is the fix.
+func goodHandler(w http.ResponseWriter, r *http.Request) {
+	ctx, cancel := context.WithCancel(r.Context())
+	defer cancel()
+	search(ctx)
+}
+
+// Functions without a request in scope may still root contexts (main's
+// signal loop does exactly that).
+func notAHandler() {
+	search(context.Background())
+}

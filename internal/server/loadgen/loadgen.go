@@ -1,0 +1,175 @@
+// Package loadgen drives a trassd server with N concurrent connections and
+// records the latency distribution — the p50/p99/p999 histograms the serve
+// bench experiment and the serve-e2e CI job publish as BENCH_serve.json.
+package loadgen
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/server"
+)
+
+// Config is one load run: Requests total requests spread across Conns
+// concurrent workers, all issuing the same query shape.
+type Config struct {
+	// BaseURL is the server under load.
+	BaseURL string
+	// Conns is the number of concurrent client workers. Default 4.
+	Conns int
+	// Requests is the total number of requests to issue. Default 64.
+	Requests int
+	// Request is the query template every worker sends.
+	Request server.QueryRequest
+	// Stream selects the NDJSON path; latency then covers first byte to
+	// footer inclusive (the full stream drain).
+	Stream bool
+	// HTTP overrides the transport shared by the workers.
+	HTTP *http.Client
+}
+
+func (c Config) withDefaults() Config {
+	if c.Conns <= 0 {
+		c.Conns = 4
+	}
+	if c.Requests <= 0 {
+		c.Requests = 64
+	}
+	return c
+}
+
+// Result is one load run's outcome.
+type Result struct {
+	Requests int           // requests attempted
+	Errors   int           // failed requests (transport or server error)
+	Shed     int           // 429 responses (counted separately from Errors)
+	Matches  int64         // total matches received across requests
+	Elapsed  time.Duration // wall clock of the whole run
+	P50      time.Duration
+	P99      time.Duration
+	P999     time.Duration
+	Max      time.Duration
+}
+
+// Throughput is requests (incl. shed) per second over the run.
+func (r Result) Throughput() float64 {
+	if r.Elapsed <= 0 {
+		return 0
+	}
+	return float64(r.Requests) / r.Elapsed.Seconds()
+}
+
+// Run drives the configured load and aggregates latencies. Individual
+// request failures don't abort the run (they're counted); only ctx
+// cancellation does.
+func Run(ctx context.Context, cfg Config) (Result, error) {
+	cfg = cfg.withDefaults()
+	client := &server.Client{BaseURL: server.NewClient(cfg.BaseURL).BaseURL, HTTP: cfg.HTTP}
+
+	var (
+		next      atomic.Int64 // request cursor the workers claim from
+		errs      atomic.Int64
+		shed      atomic.Int64
+		matches   atomic.Int64
+		mu        sync.Mutex
+		latencies = make([]time.Duration, 0, cfg.Requests)
+	)
+
+	record := func(d time.Duration) {
+		mu.Lock()
+		latencies = append(latencies, d)
+		mu.Unlock()
+	}
+
+	one := func() {
+		t0 := time.Now()
+		var err error
+		if cfg.Stream {
+			var n int64
+			_, err = client.QueryStream(ctx, cfg.Request, func(server.WireMatch) error {
+				n++
+				return nil
+			})
+			matches.Add(n)
+		} else {
+			var ms []server.WireMatch
+			ms, _, err = client.QueryAll(ctx, cfg.Request)
+			matches.Add(int64(len(ms)))
+		}
+		if err != nil {
+			var se *server.StatusError
+			if errors.As(err, &se) && se.Code == http.StatusTooManyRequests {
+				shed.Add(1)
+				return
+			}
+			errs.Add(1)
+			return
+		}
+		record(time.Since(t0))
+	}
+
+	start := time.Now()
+	var wg sync.WaitGroup
+	wg.Add(cfg.Conns)
+	for w := 0; w < cfg.Conns; w++ {
+		go func() {
+			defer wg.Done()
+			for ctx.Err() == nil {
+				if n := next.Add(1); n > int64(cfg.Requests) {
+					return
+				}
+				one()
+			}
+		}()
+	}
+	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		return Result{}, err
+	}
+
+	res := Result{
+		Requests: cfg.Requests,
+		Errors:   int(errs.Load()),
+		Shed:     int(shed.Load()),
+		Matches:  matches.Load(),
+		Elapsed:  time.Since(start),
+	}
+	sort.Slice(latencies, func(i, j int) bool { return latencies[i] < latencies[j] })
+	res.P50 = percentile(latencies, 0.50)
+	res.P99 = percentile(latencies, 0.99)
+	res.P999 = percentile(latencies, 0.999)
+	if n := len(latencies); n > 0 {
+		res.Max = latencies[n-1]
+	}
+	return res, nil
+}
+
+// percentile reads the p-quantile from an ascending latency slice (nearest
+// rank); 0 on an empty run.
+func percentile(sorted []time.Duration, p float64) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	idx := int(p * float64(len(sorted)-1))
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(sorted) {
+		idx = len(sorted) - 1
+	}
+	return sorted[idx]
+}
+
+// String renders a result for logs.
+func (r Result) String() string {
+	return fmt.Sprintf("%d req (%d err, %d shed) in %v: p50=%v p99=%v p999=%v max=%v",
+		r.Requests, r.Errors, r.Shed, r.Elapsed.Round(time.Millisecond),
+		r.P50.Round(time.Microsecond), r.P99.Round(time.Microsecond),
+		r.P999.Round(time.Microsecond), r.Max.Round(time.Microsecond))
+}

@@ -30,6 +30,11 @@
 #              scan-to-refine stream are the code most worth racing), then
 #              go test -race ./... and a 10s fuzz smoke of every native fuzz
 #              target (plain go test -short ./... and no fuzz with SHORT=1)
+#   serve      end-to-end over a real socket: build trassd + trass, generate
+#              and load a dataset, run the same queries embedded and against
+#              the server, and require the wire output byte-identical (cmp);
+#              streamed output must match as a set (sort | cmp). Finishes
+#              with a SIGTERM drain that must exit 0.
 #
 # SHORT=1 trades the race detector, full fault-point enumeration, and fuzz
 # smoke for speed; CI always runs the full gate. The lint step is NOT trimmed
@@ -47,8 +52,8 @@ cd "$(dirname "$0")/.."
 
 MODE="${1:-all}"
 case "$MODE" in
-    lint|torture|concurrency|test|all) ;;
-    *) echo "check.sh: unknown step group '$MODE' (want lint, torture, concurrency, test, or all)" >&2; exit 2 ;;
+    lint|torture|concurrency|test|serve|all) ;;
+    *) echo "check.sh: unknown step group '$MODE' (want lint, torture, concurrency, test, serve, or all)" >&2; exit 2 ;;
 esac
 
 step() { printf '\n== %s ==\n' "$*"; }
@@ -138,6 +143,64 @@ if [[ "$MODE" == "test" || "$MODE" == "all" ]]; then
             done
         done
     fi
+fi
+
+if [[ "$MODE" == "serve" || "$MODE" == "all" ]]; then
+    # Served-vs-embedded equivalence over a real socket. The non-streaming
+    # wire path uses the same deterministic result ordering as the embedded
+    # CLI, so the outputs must be byte-identical; streamed delivery order is
+    # the refine pipeline's, so the streamed check compares the sorted sets.
+    step "serve e2e (build)"
+    SERVE_TMP=$(mktemp -d)
+    TRASSD_PID=""
+    serve_cleanup() {
+        if [[ -n "$TRASSD_PID" ]] && kill -0 "$TRASSD_PID" 2>/dev/null; then
+            kill -KILL "$TRASSD_PID" 2>/dev/null || true
+        fi
+        rm -rf "$SERVE_TMP"
+    }
+    trap serve_cleanup EXIT
+    go build -o "$SERVE_TMP/trassd" ./cmd/trassd
+    go build -o "$SERVE_TMP/trass" ./cmd/trass
+
+    step "serve e2e (dataset + embedded baseline)"
+    "$SERVE_TMP/trass" gen -kind tdrive -n 2000 -seed 7 -out "$SERVE_TMP/data.txt"
+    "$SERVE_TMP/trass" load -db "$SERVE_TMP/db" -in "$SERVE_TMP/data.txt"
+    # Embedded runs happen before trassd opens the store.
+    "$SERVE_TMP/trass" query -db "$SERVE_TMP/db" -id td000042 -eps 0.2deg 2>/dev/null > "$SERVE_TMP/embedded-threshold.txt"
+    "$SERVE_TMP/trass" query -db "$SERVE_TMP/db" -id td000042 -k 20 2>/dev/null > "$SERVE_TMP/embedded-topk.txt"
+
+    step "serve e2e (trassd round trip)"
+    "$SERVE_TMP/trassd" -db "$SERVE_TMP/db" -addr 127.0.0.1:0 -addr-file "$SERVE_TMP/addr" &
+    TRASSD_PID=$!
+    for _ in $(seq 1 100); do
+        [[ -s "$SERVE_TMP/addr" ]] && break
+        if ! kill -0 "$TRASSD_PID" 2>/dev/null; then
+            echo "serve e2e: trassd exited before listening" >&2; exit 1
+        fi
+        sleep 0.1
+    done
+    [[ -s "$SERVE_TMP/addr" ]] || { echo "serve e2e: trassd never wrote its address" >&2; exit 1; }
+    ADDR=$(cat "$SERVE_TMP/addr")
+
+    "$SERVE_TMP/trass" query -server "$ADDR" -id td000042 -eps 0.2deg 2>/dev/null > "$SERVE_TMP/wire-threshold.txt"
+    "$SERVE_TMP/trass" query -server "$ADDR" -id td000042 -k 20 2>/dev/null > "$SERVE_TMP/wire-topk.txt"
+    cmp "$SERVE_TMP/embedded-threshold.txt" "$SERVE_TMP/wire-threshold.txt"
+    cmp "$SERVE_TMP/embedded-topk.txt" "$SERVE_TMP/wire-topk.txt"
+
+    "$SERVE_TMP/trass" query -server "$ADDR" -stream -id td000042 -eps 0.2deg 2>/dev/null > "$SERVE_TMP/stream-threshold.txt"
+    sort "$SERVE_TMP/embedded-threshold.txt" > "$SERVE_TMP/embedded-threshold.sorted"
+    sort "$SERVE_TMP/stream-threshold.txt" > "$SERVE_TMP/stream-threshold.sorted"
+    cmp "$SERVE_TMP/embedded-threshold.sorted" "$SERVE_TMP/stream-threshold.sorted"
+
+    step "serve e2e (SIGTERM drain)"
+    kill -TERM "$TRASSD_PID"
+    if ! wait "$TRASSD_PID"; then
+        echo "serve e2e: trassd did not drain cleanly on SIGTERM" >&2; exit 1
+    fi
+    TRASSD_PID=""
+    serve_cleanup
+    trap - EXIT
 fi
 
 printf '\nAll checks passed (%s).\n' "$MODE"

@@ -355,6 +355,31 @@ func (db *DB) ThresholdSearchWindow(q *Trajectory, eps float64, w TimeWindow) ([
 	return toMatches(rs), nil
 }
 
+// ThresholdSearchWindowContext is ThresholdSearchWindow under a context,
+// plus per-query statistics. The serving layer (cmd/trassd) maps per-request
+// deadlines and client disconnects onto queries through these variants.
+func (db *DB) ThresholdSearchWindowContext(ctx context.Context, q *Trajectory, eps float64, w TimeWindow) ([]Match, *QueryStats, error) {
+	if eps < 0 {
+		return nil, nil, fmt.Errorf("trass: negative threshold %v", eps)
+	}
+	rs, stats, err := db.engine.ThresholdWindowContext(ctx, q, eps, w)
+	if err != nil {
+		return nil, nil, err
+	}
+	return toMatches(rs), stats, nil
+}
+
+// ThresholdSearchWindowFunc is ThresholdSearchFunc restricted to the time
+// window; see ThresholdSearchFunc for the streaming contract.
+func (db *DB) ThresholdSearchWindowFunc(ctx context.Context, q *Trajectory, eps float64, w TimeWindow, fn func(Match) error) (*QueryStats, error) {
+	if eps < 0 {
+		return nil, fmt.Errorf("trass: negative threshold %v", eps)
+	}
+	return db.engine.ThresholdWindowFunc(ctx, q, eps, w, func(r query.Result) error {
+		return fn(Match{ID: r.ID, Distance: r.Distance, Points: r.Points})
+	})
+}
+
 // TopKSearchWindow returns the k nearest trajectories among those observed
 // within the time window.
 func (db *DB) TopKSearchWindow(q *Trajectory, k int, w TimeWindow) ([]Match, error) {
@@ -363,6 +388,16 @@ func (db *DB) TopKSearchWindow(q *Trajectory, k int, w TimeWindow) ([]Match, err
 		return nil, err
 	}
 	return toMatches(rs), nil
+}
+
+// TopKSearchWindowContext is TopKSearchWindow under a context, plus
+// per-query statistics.
+func (db *DB) TopKSearchWindowContext(ctx context.Context, q *Trajectory, k int, w TimeWindow) ([]Match, *QueryStats, error) {
+	rs, stats, err := db.engine.TopKWindowContext(ctx, q, k, w)
+	if err != nil {
+		return nil, nil, err
+	}
+	return toMatches(rs), stats, nil
 }
 
 // RangeSearchWindow is RangeSearch restricted to trajectories observed
@@ -375,6 +410,24 @@ func (db *DB) RangeSearchWindow(window Rect, w TimeWindow) ([]Match, error) {
 	return toMatches(rs), nil
 }
 
+// RangeSearchWindowContext is RangeSearchWindow under a context, plus
+// per-query statistics.
+func (db *DB) RangeSearchWindowContext(ctx context.Context, window Rect, w TimeWindow) ([]Match, *QueryStats, error) {
+	rs, stats, err := db.engine.RangeWindowContext(ctx, window, w)
+	if err != nil {
+		return nil, nil, err
+	}
+	return toMatches(rs), stats, nil
+}
+
+// RangeSearchWindowFunc is RangeSearchFunc restricted to the time window;
+// see ThresholdSearchFunc for the streaming contract.
+func (db *DB) RangeSearchWindowFunc(ctx context.Context, window Rect, w TimeWindow, fn func(Match) error) (*QueryStats, error) {
+	return db.engine.RangeWindowFunc(ctx, window, w, func(r query.Result) error {
+		return fn(Match{ID: r.ID, Distance: r.Distance, Points: r.Points})
+	})
+}
+
 // NearestSearch returns the k stored trajectories whose closest approach to
 // point p is smallest, ascending by that distance.
 func (db *DB) NearestSearch(p Point, k int) ([]Match, error) {
@@ -383,6 +436,16 @@ func (db *DB) NearestSearch(p Point, k int) ([]Match, error) {
 		return nil, err
 	}
 	return toMatches(rs), nil
+}
+
+// NearestSearchContext is NearestSearch under a context, plus per-query
+// statistics: cancellation aborts the storage scans and surfaces ctx's error.
+func (db *DB) NearestSearchContext(ctx context.Context, p Point, k int) ([]Match, *QueryStats, error) {
+	rs, stats, err := db.engine.NearestToPointContext(ctx, p, k)
+	if err != nil {
+		return nil, nil, err
+	}
+	return toMatches(rs), stats, nil
 }
 
 func toMatches(rs []query.Result) []Match {
