@@ -388,6 +388,7 @@ var Runners = []struct {
 	{"refine", "parallel refinement executor: sequential vs 4-worker refine wall-clock per measure", Refine},
 	{"stream", "streaming scan pipeline: collect-all vs bounded-queue scan/refine overlap under RPC latency", Stream},
 	{"commit", "group-commit WAL: fsync amortization and throughput vs concurrent synced writers", Commit},
+	{"mvcc", "MVCC snapshot reads: Get + threshold p50/p99, idle vs 8 writers + background scanner", MVCC},
 	{"serve", "served-query latency: trassd HTTP/NDJSON p50/p99/p999 per query path under concurrent connections", Serve},
 }
 

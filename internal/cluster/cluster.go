@@ -87,8 +87,17 @@ type Region struct {
 	start, end []byte
 	db         *kv.DB
 	dir        string
+	fs         vfs.FS // the cluster's filesystem (immutable after open)
+	rootDir    string // the cluster's root directory (immutable after open)
 	approxSize atomic.Int64
 	handlers   chan struct{} // nil = unlimited
+
+	// Snapshot lifecycle (see snapshot.go): pins counts the snapshots
+	// holding this region, retired marks it replaced by a committed split,
+	// and reaped latches the one deferred teardown.
+	pins    atomic.Int64
+	retired atomic.Bool
+	reaped  atomic.Bool
 }
 
 // ID returns the region's identifier.
@@ -236,7 +245,7 @@ func (c *Cluster) openRegion(id int, start, end []byte) (*Region, error) {
 	if err != nil {
 		return nil, fmt.Errorf("cluster: open region %d: %w", id, err)
 	}
-	r := &Region{id: id, start: start, end: end, db: db, dir: dir}
+	r := &Region{id: id, start: start, end: end, db: db, dir: dir, fs: c.fs, rootDir: c.cfg.Dir}
 	if c.cfg.HandlersPerRegion > 0 {
 		r.handlers = make(chan struct{}, c.cfg.HandlersPerRegion)
 	}
@@ -591,12 +600,10 @@ func (c *Cluster) splitRegion(r *Region) error {
 	}
 	c.regions = next
 
-	// The parent is now unreferenced; delete it. Durability of the removal
-	// is best-effort — if the crash beats the SyncDir, Open deletes the
-	// resurrected directory as unreferenced debris.
-	_ = r.db.Close()
-	if err := c.fs.RemoveAll(r.dir); err == nil {
-		_ = c.fs.SyncDir(c.cfg.Dir)
-	}
+	// The parent is now unreferenced; retire it. Physical teardown (store
+	// close + directory removal) is deferred until the last snapshot pin
+	// releases, so a long scan pinning the parent keeps reading its
+	// immutable view while the children serve new traffic.
+	r.retire()
 	return nil
 }

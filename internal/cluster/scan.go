@@ -78,48 +78,12 @@ type ScanResult struct {
 
 // regionTask is all the work one region receives for a request: its clipped
 // ranges, served by a single "RPC" — mirroring an HBase client that opens
-// one scanner (or one coprocessor exec) per region.
+// one scanner (or one coprocessor exec) per region. snap is the pinned kv
+// view the scan reads from (see Snapshot.scanTasks in snapshot.go).
 type regionTask struct {
 	region *Region
+	snap   *kv.Snapshot
 	ranges []KeyRange
-}
-
-// scanTasks snapshots the regions overlapping the request under the read
-// lock and groups clipped ranges per region, in region (= key) order, with
-// each region's ranges sorted by start key.
-func (c *Cluster) scanTasks(req ScanRequest) (tasks []regionTask, parallelism int, rpcLatency time.Duration, err error) {
-	c.mu.RLock()
-	defer c.mu.RUnlock()
-	if c.closed {
-		return nil, 0, 0, kv.ErrClosed
-	}
-	tasks = make([]regionTask, 0, len(c.regions))
-	byRegion := make(map[*Region]int, len(c.regions))
-	for _, r := range c.regions { // region order = key order
-		for _, rng := range req.Ranges {
-			if !rangesOverlap(rng.Start, rng.End, r.start, r.end) {
-				continue
-			}
-			idx, ok := byRegion[r]
-			if !ok {
-				idx = len(tasks)
-				byRegion[r] = idx
-				tasks = append(tasks, regionTask{region: r})
-			}
-			tasks[idx].ranges = append(tasks[idx].ranges, clipRange(rng, r))
-		}
-	}
-	// Ranges within a region served in key order.
-	for i := range tasks {
-		sort.Slice(tasks[i].ranges, func(a, b int) bool {
-			return bytes.Compare(tasks[i].ranges[a].Start, tasks[i].ranges[b].Start) < 0
-		})
-	}
-	parallelism = c.cfg.Parallelism
-	if parallelism <= 0 {
-		parallelism = len(c.regions)
-	}
-	return tasks, parallelism, c.cfg.RPCLatency, nil
 }
 
 // Scan executes the request across all overlapping regions and collects the
@@ -139,9 +103,16 @@ func (c *Cluster) scanTasks(req ScanRequest) (tasks []regionTask, parallelism in
 // accounting). Streaming consumers that want those prefixes should use
 // ScanStream directly.
 func (c *Cluster) Scan(ctx context.Context, req ScanRequest) (*ScanResult, error) {
+	return collectScan(ctx, req, c.ScanStream)
+}
+
+// collectScan is the collect-all wrapper shared by Cluster.Scan and
+// Snapshot.Scan: stream everything, drop the prefixes of failed regions,
+// sort by key.
+func collectScan(ctx context.Context, req ScanRequest, stream func(context.Context, StreamRequest, func(ScanBatch) error) (*ScanResult, error)) (*ScanResult, error) {
 	start := time.Now()
 	perRegion := map[int][]kv.Entry{}
-	res, err := c.ScanStream(ctx, StreamRequest{ScanRequest: req}, func(b ScanBatch) error {
+	res, err := stream(ctx, StreamRequest{ScanRequest: req}, func(b ScanBatch) error {
 		perRegion[b.RegionID] = append(perRegion[b.RegionID], b.Entries...)
 		return nil
 	})

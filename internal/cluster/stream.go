@@ -98,24 +98,19 @@ func (e *emitError) Unwrap() error { return e.err }
 // nil); with AllowPartial, rows a region emitted before ultimately failing
 // have already been delivered — RegionErrors tells the consumer which regions
 // are incomplete.
+//
+// The whole stream runs from one cluster snapshot taken at entry: rows
+// committed after the call starts are invisible, retries re-read the same
+// immutable data, and concurrent splits neither block the stream nor are
+// blocked by it. Callers that issue several scans against one consistent
+// view should take a Snapshot themselves and use its ScanStream.
 func (c *Cluster) ScanStream(ctx context.Context, req StreamRequest, emit func(ScanBatch) error) (*ScanResult, error) {
-	start := time.Now()
-	tasks, parallelism, rpcLatency, err := c.scanTasks(req.ScanRequest)
+	snap, err := c.Snapshot()
 	if err != nil {
 		return nil, err
 	}
-	acct := &scanAccount{}
-	if len(tasks) == 0 {
-		return acct.result(time.Since(start)), nil
-	}
-	batchRows := req.BatchRows
-	if batchRows <= 0 {
-		batchRows = defaultBatchRows
-	}
-	if req.Limit > 0 || req.Ordered {
-		return c.scanStreamOrdered(ctx, req, tasks, rpcLatency, batchRows, acct, start, emit)
-	}
-	return c.scanStreamParallel(ctx, req, tasks, parallelism, rpcLatency, batchRows, acct, start, emit)
+	defer func() { _ = snap.Close() }()
+	return snap.ScanStream(ctx, req, emit)
 }
 
 // scanStreamOrdered scans regions sequentially in key order, emitting
@@ -376,7 +371,7 @@ func (c *Cluster) scanRegionOnce(ctx context.Context, t regionTask, filter Filte
 		if !ok {
 			continue
 		}
-		it := t.region.db.Scan(rng.Start, rng.End)
+		it := t.snap.Scan(rng.Start, rng.End)
 		for it.Next() {
 			scanned++
 			if scanned%256 == 0 {

@@ -214,7 +214,13 @@ func (c *committer) commitGroup(group []*commitReq) {
 			db.mem.set(e.key, e.value, e.kind)
 		}
 	}
-	full := db.mem.bytes >= db.opts.MemtableBytes
+	// The flush threshold covers the active list plus the frozen stack
+	// (snapshots freeze without writing anything to disk, so frozen bytes
+	// still occupy memory and still live only in the WAL), and a deep frozen
+	// stack forces a flush on its own so scan-heavy workloads cannot pile up
+	// an unbounded number of memtable merge sources.
+	full := db.mem.bytes+db.frozenBytes >= db.opts.MemtableBytes ||
+		len(db.frozen) >= maxFrozenMemtables
 	db.mu.Unlock()
 	var err error
 	if full {

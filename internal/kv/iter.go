@@ -16,43 +16,6 @@ type kvIter interface {
 	Close() error
 }
 
-// memSnapshotIter iterates a point-in-time copy of the memtable's entries in
-// a key range. The copy is taken under the store lock, so later writes cannot
-// disturb an open scan.
-type memSnapshotIter struct {
-	entries []snapEntry
-	i       int
-}
-
-type snapEntry struct {
-	key, value []byte
-	kind       byte
-}
-
-func snapshotMem(mem *skiplist, start, end []byte) *memSnapshotIter {
-	var entries []snapEntry
-	it := mem.iter(start, end)
-	defer it.Close()
-	for it.Next() {
-		entries = append(entries, snapEntry{
-			key:   append([]byte(nil), it.Key()...),
-			value: append([]byte(nil), it.Value()...),
-			kind:  it.Kind(),
-		})
-	}
-	return &memSnapshotIter{entries: entries, i: -1}
-}
-
-func (m *memSnapshotIter) Next() bool {
-	m.i++
-	return m.i < len(m.entries)
-}
-func (m *memSnapshotIter) Key() []byte   { return m.entries[m.i].key }
-func (m *memSnapshotIter) Value() []byte { return m.entries[m.i].value }
-func (m *memSnapshotIter) Kind() byte    { return m.entries[m.i].kind }
-func (m *memSnapshotIter) Err() error    { return nil }
-func (m *memSnapshotIter) Close() error  { m.entries = nil; return nil }
-
 // mergeSource is one input of the merge heap. priority breaks key ties:
 // lower = newer data wins.
 type mergeSource struct {

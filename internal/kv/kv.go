@@ -73,6 +73,14 @@ type Stats struct {
 	// round failed terminally, cleared by the next successful round. Writes
 	// and reads keep working degraded; the table count just stops shrinking.
 	CompactDegraded atomic.Bool
+
+	// MVCC gauges (current state, not cumulative): snapshots pinned and not
+	// yet released, memtables frozen awaiting flush, and compacted-away
+	// tables whose files still exist because a snapshot or iterator holds
+	// them — the reaper's backlog.
+	PinnedSnapshots atomic.Int64
+	FrozenMemtables atomic.Int64
+	ObsoleteTables  atomic.Int64
 }
 
 // StatsSnapshot is a plain-value copy of Stats.
@@ -87,6 +95,10 @@ type StatsSnapshot struct {
 	WALSyncs, GroupCommits          int64
 	CompactRetries, CompactFailures int64
 	CompactDegraded                 bool
+	// MVCC gauges: see Stats.
+	PinnedSnapshots int64
+	FrozenMemtables int64
+	ObsoleteTables  int64
 }
 
 func (s *Stats) snapshot() StatsSnapshot {
@@ -108,6 +120,9 @@ func (s *Stats) snapshot() StatsSnapshot {
 		CompactRetries:  s.CompactRetries.Load(),
 		CompactFailures: s.CompactFailures.Load(),
 		CompactDegraded: s.CompactDegraded.Load(),
+		PinnedSnapshots: s.PinnedSnapshots.Load(),
+		FrozenMemtables: s.FrozenMemtables.Load(),
+		ObsoleteTables:  s.ObsoleteTables.Load(),
 	}
 }
 
@@ -130,9 +145,12 @@ func (s StatsSnapshot) Sub(t StatsSnapshot) StatsSnapshot {
 		GroupCommits:    s.GroupCommits - t.GroupCommits,
 		CompactRetries:  s.CompactRetries - t.CompactRetries,
 		CompactFailures: s.CompactFailures - t.CompactFailures,
-		// Health is a state, not a counter: the difference of two snapshots
-		// keeps the newer (receiver's) state.
+		// Health and the MVCC gauges are state, not counters: the difference
+		// of two snapshots keeps the newer (receiver's) state.
 		CompactDegraded: s.CompactDegraded,
+		PinnedSnapshots: s.PinnedSnapshots,
+		FrozenMemtables: s.FrozenMemtables,
+		ObsoleteTables:  s.ObsoleteTables,
 	}
 }
 
@@ -155,8 +173,13 @@ func (s StatsSnapshot) Add(t StatsSnapshot) StatsSnapshot {
 		GroupCommits:    s.GroupCommits + t.GroupCommits,
 		CompactRetries:  s.CompactRetries + t.CompactRetries,
 		CompactFailures: s.CompactFailures + t.CompactFailures,
-		// Aggregating across regions: one degraded store degrades the whole.
+		// Aggregating across regions: one degraded store degrades the whole,
+		// and the gauges sum — a cluster-wide backlog is the sum of per-region
+		// backlogs.
 		CompactDegraded: s.CompactDegraded || t.CompactDegraded,
+		PinnedSnapshots: s.PinnedSnapshots + t.PinnedSnapshots,
+		FrozenMemtables: s.FrozenMemtables + t.FrozenMemtables,
+		ObsoleteTables:  s.ObsoleteTables + t.ObsoleteTables,
 	}
 }
 

@@ -218,7 +218,11 @@ type sstReader struct {
 func (sr *sstReader) retain() { sr.refs.Add(1) }
 
 // release drops one reference; the last drop closes the file and, for
-// compacted-away tables, removes it from disk.
+// compacted-away tables, removes it from disk. This is the refcount-drain
+// reaper: compaction marks a victim obsolete and drops the table set's
+// reference, but snapshots and open iterators hold their own, so the unlink
+// happens only when the last of them releases — a long scan keeps reading a
+// retired table and the file vanishes the moment nobody can.
 func (sr *sstReader) release() {
 	if sr.refs.Add(-1) > 0 {
 		return
@@ -226,6 +230,9 @@ func (sr *sstReader) release() {
 	_ = sr.f.Close()
 	if sr.obsolete.Load() {
 		_ = sr.fs.Remove(sr.path)
+		if sr.stats != nil {
+			sr.stats.ObsoleteTables.Add(-1)
+		}
 	}
 }
 

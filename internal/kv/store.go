@@ -86,11 +86,17 @@ func (o *Options) withDefaults() Options {
 type DB struct {
 	opts Options
 
-	mu      sync.Mutex
-	mem     *skiplist
-	tables  []*sstReader // newest first
-	nextSeq uint64
-	closed  bool
+	mu  sync.Mutex
+	mem *skiplist
+	// frozen holds immutable memtables, newest first: the active list moves
+	// here (freezeLocked) when a snapshot pins the store or a flush begins,
+	// and the next flush merges the whole stack into one SSTable. Frozen
+	// lists are never mutated, so snapshots iterate them without a lock.
+	frozen      []*skiplist
+	frozenBytes int
+	tables      []*sstReader // newest first
+	nextSeq     uint64
+	closed      bool
 
 	// wal is owned by the committer goroutine once Open returns: every
 	// append, sync and rotation happens there. Open (before the goroutines
@@ -383,7 +389,11 @@ func (db *DB) write(kind byte, key, value []byte) error {
 	})
 }
 
-// Get returns the value for key, or ErrNotFound.
+// Get returns the value for key, or ErrNotFound. The active-memtable probe
+// runs under db.mu (it is the only mutable source); frozen memtables and the
+// retained table set are searched outside the lock. Point reads deliberately
+// do not freeze the memtable — that would shatter a write-heavy workload into
+// per-get frozen lists — so Get pins the live view instead of a Snapshot.
 func (db *DB) Get(key []byte) ([]byte, error) {
 	db.mu.Lock()
 	if db.closed {
@@ -403,7 +413,10 @@ func (db *DB) Get(key []byte) ([]byte, error) {
 		}
 		return out, nil
 	}
-	// Retain the current table set, then search outside the lock.
+	// Pin the frozen stack and retain the table set, then search outside the
+	// lock: frozen lists are immutable and the references keep the files open.
+	frozen := make([]*skiplist, len(db.frozen))
+	copy(frozen, db.frozen)
 	tables := make([]*sstReader, len(db.tables))
 	copy(tables, db.tables)
 	for _, t := range tables {
@@ -415,6 +428,14 @@ func (db *DB) Get(key []byte) ([]byte, error) {
 			t.release()
 		}
 	}()
+	for _, m := range frozen {
+		if n := m.get(key); n != nil {
+			if n.kind == kindTombstone {
+				return nil, ErrNotFound
+			}
+			return append([]byte(nil), n.value...), nil
+		}
+	}
 	for _, t := range tables {
 		v, kind, found, err := t.get(key)
 		if err != nil {
@@ -431,24 +452,15 @@ func (db *DB) Get(key []byte) ([]byte, error) {
 }
 
 // Scan returns an iterator over [start, end); nil bounds are open. The
-// iterator sees a snapshot of the memtable and the table set as of the call.
+// iterator reads from a pinned snapshot taken at the call — a point-in-time
+// view that later writes, flushes and compactions cannot disturb — and
+// releases it when closed.
 func (db *DB) Scan(start, end []byte) Iterator {
-	db.mu.Lock()
-	if db.closed {
-		db.mu.Unlock()
-		return &errIter{err: ErrClosed}
+	snap, err := db.Snapshot()
+	if err != nil {
+		return &errIter{err: err}
 	}
-	db.stats.Scans.Add(1)
-	sources := []kvIter{snapshotMem(db.mem, start, end)}
-	releases := make([]func(), 0, len(db.tables))
-	for _, t := range db.tables {
-		t.retain()
-		tt := t
-		releases = append(releases, func() { tt.release() })
-		sources = append(sources, t.iter(start, end))
-	}
-	db.mu.Unlock()
-	return newMergeIter(sources, &db.stats, releases)
+	return snap.scan(start, end, func() { _ = snap.Close() })
 }
 
 // Flush persists the memtable to a new SSTable and truncates the WAL, then
@@ -464,27 +476,34 @@ func (db *DB) Flush() error {
 	return nil
 }
 
-// flush persists the memtable as an SSTable, commits it to the TABLES
-// manifest and rotates the WAL. Crash ordering: the table file is durable
-// before the manifest lists it, the manifest lists it before the memtable is
-// swapped or the table enters the in-memory set, and the WAL (whose records
-// the table supersedes) is deleted last — a crash or failure between any two
-// steps recovers every acknowledged record from either the table or the WAL.
+// flush persists the frozen memtable stack (freezing the active list first)
+// as one SSTable, commits it to the TABLES manifest and rotates the WAL.
+// Crash ordering: the table file is durable before the manifest lists it, the
+// manifest lists it before the frozen stack is dropped or the table enters
+// the in-memory set, and the WAL (whose records the table supersedes) is
+// deleted last — a crash or failure between any two steps recovers every
+// acknowledged record from either the table or the WAL.
 //
-// A flush also heals a poisoned WAL (see wal): once the memtable — which
-// holds every acknowledged record — is durable in a table, the torn log can
-// be rotated away. An empty memtable with a poisoned WAL rotates without
-// writing a table.
+// A flush also heals a poisoned WAL (see wal): once every memtable — which
+// together hold every acknowledged record — is durable in a table, the torn
+// log can be rotated away. Empty memtables with a poisoned WAL rotate
+// without writing a table.
 //
 // flush runs only on the committer goroutine (explicit Flush, the group
-// commit's memtable-threshold check, and WAL healing all route through it),
-// which is the memtable's sole mutator — so the long SSTable write needs no
-// lock, only the table-set install does.
+// commit's memtable-threshold check, and WAL healing all route through it).
+// The committer is the sole writer of memtables, so while flush runs no
+// record can enter any memtable: a concurrent Snapshot can only freeze the
+// (empty, untouched) fresh active list, which freezeLocked skips. The frozen
+// stack captured below is therefore exactly the set of records the WAL
+// holds, which is what makes the rotation at the end safe. The long SSTable
+// write needs no lock — frozen lists are immutable — only the install does.
 func (db *DB) flush() error {
 	db.mu.Lock()
-	mem := db.mem
+	db.freezeLocked()
+	mems := make([]*skiplist, len(db.frozen))
+	copy(mems, db.frozen)
 	db.mu.Unlock()
-	if mem.length == 0 {
+	if len(mems) == 0 {
 		if db.wal.poisoned() {
 			return db.rotateWAL()
 		}
@@ -494,17 +513,32 @@ func (db *DB) flush() error {
 	seq := db.nextSeq
 	db.nextSeq++
 	db.mu.Unlock()
-	sw, err := newSSTWriter(db.opts.FS, db.opts.Dir, seq, mem.length)
+	total := 0
+	for _, m := range mems {
+		total += m.length
+	}
+	sw, err := newSSTWriter(db.opts.FS, db.opts.Dir, seq, total)
 	if err != nil {
 		return err
 	}
-	it := mem.iter(nil, nil)
-	defer it.Close()
-	for it.Next() {
-		if err := sw.add(it.Kind(), it.Key(), it.Value()); err != nil {
+	// Merge the stack newest first (source order is merge priority) and keep
+	// tombstones: they must continue to shadow versions in older SSTables.
+	sources := make([]kvIter, 0, len(mems))
+	for _, m := range mems {
+		sources = append(sources, m.iter(nil, nil))
+	}
+	merged := newMergeIter(sources, nil, nil)
+	merged.keepTombstones = true
+	defer merged.Close()
+	for merged.Next() {
+		if err := sw.add(merged.kind, merged.Key(), merged.Value()); err != nil {
 			sw.abort()
 			return err
 		}
+	}
+	if err := merged.Err(); err != nil {
+		sw.abort()
+		return err
 	}
 	size, err := sw.finish()
 	if err != nil {
@@ -518,14 +552,14 @@ func (db *DB) flush() error {
 	db.stats.BytesWritten.Add(size)
 
 	// Commit point: the manifest lists the new table BEFORE it enters the
-	// in-memory table set or the memtable is swapped. If this fails, nothing
-	// in memory has changed — the memtable and WAL remain the authoritative
-	// copy of these records, so a later WAL heal cannot rotate away their
-	// only committed copy (the table file, unlisted, is deleted at the next
-	// Open). The reverse order lost acknowledged writes: a failed manifest
-	// commit after the swap left an empty memtable, and the empty-memtable
-	// heal below would then rotate the WAL while the flushed table was not
-	// durable in the manifest.
+	// in-memory table set or the frozen stack is dropped. If this fails,
+	// nothing in memory has changed — the memtables and WAL remain the
+	// authoritative copy of these records, so a later WAL heal cannot rotate
+	// away their only committed copy (the table file, unlisted, is deleted at
+	// the next Open). The reverse order lost acknowledged writes: a failed
+	// manifest commit after the swap left empty memtables, and the
+	// empty-memtable heal below would then rotate the WAL while the flushed
+	// table was not durable in the manifest.
 	db.mu.Lock()
 	seqs := make([]uint64, 0, len(db.tables)+1)
 	seqs = append(seqs, seq)
@@ -539,9 +573,17 @@ func (db *DB) flush() error {
 	}
 	db.mu.Lock()
 	db.tables = append([]*sstReader{sr}, db.tables...)
-	db.mem = newSkiplist(int64(seq))
+	// The flushed memtables are the oldest suffix of the frozen stack (later
+	// freezes prepend; and in fact none can happen mid-flush, see above).
+	db.frozen = db.frozen[:len(db.frozen)-len(mems)]
+	freed := 0
+	for _, m := range mems {
+		freed += m.bytes
+	}
+	db.frozenBytes -= freed
 	nTables := len(db.tables)
 	db.mu.Unlock()
+	db.stats.FrozenMemtables.Add(int64(-len(mems)))
 	db.stats.Flushes.Add(1)
 
 	// The WAL's contents are durable in the committed SSTable now.
@@ -773,6 +815,11 @@ func (db *DB) installCompaction(victims []*sstReader, sr *sstReader) error {
 		return err
 	}
 	for _, t := range victims {
+		// Gauge first, then mark, then drop the table set's reference: if no
+		// snapshot holds the victim the release unlinks it immediately and
+		// decrements the gauge right back; otherwise the file lingers, counted,
+		// until the last holder releases (the reaper in sstReader.release).
+		db.stats.ObsoleteTables.Add(1)
 		t.obsolete.Store(true)
 		if db.cache != nil {
 			db.cache.dropTable(t.seq)
@@ -846,6 +893,8 @@ func (db *DB) Close() error {
 	err := db.wal.close()
 	db.mu.Lock()
 	db.releaseAll()
+	db.frozen = nil
+	db.frozenBytes = 0
 	db.mu.Unlock()
 	return err
 }

@@ -530,9 +530,9 @@ func TestLockOrderCatchesSplicedCycle(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	// flush holds db.mu around `mem := db.mem`; submit holds c.mu around the
-	// queue append.
-	splice("store.go", "mem := db.mem", "db.commit.mu.Lock()\n\tdb.commit.mu.Unlock()\n\t")
+	// flush holds db.mu around `db.freezeLocked()`; submit holds c.mu around
+	// the queue append.
+	splice("store.go", "db.freezeLocked()", "db.commit.mu.Lock()\n\tdb.commit.mu.Unlock()\n\t")
 	splice("commit.go", "c.queue = append(c.queue, req)", "c.db.mu.Lock()\n\tc.db.mu.Unlock()\n\t")
 
 	cycleRe := regexp.MustCompile(`lock-order cycle DB\.mu → committer\.mu → DB\.mu`)
@@ -558,8 +558,8 @@ func TestLockOrderCatchesSplicedCycle(t *testing.T) {
 
 // TestMustCloseCatchesDeletedClose is the resource-lifetime acceptance test:
 // copy internal/kv into a scratch package, verify the pristine copy is clean
-// under mustclose, then delete the `defer it.Close()` guarding the memtable
-// iterator in DB.flush and verify the leaked iterator is named.
+// under mustclose, then delete the `defer merged.Close()` guarding the flush
+// merge iterator in DB.flush and verify the leaked iterator is named.
 func TestMustCloseCatchesDeletedClose(t *testing.T) {
 	az := analyzerByName(t, "mustclose")
 	scratch := copyKVScratch(t, "scratch_mustclose")
@@ -589,7 +589,7 @@ func TestMustCloseCatchesDeletedClose(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	const closer = "defer it.Close()\n"
+	const closer = "defer merged.Close()\n"
 	i := strings.Index(string(src), closer)
 	if i < 0 {
 		t.Fatalf("no %q in store.go to delete", strings.TrimSpace(closer))
@@ -599,7 +599,7 @@ func TestMustCloseCatchesDeletedClose(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	re := regexp.MustCompile(`it \(\*skipIter\) is leaked: .*flush`)
+	re := regexp.MustCompile(`merged \(\*mergeIter\) is leaked: .*flush`)
 	found := false
 	for _, d := range runScratch() {
 		if filepath.Base(d.Pos.Filename) == "store.go" && re.MatchString(d.Message) {
@@ -607,7 +607,7 @@ func TestMustCloseCatchesDeletedClose(t *testing.T) {
 		}
 	}
 	if !found {
-		t.Fatal("deleted defer it.Close() in flush was not caught by mustclose")
+		t.Fatal("deleted defer merged.Close() in flush was not caught by mustclose")
 	}
 }
 

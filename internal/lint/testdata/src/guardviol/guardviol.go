@@ -83,3 +83,47 @@ func (t *table) sneak(k string) {
 	t.m[k] = 0 // want "write to table.m holds only t.mu.RLock; writes need the write lock"
 	t.mu.RUnlock()
 }
+
+// snapView mirrors the MVCC snapshot shape: mu guards only the close
+// handshake, while vals is filled at construction and immutable afterwards.
+// Its lock-free reads are the design, not a race — no locked access ever
+// touches vals, so inference must bind no guard and stay silent, while
+// closed (majority-locked) keeps its guard.
+type snapView struct {
+	mu     sync.Mutex
+	closed bool
+	vals   []int
+}
+
+func newSnapView(src []int) *snapView {
+	v := &snapView{}
+	v.vals = append([]int(nil), src...)
+	return v
+}
+
+func (v *snapView) close() {
+	v.mu.Lock()
+	v.closed = true
+	v.mu.Unlock()
+}
+
+func (v *snapView) isClosed() bool {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	return v.closed
+}
+
+func (v *snapView) first() int {
+	if len(v.vals) == 0 { // immutable view: never flagged
+		return 0
+	}
+	return v.vals[0]
+}
+
+func (v *snapView) sum() int {
+	n := 0
+	for _, x := range v.vals {
+		n += x
+	}
+	return n
+}

@@ -77,3 +77,40 @@ func adopted(o *owner) {
 	r.read()
 	o.r = r
 }
+
+// snapshot mirrors the kv layer's MVCC pin: acquired fallibly, it must be
+// released on every path out of the query or the refcount reaper never
+// drains and obsolete tables pile up on disk.
+type snapshot struct{ tables []*res }
+
+func (s *snapshot) Close() error { return nil }
+func (s *snapshot) get() int     { return len(s.tables) }
+
+func acquireSnapshot() (*snapshot, error) { return &snapshot{}, nil }
+
+// snapshotLeakOnError is the query-engine bug shape the MVCC refactor guards
+// against: pin a snapshot, read through it, then take an error return that
+// skips the release. The error-guarded acquire itself stays silent — the
+// obligation starts at first use.
+func snapshotLeakOnError(bad bool) (int, error) {
+	s, err := acquireSnapshot() // want "s \(\*snapshot\) is leaked: a path reaches the end"
+	if err != nil {
+		return 0, err
+	}
+	n := s.get()
+	if bad {
+		return 0, errors.New("mid-query failure")
+	}
+	return n, s.Close()
+}
+
+// snapshotDeferred is the sanctioned shape: release deferred right after the
+// error guard, covering every later path.
+func snapshotDeferred() (int, error) {
+	s, err := acquireSnapshot()
+	if err != nil {
+		return 0, err
+	}
+	defer s.Close()
+	return s.get(), nil
+}

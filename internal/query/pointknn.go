@@ -34,6 +34,13 @@ func (e *Engine) NearestToPointContext(ctx context.Context, p geo.Point, k int) 
 	}
 	ix := e.store.Index()
 
+	// One snapshot for the whole best-first search (see topK).
+	snap, err := e.store.Snapshot()
+	if err != nil {
+		return nil, nil, err
+	}
+	defer func() { _ = snap.Close() }()
+
 	results := &resultHeap{}
 	epsOf := func() float64 {
 		if results.Len() == k {
@@ -46,7 +53,7 @@ func (e *Engine) NearestToPointContext(ctx context.Context, p geo.Point, k int) 
 	iq := &spaceHeap{}
 	t0 := time.Now()
 	for _, s := range xzstar.RootSeqs() {
-		pushElemPoint(eq, e.store, ix, s, p)
+		pushElemPoint(eq, snap, ix, s, p)
 	}
 	stats.PruneTime += time.Since(t0)
 
@@ -63,7 +70,7 @@ func (e *Engine) NearestToPointContext(ctx context.Context, p geo.Point, k int) 
 		stats.Ranges++
 		bound.set(epsOf())
 		scan := func(sctx context.Context, emit func([]kv.Entry) error) (*cluster.ScanResult, error) {
-			return e.store.ScanRangesStream(sctx,
+			return snap.ScanRangesStream(sctx,
 				[]xzstar.ValueRange{{Lo: sc.value, Hi: sc.value + 1}},
 				nil, 0, e.streamOptions(true), emit)
 		}
@@ -122,7 +129,7 @@ func (e *Engine) NearestToPointContext(ctx context.Context, p geo.Point, k int) 
 		atMax := ec.seq.Len() == ix.MaxResolution()
 		for _, code := range xzstar.AllCodes(atMax) {
 			v := ix.Value(ec.seq, code)
-			if !e.store.HasValuesIn(v, v+1) {
+			if !snap.HasValuesIn(v, v+1) {
 				continue
 			}
 			d := distPointMask(p, &quads, code.Mask())
@@ -133,7 +140,7 @@ func (e *Engine) NearestToPointContext(ctx context.Context, p geo.Point, k int) 
 		}
 		if ec.seq.Len() < ix.MaxResolution() {
 			for d := byte(0); d < 4; d++ {
-				pushElemPoint(eq, e.store, ix, ec.seq.Child(d), p)
+				pushElemPoint(eq, snap, ix, ec.seq.Child(d), p)
 			}
 		}
 		stats.PruneTime += time.Since(t3)
@@ -147,10 +154,11 @@ func (e *Engine) NearestToPointContext(ctx context.Context, p geo.Point, k int) 
 	return out, stats, nil
 }
 
-// pushElemPoint queues an element by its point-distance lower bound.
-func pushElemPoint(eq *elemHeap, st *store.Store, ix *xzstar.Index, s xzstar.Seq, p geo.Point) {
+// pushElemPoint queues an element by its point-distance lower bound, unless
+// its subtree is empty in the query's snapshot.
+func pushElemPoint(eq *elemHeap, snap *store.Snapshot, ix *xzstar.Index, s xzstar.Seq, p geo.Point) {
 	pr := ix.PrefixRange(s)
-	if !st.HasValuesIn(pr.Lo, pr.Hi) {
+	if !snap.HasValuesIn(pr.Lo, pr.Hi) {
 		return
 	}
 	heap.Push(eq, elemCand{seq: s, dist: geo.DistPointRect(p, s.Element())})

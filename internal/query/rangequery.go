@@ -41,6 +41,14 @@ func (e *Engine) rangeQuery(ctx context.Context, window geo.Rect, w TimeWindow) 
 
 func (e *Engine) rangeImpl(ctx context.Context, window geo.Rect, w TimeWindow, sink func(Result) error) ([]Result, *Stats, error) {
 	stats := &Stats{}
+
+	// One snapshot per query (see thresholdImpl).
+	snap, err := e.store.Snapshot()
+	if err != nil {
+		return nil, nil, err
+	}
+	defer func() { _ = snap.Close() }()
+
 	t0 := time.Now()
 	ranges, _ := e.store.Index().RangeCover(window, e.budget)
 	stats.PruneTime = time.Since(t0)
@@ -78,7 +86,7 @@ func (e *Engine) rangeImpl(ctx context.Context, window geo.Rect, w TimeWindow, s
 
 	wrapped := wrapWithWindow(w, filter)
 	scan := func(sctx context.Context, emit func([]kv.Entry) error) (*cluster.ScanResult, error) {
-		return e.store.ScanRangesStream(sctx, ranges, wrapped, 0, e.streamOptions(false), emit)
+		return snap.ScanRangesStream(sctx, ranges, wrapped, 0, e.streamOptions(false), emit)
 	}
 
 	// Range results carry no distance; refinement here is the client-side
@@ -86,7 +94,7 @@ func (e *Engine) rangeImpl(ctx context.Context, window geo.Rect, w TimeWindow, s
 	// large windows.
 	var out []keyedResult
 	nres := 0
-	err := e.runPipeline(ctx, stats, scan,
+	err = e.runPipeline(ctx, stats, scan,
 		func(rec *traj.Record) refineOutcome {
 			return refineOutcome{rec: rec, keep: true}
 		},

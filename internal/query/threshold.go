@@ -46,6 +46,14 @@ func (e *Engine) thresholdImpl(ctx context.Context, q *traj.Trajectory, eps floa
 	}
 	stats := &Stats{}
 
+	// One snapshot per query: planning and every scan read the same
+	// point-in-time view, immune to concurrent ingest and splits.
+	snap, err := e.store.Snapshot()
+	if err != nil {
+		return nil, nil, err
+	}
+	defer func() { _ = snap.Close() }()
+
 	t0 := time.Now()
 	ranges, _ := e.store.Index().GlobalPruneOpts(qg.xq, eps, e.budget,
 		xzstar.PruneOptions{DisableCodePruning: e.tuning.DisablePosCodes})
@@ -57,7 +65,7 @@ func (e *Engine) thresholdImpl(ctx context.Context, q *traj.Trajectory, eps floa
 
 	filter := wrapWithWindow(w, e.buildFilter(qg, eps))
 	scan := func(sctx context.Context, emit func([]kv.Entry) error) (*cluster.ScanResult, error) {
-		return e.store.ScanRangesStream(sctx, ranges, filter, 0, e.streamOptions(false), emit)
+		return snap.ScanRangesStream(sctx, ranges, filter, 0, e.streamOptions(false), emit)
 	}
 
 	within := dist.WithinFor(e.measure)

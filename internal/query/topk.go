@@ -41,6 +41,17 @@ func (e *Engine) topK(ctx context.Context, q *traj.Trajectory, k int, w TimeWind
 	ix := e.store.Index()
 	stats := &Stats{}
 
+	// One snapshot for the whole best-first search: every HasValuesIn probe
+	// and every space scan reads the same point-in-time view, so the
+	// correctness argument (a space is scanned only when no unexpanded
+	// element could beat it) holds against a stable ground truth even under
+	// concurrent ingest.
+	snap, err := e.store.Snapshot()
+	if err != nil {
+		return nil, nil, err
+	}
+	defer func() { _ = snap.Close() }()
+
 	results := &resultHeap{} // max-heap: worst of the current best k on top
 	eps := math.Inf(1)
 	epsOf := func() float64 {
@@ -58,7 +69,7 @@ func (e *Engine) topK(ctx context.Context, q *traj.Trajectory, k int, w TimeWind
 	iq := &spaceHeap{}
 	t0 := time.Now()
 	for _, s := range xzstar.RootSeqs() {
-		pushElem(eq, e.store, ix, s, qg, prefRes)
+		pushElem(eq, snap, ix, s, qg, prefRes)
 	}
 	stats.PruneTime += time.Since(t0)
 
@@ -81,7 +92,7 @@ func (e *Engine) topK(ctx context.Context, q *traj.Trajectory, k int, w TimeWind
 		stats.Ranges++
 		bound.set(epsOf())
 		scan := func(sctx context.Context, emit func([]kv.Entry) error) (*cluster.ScanResult, error) {
-			return e.store.ScanRangesStream(sctx,
+			return snap.ScanRangesStream(sctx,
 				[]xzstar.ValueRange{{Lo: sc.value, Hi: sc.value + 1}},
 				filter, 0, e.streamOptions(true), emit)
 		}
@@ -156,7 +167,7 @@ func (e *Engine) topK(ctx context.Context, q *traj.Trajectory, k int, w TimeWind
 		// Queue this element's surviving index spaces (Lemmas 10-11 at the
 		// current threshold).
 		for _, sp := range ix.CandidateSpaces(ec.seq, qg.xq, eps) {
-			if !e.store.HasValuesIn(sp.Value, sp.Value+1) {
+			if !snap.HasValuesIn(sp.Value, sp.Value+1) {
 				continue
 			}
 			heap.Push(iq, spaceCand{value: sp.Value, dist: sp.Dist})
@@ -164,7 +175,7 @@ func (e *Engine) topK(ctx context.Context, q *traj.Trajectory, k int, w TimeWind
 		// Expand children (deeper resolutions), skipping empty subtrees.
 		if ec.seq.Len() < ix.MaxResolution() {
 			for d := byte(0); d < 4; d++ {
-				pushElem(eq, e.store, ix, ec.seq.Child(d), qg, prefRes)
+				pushElem(eq, snap, ix, ec.seq.Child(d), qg, prefRes)
 			}
 		}
 		stats.PruneTime += time.Since(t3)
@@ -179,10 +190,11 @@ func (e *Engine) topK(ctx context.Context, q *traj.Trajectory, k int, w TimeWind
 	return out, stats, nil
 }
 
-// pushElem queues an element candidate unless its subtree is empty.
-func pushElem(eq *elemHeap, st *store.Store, ix *xzstar.Index, s xzstar.Seq, qg *queryGeom, prefRes int) {
+// pushElem queues an element candidate unless its subtree is empty in the
+// query's snapshot.
+func pushElem(eq *elemHeap, snap *store.Snapshot, ix *xzstar.Index, s xzstar.Seq, qg *queryGeom, prefRes int) {
 	pr := ix.PrefixRange(s)
-	if !st.HasValuesIn(pr.Lo, pr.Hi) {
+	if !snap.HasValuesIn(pr.Lo, pr.Hi) {
 		return
 	}
 	d := xzstar.MinDistEE(qg.xq.MBR, s.Element())

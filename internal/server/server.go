@@ -222,6 +222,9 @@ func (s *Server) handleStatsz(w http.ResponseWriter, r *http.Request) {
 		Draining:        s.draining.Load(),
 		Trajectories:    s.db.Count(),
 		CompactDegraded: st.KV.CompactDegraded,
+		PinnedSnapshots: st.KV.PinnedSnapshots,
+		FrozenMemtables: st.KV.FrozenMemtables,
+		ObsoleteTables:  st.KV.ObsoleteTables,
 		Storage:         st,
 	})
 }

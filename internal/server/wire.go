@@ -183,6 +183,14 @@ type StatszResponse struct {
 	// CompactDegraded mirrors StorageStats().KV.CompactDegraded: true while
 	// background compaction is failing (the store still serves, merges lag).
 	CompactDegraded bool `json:"compact_degraded"`
+	// MVCC gauges, mirrored from Storage.KV for quick scraping: snapshots
+	// currently pinned across all regions, memtables frozen awaiting flush,
+	// and compacted-away tables whose files await their last reference (the
+	// reaper's backlog). A stuck reader shows up here as a pinned snapshot
+	// that never drops and an obsolete-table count that never drains.
+	PinnedSnapshots int64 `json:"pinned_snapshots"`
+	FrozenMemtables int64 `json:"frozen_memtables"`
+	ObsoleteTables  int64 `json:"obsolete_tables"`
 	// Storage is the full storage-layer counter snapshot.
 	Storage trass.StorageStats `json:"storage"`
 }

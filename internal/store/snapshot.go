@@ -1,0 +1,92 @@
+package store
+
+import (
+	"context"
+	"sort"
+
+	"repro/internal/cluster"
+	"repro/internal/kv"
+	"repro/internal/xzstar"
+)
+
+// MVCC snapshot reads at the store layer. A Snapshot pairs a pinned cluster
+// snapshot (one consistent kv view per region) with an immutable copy of the
+// distinct-index-value set, so a whole query — global pruning probes via
+// HasValuesIn plus every range scan it plans — runs against one point-in-time
+// view of the table. Concurrent ingest neither blocks the query nor shifts
+// the ground truth under its feet, and best-first top-k cannot be misled by
+// a value set that changed between two of its space expansions.
+
+// Snapshot is an immutable point-in-time view of the trajectory table.
+// Methods are safe for concurrent use with each other and with writes to the
+// parent store; Close releases the pinned storage (idempotent).
+type Snapshot struct {
+	s    *Store
+	snap *cluster.Snapshot
+	// values is the sorted distinct index values at snapshot time, immutable:
+	// HasValuesIn binary-searches it without any lock.
+	values []int64
+}
+
+// Snapshot pins the store's current state: the cluster topology, one kv
+// snapshot per region, and the distinct-value set global pruning consults.
+func (s *Store) Snapshot() (*Snapshot, error) {
+	cs, err := s.cluster.Snapshot()
+	if err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	values := append([]int64(nil), s.sortedValuesLocked()...)
+	s.mu.Unlock()
+	return &Snapshot{s: s, snap: cs, values: values}, nil
+}
+
+// Store returns the parent store (for its immutable index and config).
+func (sn *Snapshot) Store() *Store { return sn.s }
+
+// HasValuesIn reports whether any trajectory in the snapshot has an index
+// value in [lo, hi). Lock-free: the value set is an immutable copy.
+func (sn *Snapshot) HasValuesIn(lo, hi int64) bool {
+	i := sort.Search(len(sn.values), func(i int) bool { return sn.values[i] >= lo })
+	return i < len(sn.values) && sn.values[i] < hi
+}
+
+// ScanRanges is Store.ScanRanges against the snapshot: the given index-value
+// ranges are scanned across every shard with the filter pushed down, reading
+// the pinned view only.
+func (sn *Snapshot) ScanRanges(ctx context.Context, ranges []xzstar.ValueRange, filter cluster.Filter, limit int) (*cluster.ScanResult, error) {
+	keyRanges, err := sn.s.keyRanges(ranges)
+	if err != nil {
+		return nil, err
+	}
+	return sn.snap.Scan(ctx, cluster.ScanRequest{
+		Ranges:       keyRanges,
+		Filter:       filter,
+		Limit:        limit,
+		AllowPartial: sn.s.cfg.DegradedScans,
+	})
+}
+
+// ScanRangesStream is Store.ScanRangesStream against the snapshot: rows are
+// delivered to emit in bounded batches as regions produce them, all read from
+// the pinned view.
+func (sn *Snapshot) ScanRangesStream(ctx context.Context, ranges []xzstar.ValueRange, filter cluster.Filter, limit int, opt StreamOptions, emit func([]kv.Entry) error) (*cluster.ScanResult, error) {
+	keyRanges, err := sn.s.keyRanges(ranges)
+	if err != nil {
+		return nil, err
+	}
+	return sn.snap.ScanStream(ctx, cluster.StreamRequest{
+		ScanRequest: cluster.ScanRequest{
+			Ranges:       keyRanges,
+			Filter:       filter,
+			Limit:        limit,
+			AllowPartial: sn.s.cfg.DegradedScans,
+		},
+		BatchRows:  opt.BatchRows,
+		QueueDepth: opt.QueueDepth,
+		Ordered:    opt.Ordered,
+	}, func(b cluster.ScanBatch) error { return emit(b.Entries) })
+}
+
+// Close releases the pinned cluster snapshot. Idempotent.
+func (sn *Snapshot) Close() error { return sn.snap.Close() }

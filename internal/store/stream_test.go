@@ -3,6 +3,7 @@ package store
 import (
 	"bytes"
 	"context"
+	"encoding/binary"
 	"math"
 	"math/rand"
 	"sort"
@@ -96,8 +97,11 @@ func TestPutIdenticalOverwrite(t *testing.T) {
 }
 
 // The value metadata kept for pruning (the sorted distinct index values) must
-// stay exact under interleaved puts and re-puts — the incremental
-// maintenance path must agree with a full rebuild.
+// stay exact under interleaved puts and re-puts — the incremental maintenance
+// path must agree with the data rows actually on disk. Observed through the
+// snapshot seam, not by reaching into s.mu: the snapshot's immutable value
+// view and its row scan come from the same pinned instant, so the comparison
+// is exact by construction.
 func TestSortedValuesStayConsistent(t *testing.T) {
 	s := newTestStore(t, Config{Shards: 2})
 	rng := rand.New(rand.NewSource(91))
@@ -107,16 +111,34 @@ func TestSortedValuesStayConsistent(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	s.mu.Lock()
-	got := append([]int64(nil), s.sortedValuesLocked()...)
-	want := make([]int64, 0, len(s.values))
-	for v := range s.values {
+	snap, err := s.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer snap.Close()
+	got := snap.values // immutable copy; no lock needed
+
+	// Ground truth: the distinct index values of the data rows in the same
+	// snapshot, decoded from the row keys (shard byte + 8-byte value).
+	res, err := snap.ScanRanges(context.Background(),
+		[]xzstar.ValueRange{{Lo: 0, Hi: math.MaxInt64}}, nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	distinct := make(map[int64]bool)
+	for _, e := range res.Entries {
+		if len(e.Key) < 1+8+1 {
+			t.Fatalf("malformed data-row key %q", e.Key)
+		}
+		distinct[int64(binary.BigEndian.Uint64(e.Key[1:9]))] = true
+	}
+	want := make([]int64, 0, len(distinct))
+	for v := range distinct {
 		want = append(want, v)
 	}
-	s.mu.Unlock()
 	sort.Slice(want, func(i, j int) bool { return want[i] < want[j] })
 	if len(got) != len(want) {
-		t.Fatalf("sortedValues has %d entries, value map has %d", len(got), len(want))
+		t.Fatalf("sortedValues has %d entries, on-disk rows have %d distinct values", len(got), len(want))
 	}
 	for i := range got {
 		if got[i] != want[i] {
@@ -126,6 +148,11 @@ func TestSortedValuesStayConsistent(t *testing.T) {
 	for i := 1; i < len(got); i++ {
 		if got[i-1] >= got[i] {
 			t.Fatalf("sortedValues not strictly increasing at %d", i)
+		}
+	}
+	for _, v := range want {
+		if !snap.HasValuesIn(v, v+1) {
+			t.Fatalf("HasValuesIn misses stored value %d", v)
 		}
 	}
 }

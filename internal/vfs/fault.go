@@ -87,9 +87,14 @@ const (
 	// FaultDiskFull fails a write with ErrDiskFull before any byte lands.
 	FaultDiskFull
 	// FaultCrash simulates a power loss at this operation: all un-synced
-	// data and un-SyncDir'd directory entries vanish, the operation and
-	// every open handle fail with ErrCrashed, and the filesystem continues
-	// from the durable state (reopen to recover).
+	// data and un-SyncDir'd directory entries vanish, and the operation and
+	// every open handle fail with ErrCrashed. The filesystem then stays
+	// down — every further operation fails with ErrCrashed — until the
+	// harness "reboots" it with SetInject or an explicit Crash call. A
+	// crashed machine runs no more I/O: without the down state, background
+	// goroutines that raced past the crash could keep mutating the
+	// rolled-back namespace (e.g. re-issue a SyncDir or unlink an SSTable
+	// the durable manifest still lists) and corrupt the recovery image.
 	FaultCrash
 )
 
@@ -128,6 +133,10 @@ type FaultFS struct {
 	inject func(Op) Fault
 	n      int
 	gen    int
+	// down is set by an injected FaultCrash: the simulated machine has lost
+	// power, so every operation fails with ErrCrashed until SetInject or an
+	// explicit Crash marks the reboot boundary.
+	down bool
 
 	curFiles map[string]*memFile
 	curDirs  map[string]bool
@@ -177,11 +186,15 @@ func (f *FaultFS) SyncStats() map[string]int {
 }
 
 // SetInject installs (or with nil removes) the fault hook consulted before
-// every operation.
+// every operation. Reconfiguring injection marks a reboot boundary: it
+// clears the down state left by an injected FaultCrash, so the torture
+// harnesses' SetInject(nil)-then-reopen sequence recovers from exactly the
+// durable state at the crash.
 func (f *FaultFS) SetInject(fn func(Op) Fault) {
 	f.mu.Lock()
 	defer f.mu.Unlock()
 	f.inject = fn
+	f.down = false
 }
 
 // Ops returns the number of operations issued so far.
@@ -193,11 +206,14 @@ func (f *FaultFS) Ops() int {
 
 // Crash simulates a power loss now: un-synced file data and un-SyncDir'd
 // directory entries are discarded, and every open handle is invalidated. The
-// filesystem itself remains usable, continuing from the durable state.
+// filesystem itself remains usable, continuing from the durable state — an
+// explicit Crash models the whole crash-plus-reboot cycle, so it also clears
+// any down state left by an injected FaultCrash.
 func (f *FaultFS) Crash() {
 	f.mu.Lock()
 	defer f.mu.Unlock()
 	f.crashLocked()
+	f.down = false
 }
 
 func (f *FaultFS) crashLocked() {
@@ -261,6 +277,11 @@ func cloneFiles(m map[string]*memFile) map[string]*memFile {
 func (f *FaultFS) op(kind OpKind, path string) (Op, Fault, error) {
 	f.n++
 	o := Op{N: f.n, Kind: kind, Path: path}
+	if f.down {
+		// The machine is off: nothing runs until the reboot boundary
+		// (SetInject or Crash). The hook is not consulted.
+		return o, FaultCrash, fmt.Errorf("vfs: op %d (%s %s): %w", o.N, kind, path, ErrCrashed)
+	}
 	if f.inject == nil {
 		return o, FaultNone, nil
 	}
@@ -269,6 +290,7 @@ func (f *FaultFS) op(kind OpKind, path string) (Op, Fault, error) {
 		return o, FaultNone, nil
 	case FaultCrash:
 		f.crashLocked()
+		f.down = true
 		return o, fault, fmt.Errorf("vfs: op %d (%s %s): %w", o.N, kind, path, ErrCrashed)
 	case FaultTransient:
 		return o, fault, &InjectedError{Op: o, transient: true}

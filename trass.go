@@ -232,6 +232,10 @@ func (db *DB) Count() int64 { return db.store.Count() }
 // fsync counts, scan RPCs and retries. KV.CompactDegraded reports whether any
 // region's background compaction is failing — the store keeps serving reads
 // and writes in that state, but merges are behind; see WithCompactionBackoff.
+// The MVCC gauges (KV.PinnedSnapshots, KV.FrozenMemtables, KV.ObsoleteTables)
+// report current snapshot-read state: every query pins one snapshot for its
+// lifetime, so a pinned count that never drops — with an obsolete-table
+// backlog that never drains — points at a leaked reader.
 type StorageStats = cluster.Stats
 
 // StorageStats returns a snapshot of the storage layer's health and activity
